@@ -1,0 +1,23 @@
+use afa_core::experiment::*;
+use afa_core::TuningStage;
+use afa_sim::SimDuration;
+
+fn main() {
+    let secs: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    let ssds: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let scale = ExperimentScale::new(SimDuration::from_secs_f64(secs), ssds, 42);
+    let t0 = std::time::Instant::now();
+    let cmp = fig12(scale);
+    println!("{}", cmp.to_table());
+    for stage in [TuningStage::ExperimentalFirmware] {
+        let fig = run_stage(stage, scale);
+        println!("{}", fig.to_table());
+    }
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

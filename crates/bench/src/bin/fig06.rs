@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 6 — default configuration distribution figure.
+
+use afa_bench::{banner, write_csv, ExperimentScale};
+use afa_core::experiment::fig6;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Fig. 6 — default configuration", scale);
+    let fig = fig6(scale);
+    println!("{}", fig.to_table());
+    write_csv("fig06.csv", &fig.to_csv());
+}

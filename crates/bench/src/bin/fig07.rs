@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 7 — +chrt -f 99 distribution figure.
+
+use afa_bench::{banner, write_csv, ExperimentScale};
+use afa_core::experiment::fig7;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Fig. 7 — +chrt -f 99", scale);
+    let fig = fig7(scale);
+    println!("{}", fig.to_table());
+    write_csv("fig07.csv", &fig.to_csv());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 8 — +CPU isolation distribution figure.
+
+use afa_bench::{banner, write_csv, ExperimentScale};
+use afa_core::experiment::fig8;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Fig. 8 — +CPU isolation", scale);
+    let fig = fig8(scale);
+    println!("{}", fig.to_table());
+    write_csv("fig08.csv", &fig.to_csv());
+}

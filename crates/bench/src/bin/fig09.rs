@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 9 — +IRQ affinity distribution figure.
+
+use afa_bench::{banner, write_csv, ExperimentScale};
+use afa_core::experiment::fig9;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Fig. 9 — +IRQ affinity", scale);
+    let fig = fig9(scale);
+    println!("{}", fig.to_table());
+    write_csv("fig09.csv", &fig.to_csv());
+}

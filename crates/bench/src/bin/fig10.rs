@@ -1,0 +1,13 @@
+//! Regenerates the Fig. 10 latency scatter (32 SSDs, per-sample logs,
+//! periodic SMART spikes).
+
+use afa_bench::{banner, write_csv, ExperimentScale};
+use afa_core::experiment::fig10;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Fig. 10 — latency scatter, 32 SSDs", scale);
+    let scatter = fig10(scale);
+    println!("{}", scatter.to_table());
+    write_csv("fig10.csv", &scatter.to_csv());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 11 — experimental firmware distribution figure.
+
+use afa_bench::{banner, write_csv, ExperimentScale};
+use afa_core::experiment::fig11;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Fig. 11 — experimental firmware", scale);
+    let fig = fig11(scale);
+    println!("{}", fig.to_table());
+    write_csv("fig11.csv", &fig.to_csv());
+}

@@ -1,0 +1,12 @@
+//! Evaluates the §VI future-work prototypes (automatic I/O-aggressive
+//! scheduler + affinity-aware IRQ balancer) against the paper's manual
+//! tuning.
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::future_schedulers;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("§VI future-work prototypes", scale);
+    println!("{}", future_schedulers(scale).to_table());
+}

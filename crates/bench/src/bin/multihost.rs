@@ -1,0 +1,11 @@
+//! Multi-host enclosure isolation: host 0's latency vs. neighbor
+//! hosts hammering their static partitions (§III-A).
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::multi_host_isolation;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Multi-host enclosure isolation", scale);
+    println!("{}", multi_host_isolation(scale).to_table());
+}

@@ -1,0 +1,11 @@
+//! SNIA PTS-E style steady-state run on a scaled device (§III-B cites
+//! PTS-E ch. 9 for the measurement methodology).
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::pts_random_write;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("SNIA PTS-E steady-state procedure", scale);
+    println!("{}", pts_random_write(scale.seed, 30).to_table());
+}

@@ -1,0 +1,10 @@
+//! Queue-depth knee curve of the Table I device.
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::qd_sweep;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Queue-depth sweep", scale);
+    println!("{}", qd_sweep(scale.seed).to_table());
+}

@@ -1,0 +1,14 @@
+//! Per-cause latency budgets for every tuning stage — the simulated
+//! LTTng analysis (§IV-B/§IV-D).
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::root_cause;
+use afa_core::TuningStage;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Root-cause latency budgets", scale);
+    for stage in TuningStage::ALL {
+        println!("{}", root_cause(stage, scale).to_table());
+    }
+}

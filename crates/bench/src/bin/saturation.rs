@@ -1,0 +1,11 @@
+//! The §III-B preliminary check: sequential reads saturate the PCIe
+//! uplink; 4 KiB QD1 random reads sit far below it (§IV-G).
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::uplink_saturation;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Uplink saturation check", scale);
+    println!("{}", uplink_saturation(scale).to_table());
+}

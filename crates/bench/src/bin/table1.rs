@@ -1,0 +1,17 @@
+//! Regenerates Table I: the device model measured against its data
+//! sheet.
+
+use afa_bench::{banner, write_csv, ExperimentScale};
+use afa_core::experiment::table1;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Table I — NVMe SSD specification", scale);
+    let t = table1(scale.seed);
+    println!("{}", t.to_table());
+    let mut csv = String::from("metric,rated,measured\n");
+    for (metric, rated, measured) in &t.rows {
+        csv.push_str(&format!("{metric},{rated},{measured:.0}\n"));
+    }
+    write_csv("table1.csv", &csv);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table II: the Fig. 13 run matrix, derived from the
+//! geometry code.
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::table2;
+
+fn main() {
+    banner(
+        "Table II — varying number of SSDs / CPU core",
+        ExperimentScale::from_env(),
+    );
+    println!("{}", table2());
+}

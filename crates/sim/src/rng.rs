@@ -1,0 +1,343 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Experiments must be exactly reproducible from a single master seed,
+//! and adding or removing a component must not perturb the random draws
+//! of unrelated components. We therefore derive one independent stream
+//! per component from `(master_seed, stream_id)` using splitmix64
+//! mixing, and generate within each stream with xoshiro256\*\*.
+//!
+//! The generators are implemented here (rather than pulling in the
+//! `rand` crate for the hot path) so the exact bit streams are pinned by
+//! this workspace and cannot drift with external crate versions.
+//!
+//! # Example
+//!
+//! ```
+//! use afa_sim::SimRng;
+//!
+//! let mut a = SimRng::from_seed_and_stream(42, 0);
+//! let mut b = SimRng::from_seed_and_stream(42, 0);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//!
+//! let mut c = SimRng::from_seed_and_stream(42, 1);
+//! assert_ne!(a.next_u64(), c.next_u64());
+//! ```
+
+/// One step of the splitmix64 sequence; also used as a seed mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256\*\* random-number generator with helpers
+/// for the distributions used by the simulation models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a raw 64-bit seed.
+    ///
+    /// Seeds that would degenerate to the all-zero state are remapped.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent stream from `(master_seed, stream_id)`.
+    ///
+    /// Streams with distinct ids are statistically independent, so each
+    /// simulated component (each SSD, each CPU, the IRQ balancer, …) can
+    /// own its stream without cross-contamination.
+    pub fn from_seed_and_stream(master_seed: u64, stream_id: u64) -> Self {
+        let mut sm = master_seed ^ stream_id.wrapping_mul(0xA24B_AED4_963E_E407);
+        // One extra scramble so that stream 0 differs from from_seed.
+        let mixed = splitmix64(&mut sm) ^ stream_id.rotate_left(17);
+        Self::from_seed(mixed)
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits into the mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        // Lemire-style rejection to avoid modulo bias.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive requires lo <= hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// Used for Poisson arrival processes (e.g. background daemon
+    /// wake-ups).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Samples a standard normal via Box–Muller, scaled to
+    /// `mean + std_dev * z`.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Samples a normal distribution truncated below at `min`.
+    pub fn normal_min(&mut self, mean: f64, std_dev: f64, min: f64) -> f64 {
+        self.normal(mean, std_dev).max(min)
+    }
+
+    /// Samples a (Type I) Pareto distribution with the given scale
+    /// (minimum value) and shape.
+    ///
+    /// Heavy-tailed service times — such as the lengths of
+    /// non-preemptible kernel sections — are drawn from this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is not positive.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(shape > 0.0, "pareto shape must be positive");
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        scale / u.powf(1.0 / shape)
+    }
+
+    /// Samples a log-normal distribution parameterized by the mean and
+    /// standard deviation of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Forks an independent child generator, advancing this one.
+    pub fn fork(&mut self) -> SimRng {
+        let seed = self.next_u64();
+        SimRng::from_seed(seed)
+    }
+
+    /// Randomly shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut streams: Vec<u64> = (0..16)
+            .map(|id| SimRng::from_seed_and_stream(99, id).next_u64())
+            .collect();
+        streams.sort_unstable();
+        streams.dedup();
+        assert_eq!(streams.len(), 16, "stream outputs collided");
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            let x = rng.below(10);
+            assert!(x < 10);
+            let y = rng.range_inclusive(5, 7);
+            assert!((5..=7).contains(&y));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = SimRng::from_seed(11);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.below(8) as usize] += 1;
+        }
+        let expect = n / 8;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expect as i64).abs() < expect as i64 / 10,
+                "bucket count {c} deviates from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::from_seed(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(30.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::from_seed(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::from_seed(17);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn normal_min_truncates() {
+        let mut rng = SimRng::from_seed(23);
+        for _ in 0..10_000 {
+            assert!(rng.normal_min(0.0, 5.0, 1.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::from_seed(29);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::from_seed(31);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert_eq!(rng.choose(&[42]).copied(), Some(42));
+    }
+
+    #[test]
+    fn fork_diverges_from_parent() {
+        let mut parent = SimRng::from_seed(37);
+        let mut child = parent.fork();
+        assert_ne!(parent.next_u64(), child.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_seed(41);
+        for _ in 0..1000 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Cause-attribution trace hooks.
+//!
+//! The paper root-causes tail-latency samples with LTTng. The simulated
+//! analogue is a [`TraceSink`] that components notify whenever a latency
+//! contribution is incurred, tagged with a [`Cause`]. Experiments can
+//! install a [`CauseAccumulator`] to obtain a per-cause latency budget,
+//! or [`NullSink`] (the default) to pay nothing.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Why a slice of latency was incurred on an I/O's critical path.
+///
+/// The variants mirror the interference sources the paper identifies in
+/// §IV: scheduler displacement, C-state exits, IRQ misrouting, fabric
+/// transfer time, device service time, and firmware housekeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cause {
+    /// Time spent executing on a CPU (submit/complete syscall paths).
+    CpuWork,
+    /// Waiting for the scheduler to run a runnable task (preemption
+    /// delay from CPU-bound interference; §IV-B/§IV-C).
+    SchedulerDelay,
+    /// Waiting for a CPU to exit an idle C-state.
+    CStateExit,
+    /// Context-switch cost.
+    ContextSwitch,
+    /// Hardware interrupt dispatch and handler execution.
+    IrqHandling,
+    /// Extra cost because the completion interrupt fired on a CPU other
+    /// than the submitter's (IPI + remote wake-up; §IV-D).
+    RemoteCompletion,
+    /// Cold-cache penalty after a migration or pollution event.
+    CachePollution,
+    /// Time on PCIe links and switches.
+    Fabric,
+    /// Normal device service time (controller + flash).
+    DeviceService,
+    /// Device queueing behind other commands.
+    DeviceQueueing,
+    /// Stall behind a firmware housekeeping window (SMART; §IV-E).
+    Housekeeping,
+    /// Stall behind garbage collection (non-FOB extension).
+    GarbageCollection,
+    /// Other / unattributed.
+    Other,
+}
+
+impl Cause {
+    /// All cause variants, in display order.
+    pub const ALL: [Cause; 13] = [
+        Cause::CpuWork,
+        Cause::SchedulerDelay,
+        Cause::CStateExit,
+        Cause::ContextSwitch,
+        Cause::IrqHandling,
+        Cause::RemoteCompletion,
+        Cause::CachePollution,
+        Cause::Fabric,
+        Cause::DeviceService,
+        Cause::DeviceQueueing,
+        Cause::Housekeeping,
+        Cause::GarbageCollection,
+        Cause::Other,
+    ];
+
+    /// A short, stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::CpuWork => "cpu_work",
+            Cause::SchedulerDelay => "sched_delay",
+            Cause::CStateExit => "cstate_exit",
+            Cause::ContextSwitch => "ctx_switch",
+            Cause::IrqHandling => "irq",
+            Cause::RemoteCompletion => "remote_completion",
+            Cause::CachePollution => "cache_pollution",
+            Cause::Fabric => "fabric",
+            Cause::DeviceService => "device_service",
+            Cause::DeviceQueueing => "device_queueing",
+            Cause::Housekeeping => "housekeeping",
+            Cause::GarbageCollection => "gc",
+            Cause::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for Cause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Receives latency attributions as the simulation runs.
+pub trait TraceSink {
+    /// Records that `amount` of latency attributed to `cause` was
+    /// incurred at `time` (e.g. by I/O tracked under `tag`).
+    fn record(&mut self, time: SimTime, tag: u64, cause: Cause, amount: SimDuration);
+}
+
+/// A sink that discards everything; the zero-overhead default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _time: SimTime, _tag: u64, _cause: Cause, _amount: SimDuration) {}
+}
+
+/// Accumulates total latency per cause — the simulated analogue of an
+/// LTTng post-processing pass.
+///
+/// # Example
+///
+/// ```
+/// use afa_sim::trace::{Cause, CauseAccumulator, TraceSink};
+/// use afa_sim::{SimDuration, SimTime};
+///
+/// let mut acc = CauseAccumulator::new();
+/// acc.record(SimTime::ZERO, 0, Cause::DeviceService, SimDuration::micros(20));
+/// acc.record(SimTime::ZERO, 0, Cause::SchedulerDelay, SimDuration::micros(900));
+/// assert_eq!(acc.dominant(), Some(Cause::SchedulerDelay));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CauseAccumulator {
+    totals: BTreeMap<Cause, SimDuration>,
+    counts: BTreeMap<Cause, u64>,
+}
+
+impl CauseAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total latency attributed to `cause` so far.
+    pub fn total(&self, cause: Cause) -> SimDuration {
+        self.totals
+            .get(&cause)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Number of attributions recorded for `cause`.
+    pub fn count(&self, cause: Cause) -> u64 {
+        self.counts.get(&cause).copied().unwrap_or(0)
+    }
+
+    /// The cause with the largest accumulated latency, if any.
+    pub fn dominant(&self) -> Option<Cause> {
+        self.totals.iter().max_by_key(|&(_, d)| *d).map(|(&c, _)| c)
+    }
+
+    /// Iterates over `(cause, total, count)` triples in cause order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cause, SimDuration, u64)> + '_ {
+        self.totals
+            .iter()
+            .map(move |(&c, &d)| (c, d, self.count(c)))
+    }
+}
+
+impl TraceSink for CauseAccumulator {
+    fn record(&mut self, _time: SimTime, _tag: u64, cause: Cause, amount: SimDuration) {
+        *self.totals.entry(cause).or_insert(SimDuration::ZERO) += amount;
+        *self.counts.entry(cause).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_sums_and_counts() {
+        let mut acc = CauseAccumulator::new();
+        acc.record(SimTime::ZERO, 1, Cause::Fabric, SimDuration::micros(2));
+        acc.record(SimTime::ZERO, 2, Cause::Fabric, SimDuration::micros(3));
+        acc.record(
+            SimTime::ZERO,
+            3,
+            Cause::Housekeeping,
+            SimDuration::micros(500),
+        );
+        assert_eq!(acc.total(Cause::Fabric), SimDuration::micros(5));
+        assert_eq!(acc.count(Cause::Fabric), 2);
+        assert_eq!(acc.total(Cause::CpuWork), SimDuration::ZERO);
+        assert_eq!(acc.dominant(), Some(Cause::Housekeeping));
+    }
+
+    #[test]
+    fn empty_accumulator_has_no_dominant() {
+        assert_eq!(CauseAccumulator::new().dominant(), None);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Cause::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Cause::ALL.len());
+    }
+
+    #[test]
+    fn null_sink_is_noop() {
+        let mut sink = NullSink;
+        sink.record(SimTime::ZERO, 0, Cause::Other, SimDuration::micros(1));
+    }
+
+    #[test]
+    fn iter_lists_recorded_causes() {
+        let mut acc = CauseAccumulator::new();
+        acc.record(SimTime::ZERO, 0, Cause::CpuWork, SimDuration::micros(1));
+        let items: Vec<_> = acc.iter().collect();
+        assert_eq!(items, vec![(Cause::CpuWork, SimDuration::micros(1), 1)]);
+    }
+}

@@ -1,0 +1,609 @@
+//! The SSD device: controller pipeline + flash back end + FTL +
+//! firmware housekeeping, combined as a resource-reservation model.
+//!
+//! Submitting a command computes its completion instant in O(1): each
+//! stage (admission, dies, channel buses, DMA engines) keeps a
+//! next-free time, and a command reserves the stages in pipeline
+//! order. All queueing behaviour — die conflicts, channel contention,
+//! DMA saturation, SMART stalls, GC interference — emerges from the
+//! reservations.
+
+use afa_sim::{SimDuration, SimRng, SimTime};
+
+use crate::firmware::FirmwareProfile;
+use crate::flash::{DieAddress, FlashArray};
+use crate::ftl::{Ftl, FtlAction, FtlConfig, FtlStats};
+use crate::nvme::{NvmeCommand, NvmeOpcode};
+use crate::smart::{SmartEngine, SmartLog};
+use crate::spec::SsdSpec;
+
+/// Completion information for one submitted command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletionInfo {
+    /// Instant the device posts the completion (interrupt time follows
+    /// after fabric + host delays, which other crates model).
+    pub completes_at: SimTime,
+    /// Time stalled behind a SMART housekeeping window.
+    pub housekeeping_stall: SimDuration,
+    /// Time queued behind other commands (admission, die, channel and
+    /// DMA waits).
+    pub queue_wait: SimDuration,
+    /// Pure pipeline service time (everything else).
+    pub service: SimDuration,
+    /// Whether a media read-retry occurred.
+    pub retried: bool,
+}
+
+impl CompletionInfo {
+    /// Total latency relative to `submitted`.
+    pub fn latency_since(&self, submitted: SimTime) -> SimDuration {
+        self.completes_at.saturating_since(submitted)
+    }
+}
+
+/// Lifetime device counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Read commands completed.
+    pub reads: u64,
+    /// Write commands completed.
+    pub writes: u64,
+    /// Admin / management commands completed.
+    pub admin: u64,
+    /// Media read-retries.
+    pub retries: u64,
+    /// Commands that stalled behind housekeeping.
+    pub housekeeping_hits: u64,
+}
+
+/// One simulated NVMe SSD.
+///
+/// See the crate docs for the model; see [`SsdSpec::table1`] for the
+/// paper's device.
+#[derive(Clone, Debug)]
+pub struct SsdDevice {
+    spec: SsdSpec,
+    firmware: FirmwareProfile,
+    flash: FlashArray,
+    ftl: Ftl,
+    smart: SmartEngine,
+    rng: SimRng,
+    admission_free: SimTime,
+    dma_read_free: SimTime,
+    dma_write_free: SimTime,
+    buffered_bytes: u64,
+    outstanding_programs: std::collections::VecDeque<(SimTime, u64)>,
+    stats: DeviceStats,
+}
+
+impl SsdDevice {
+    /// Creates a device in FOB state.
+    pub fn new(spec: SsdSpec, firmware: FirmwareProfile, seed: u64) -> Self {
+        let mut rng = SimRng::from_seed(seed);
+        let smart_rng = rng.fork();
+        let smart = SmartEngine::new(firmware.smart_policy(), smart_rng);
+        SsdDevice {
+            flash: FlashArray::new(spec.geometry),
+            ftl: Ftl::new(spec.geometry, FtlConfig::default()),
+            spec,
+            firmware,
+            smart,
+            rng,
+            admission_free: SimTime::ZERO,
+            dma_read_free: SimTime::ZERO,
+            dma_write_free: SimTime::ZERO,
+            buffered_bytes: 0,
+            outstanding_programs: std::collections::VecDeque::new(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &SsdSpec {
+        &self.spec
+    }
+
+    /// The installed firmware profile.
+    pub fn firmware(&self) -> &FirmwareProfile {
+        &self.firmware
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// FTL lifetime counters (GC, write amplification).
+    pub fn ftl_stats(&self) -> FtlStats {
+        self.ftl.stats()
+    }
+
+    /// The SMART log (as `GetLogPage` would return).
+    pub fn smart_log(&self) -> &SmartLog {
+        self.smart.log()
+    }
+
+    /// Submits one command at `now`, returning its completion info.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an I/O command addresses beyond the device's logical
+    /// capacity.
+    pub fn submit(&mut self, now: SimTime, cmd: NvmeCommand) -> CompletionInfo {
+        if cmd.is_io() {
+            let last = cmd.lba + cmd.lba_count();
+            assert!(
+                last <= self.spec.logical_pages(),
+                "I/O beyond device capacity: lba {} + {} > {}",
+                cmd.lba,
+                cmd.lba_count(),
+                self.spec.logical_pages()
+            );
+        }
+        match cmd.opcode {
+            NvmeOpcode::Read => self.submit_read(now, cmd),
+            NvmeOpcode::Write => self.submit_write(now, cmd),
+            NvmeOpcode::Flush => self.submit_flush(now),
+            NvmeOpcode::Format => self.submit_format(now),
+            NvmeOpcode::Identify | NvmeOpcode::GetLogPage => self.submit_admin(now),
+        }
+    }
+
+    /// Admits a command through the controller front end, honouring
+    /// SMART windows and the per-opcode command gap.
+    fn admit(&mut self, now: SimTime, gap: SimDuration) -> (SimTime, SimDuration) {
+        let queue_start = now.max(self.admission_free);
+        let admitted = self.smart.admission_after(queue_start);
+        let stall = admitted.saturating_since(queue_start);
+        if !stall.is_zero() {
+            self.stats.housekeeping_hits += 1;
+        }
+        self.admission_free = admitted + gap;
+        (admitted, stall)
+    }
+
+    fn die_for_read(&mut self, lpn: u64) -> DieAddress {
+        match self.ftl.read_slot(lpn) {
+            Some(die) => die,
+            None => {
+                // FOB read: nothing mapped. The controller still walks
+                // the full pipeline (the paper measures ~25 us on
+                // freshly formatted devices); spread pseudo-locations
+                // uniformly across dies.
+                let g = self.spec.geometry;
+                let idx = (lpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32 % g.total_dies();
+                DieAddress::from_index(idx, &g)
+            }
+        }
+    }
+
+    fn submit_read(&mut self, now: SimTime, cmd: NvmeCommand) -> CompletionInfo {
+        let t = self.spec.timing;
+        let (admitted, hk_stall) = self.admit(now, t.read_cmd_gap);
+        let ready = admitted + t.fw_in;
+
+        // Reserve a flash read per 4 KiB unit; rare ECC retries extend
+        // the array time.
+        let mut retried = false;
+        let mut flash_done = ready;
+        for i in 0..cmd.lba_count() {
+            let die = self.die_for_read(cmd.lba + i);
+            let mut t_read = t.flash_read;
+            if self.rng.below(1_000_000) < t.read_retry_prob_ppm as u64 {
+                retried = true;
+                let extra = self
+                    .rng
+                    .range_inclusive(t.read_retry_min.as_nanos(), t.read_retry_max.as_nanos());
+                t_read += SimDuration::nanos(extra);
+            }
+            let done = self
+                .flash
+                .reserve_read(die, ready, t_read, t.channel_xfer_4k);
+            flash_done = flash_done.max(done);
+        }
+
+        // DMA to host memory.
+        let dma_time =
+            SimDuration::from_secs_f64(cmd.bytes as f64 / (t.dma_read_mbps as f64 * 1e6));
+        let dma_start = flash_done.max(self.dma_read_free);
+        let dma_end = dma_start + dma_time;
+        self.dma_read_free = dma_end;
+
+        // Completion path with a touch of controller jitter.
+        let jitter = SimDuration::nanos(self.rng.range_inclusive(0, 1_200));
+        let completes_at = dma_end + t.fw_out + jitter;
+
+        if retried {
+            self.stats.retries += 1;
+            self.smart.log_mut().note_retry();
+        }
+        self.stats.reads += 1;
+        self.smart.log_mut().note_read(cmd.lba_count());
+
+        let total = completes_at.saturating_since(now);
+        let service = t.fw_in + t.flash_read + t.channel_xfer_4k + dma_time + t.fw_out + jitter;
+        CompletionInfo {
+            completes_at,
+            housekeeping_stall: hk_stall,
+            queue_wait: total.saturating_sub(service + hk_stall),
+            service,
+            retried,
+        }
+    }
+
+    /// Applies FTL actions (programs, GC work) to the flash array,
+    /// returning the last program completion time, if any.
+    fn apply_ftl_actions(&mut self, ready: SimTime, actions: &[FtlAction]) -> Option<SimTime> {
+        let t = self.spec.timing;
+        let page_xfer = t.channel_xfer_4k * (self.spec.geometry.page_kib / 4);
+        let mut last_program = None;
+        for action in actions {
+            match *action {
+                FtlAction::Program { die } | FtlAction::GcProgram { die } => {
+                    let done = self
+                        .flash
+                        .reserve_program(die, ready, page_xfer, t.flash_program);
+                    last_program = Some(last_program.map_or(done, |p: SimTime| p.max(done)));
+                    let page_bytes = self.spec.geometry.page_kib * 1024;
+                    self.outstanding_programs.push_back((done, page_bytes));
+                }
+                FtlAction::GcRead { die } => {
+                    let _ = self.flash.reserve_read(die, ready, t.flash_read, page_xfer);
+                }
+                FtlAction::Erase { die } => {
+                    let _ = self.flash.reserve_erase(die, ready, t.flash_erase);
+                }
+            }
+        }
+        last_program
+    }
+
+    /// Drains write-buffer accounting up to `now` and returns the
+    /// instant at which at least `needed` bytes of space exist.
+    fn buffer_space_at(&mut self, now: SimTime, needed: u64) -> SimTime {
+        while let Some(&(done, bytes)) = self.outstanding_programs.front() {
+            if done <= now {
+                self.outstanding_programs.pop_front();
+                self.buffered_bytes = self.buffered_bytes.saturating_sub(bytes);
+            } else {
+                break;
+            }
+        }
+        let cap = self.spec.timing.buffer_bytes;
+        let mut projected = self.buffered_bytes;
+        let mut at = now;
+        let mut idx = 0;
+        while projected + needed > cap {
+            match self.outstanding_programs.get(idx) {
+                Some(&(done, bytes)) => {
+                    projected = projected.saturating_sub(bytes);
+                    at = done;
+                    idx += 1;
+                }
+                None => break, // buffer larger than backlog; accept
+            }
+        }
+        at
+    }
+
+    fn submit_write(&mut self, now: SimTime, cmd: NvmeCommand) -> CompletionInfo {
+        let t = self.spec.timing;
+        let (admitted, hk_stall) = self.admit(now, t.write_cmd_gap);
+        let ready = admitted + t.fw_in;
+
+        // Host-side DMA into the write buffer.
+        let dma_time =
+            SimDuration::from_secs_f64(cmd.bytes as f64 / (t.dma_write_mbps as f64 * 1e6));
+        let dma_start = ready.max(self.dma_write_free);
+        let dma_end = dma_start + dma_time;
+        self.dma_write_free = dma_end;
+
+        // Buffer admission: wait for space if the buffer is full.
+        let space_at = self.buffer_space_at(now, cmd.bytes as u64);
+        self.buffered_bytes += cmd.bytes as u64;
+
+        // FTL allocation and any triggered flash work.
+        let mut actions = Vec::new();
+        for i in 0..cmd.lba_count() {
+            actions.extend(self.ftl.write_slot(cmd.lba + i));
+        }
+        self.apply_ftl_actions(ready, &actions);
+
+        let completes_at = dma_end.max(space_at) + t.buffer_insert + t.fw_out;
+        self.stats.writes += 1;
+        self.smart.log_mut().note_write(cmd.lba_count());
+
+        let total = completes_at.saturating_since(now);
+        let service = t.fw_in + dma_time + t.buffer_insert + t.fw_out;
+        CompletionInfo {
+            completes_at,
+            housekeeping_stall: hk_stall,
+            queue_wait: total.saturating_sub(service + hk_stall),
+            service,
+            retried: false,
+        }
+    }
+
+    fn submit_flush(&mut self, now: SimTime) -> CompletionInfo {
+        let t = self.spec.timing;
+        let (admitted, hk_stall) = self.admit(now, t.read_cmd_gap);
+        let drained = self
+            .outstanding_programs
+            .iter()
+            .map(|&(done, _)| done)
+            .fold(admitted, SimTime::max);
+        self.outstanding_programs.clear();
+        self.buffered_bytes = 0;
+        let completes_at = drained + t.fw_out;
+        self.stats.admin += 1;
+        CompletionInfo {
+            completes_at,
+            housekeeping_stall: hk_stall,
+            queue_wait: SimDuration::ZERO,
+            service: completes_at.saturating_since(admitted),
+            retried: false,
+        }
+    }
+
+    fn submit_format(&mut self, now: SimTime) -> CompletionInfo {
+        let t = self.spec.timing;
+        let (admitted, hk_stall) = self.admit(now, t.read_cmd_gap);
+        self.ftl.format();
+        self.smart.log_mut().reset();
+        self.outstanding_programs.clear();
+        self.buffered_bytes = 0;
+        let completes_at = admitted + t.format_time;
+        // The device is busy formatting.
+        self.admission_free = completes_at;
+        self.stats.admin += 1;
+        CompletionInfo {
+            completes_at,
+            housekeeping_stall: hk_stall,
+            queue_wait: SimDuration::ZERO,
+            service: t.format_time,
+            retried: false,
+        }
+    }
+
+    fn submit_admin(&mut self, now: SimTime) -> CompletionInfo {
+        let t = self.spec.timing;
+        let (admitted, hk_stall) = self.admit(now, t.read_cmd_gap);
+        let completes_at = admitted + t.admin_service;
+        self.stats.admin += 1;
+        CompletionInfo {
+            completes_at,
+            housekeeping_stall: hk_stall,
+            queue_wait: SimDuration::ZERO,
+            service: t.admin_service,
+            retried: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::SmartPolicy;
+
+    fn quiet_device(seed: u64) -> SsdDevice {
+        SsdDevice::new(SsdSpec::table1(), FirmwareProfile::experimental(), seed)
+    }
+
+    fn t_us(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::micros(n)
+    }
+
+    #[test]
+    fn qd1_read_latency_about_25us() {
+        let mut dev = quiet_device(1);
+        let mut sum = 0.0;
+        let n = 1_000;
+        let mut now = SimTime::ZERO;
+        for i in 0..n {
+            let info = dev.submit(now, NvmeCommand::read(i * 97 % 1_000_000, 4096));
+            sum += info.latency_since(now).as_micros_f64();
+            now = info.completes_at + SimDuration::micros(5);
+        }
+        let mean = sum / n as f64;
+        assert!((23.0..28.0).contains(&mean), "QD1 mean {mean} us");
+    }
+
+    #[test]
+    fn saturated_random_read_hits_rated_iops() {
+        let mut dev = quiet_device(2);
+        // Closed-loop QD32 for a simulated 50 ms.
+        let mut inflight: Vec<SimTime> = (0..32).map(|_| SimTime::ZERO).collect();
+        let mut completed = 0u64;
+        let horizon = t_us(50_000);
+        let mut lba = 0u64;
+        loop {
+            let idx = inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| *t)
+                .map(|(i, _)| i)
+                .unwrap();
+            let now = inflight[idx];
+            if now >= horizon {
+                break;
+            }
+            lba = (lba + 7_919) % 1_000_000;
+            let info = dev.submit(now, NvmeCommand::read(lba, 4096));
+            inflight[idx] = info.completes_at;
+            completed += 1;
+        }
+        let iops = completed as f64 / 0.05;
+        assert!(
+            (140_000.0..175_000.0).contains(&iops),
+            "saturated read IOPS {iops}"
+        );
+    }
+
+    #[test]
+    fn sequential_read_hits_rated_bandwidth() {
+        let mut dev = quiet_device(3);
+        // 128 KiB sequential reads, QD8, 50 ms.
+        let mut inflight: Vec<SimTime> = (0..8).map(|_| SimTime::ZERO).collect();
+        let mut bytes = 0u64;
+        let horizon = t_us(50_000);
+        let mut lba = 0u64;
+        loop {
+            let idx = inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| *t)
+                .map(|(i, _)| i)
+                .unwrap();
+            let now = inflight[idx];
+            if now >= horizon {
+                break;
+            }
+            let info = dev.submit(now, NvmeCommand::read(lba, 131_072));
+            lba += 32;
+            inflight[idx] = info.completes_at;
+            bytes += 131_072;
+        }
+        let mbps = bytes as f64 / 0.05 / 1e6;
+        assert!((1_500.0..1_900.0).contains(&mbps), "seq read {mbps} MB/s");
+    }
+
+    #[test]
+    fn sustained_random_write_hits_rated_iops() {
+        let mut dev = quiet_device(4);
+        let mut now = SimTime::ZERO;
+        let mut completed = 0u64;
+        let horizon = t_us(200_000);
+        let mut lba = 0u64;
+        // QD1 writes back-to-back; the admission gap paces to ~30 K.
+        while now < horizon {
+            lba = (lba + 104_729) % 1_000_000;
+            let info = dev.submit(now, NvmeCommand::write(lba, 4096));
+            now = info.completes_at;
+            completed += 1;
+        }
+        let iops = completed as f64 / 0.2;
+        assert!((25_000.0..33_000.0).contains(&iops), "write IOPS {iops}");
+    }
+
+    #[test]
+    fn smart_window_stalls_reads() {
+        let policy = SmartPolicy::Periodic {
+            mean_period: SimDuration::millis(10),
+            period_jitter: SimDuration::ZERO,
+            min_duration: SimDuration::micros(500),
+            max_duration: SimDuration::micros(500),
+        };
+        let fw = FirmwareProfile::with_smart_policy("TEST", policy);
+        let mut dev = SsdDevice::new(SsdSpec::table1(), fw, 5);
+        // QD1 reads back to back for 30 ms must cross several windows
+        // (10 ms period, phase-randomized start).
+        let mut now = SimTime::ZERO;
+        let mut worst = SimDuration::ZERO;
+        while now < t_us(30_000) {
+            let info = dev.submit(now, NvmeCommand::read(0, 4096));
+            worst = worst.max(info.housekeeping_stall);
+            now = info.completes_at + SimDuration::micros(5);
+        }
+        assert!(
+            worst >= SimDuration::micros(300),
+            "expected a stall, worst {worst}"
+        );
+        assert!(dev.stats().housekeeping_hits >= 1);
+    }
+
+    #[test]
+    fn experimental_firmware_never_housekeeps() {
+        let mut dev = quiet_device(6);
+        let mut now = SimTime::ZERO;
+        for i in 0..10_000u64 {
+            let info = dev.submit(now, NvmeCommand::read(i % 4_000, 4096));
+            assert_eq!(info.housekeeping_stall, SimDuration::ZERO);
+            now = info.completes_at + SimDuration::micros(3);
+        }
+        assert_eq!(dev.stats().housekeeping_hits, 0);
+    }
+
+    #[test]
+    fn max_read_latency_without_smart_stays_under_100us() {
+        // Fig. 11: with experimental firmware the worst case is ~90 us.
+        let mut dev = quiet_device(7);
+        let mut now = SimTime::ZERO;
+        let mut max_us: f64 = 0.0;
+        for i in 0..200_000u64 {
+            let lba = (i * 48_271) % 1_000_000;
+            let info = dev.submit(now, NvmeCommand::read(lba, 4096));
+            max_us = max_us.max(info.latency_since(now).as_micros_f64());
+            now = info.completes_at + SimDuration::micros(4);
+        }
+        assert!(max_us < 100.0, "QD1 max {max_us} us");
+        assert!(max_us > 25.0, "should see some queueing/retry spread");
+    }
+
+    #[test]
+    fn format_resets_state_and_busy_time() {
+        let mut dev = quiet_device(8);
+        for lba in 0..100 {
+            dev.submit(SimTime::ZERO, NvmeCommand::write(lba, 4096));
+        }
+        let info = dev.submit(t_us(10_000), NvmeCommand::format());
+        assert!(info.completes_at >= t_us(10_000) + SimDuration::millis(400));
+        assert_eq!(dev.smart_log().host_writes, 0, "SMART log reset");
+        // Reads after format are FOB (unmapped) but still serve.
+        let r = dev.submit(info.completes_at, NvmeCommand::read(0, 4096));
+        assert!(r.completes_at > info.completes_at);
+    }
+
+    #[test]
+    fn flush_waits_for_programs() {
+        let mut dev = quiet_device(9);
+        let w = dev.submit(SimTime::ZERO, NvmeCommand::write(0, 65_536));
+        let f = dev.submit(w.completes_at, NvmeCommand::flush());
+        // The flash page program (660 us) dominates the buffer insert.
+        assert!(
+            f.completes_at.as_micros_f64() >= 600.0,
+            "flush at {}",
+            f.completes_at
+        );
+    }
+
+    #[test]
+    fn admin_commands_are_fast() {
+        let mut dev = quiet_device(10);
+        let info = dev.submit(SimTime::ZERO, NvmeCommand::get_log_page());
+        let us = info.latency_since(SimTime::ZERO).as_micros_f64();
+        assert!(us < 200.0, "admin {us} us");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device capacity")]
+    fn read_past_capacity_panics() {
+        let mut dev = quiet_device(11);
+        let last = dev.spec().logical_pages();
+        let _ = dev.submit(SimTime::ZERO, NvmeCommand::read(last, 4096));
+    }
+
+    #[test]
+    fn identical_seeds_identical_behaviour() {
+        let mut a = quiet_device(12);
+        let mut b = quiet_device(12);
+        let mut now = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            let ca = a.submit(now, NvmeCommand::read(i * 31 % 9_999, 4096));
+            let cb = b.submit(now, NvmeCommand::read(i * 31 % 9_999, 4096));
+            assert_eq!(ca, cb);
+            now = ca.completes_at + SimDuration::micros(2);
+        }
+    }
+
+    #[test]
+    fn smart_log_counts_io() {
+        let mut dev = quiet_device(13);
+        dev.submit(SimTime::ZERO, NvmeCommand::read(0, 8192));
+        dev.submit(t_us(100), NvmeCommand::write(0, 4096));
+        let log = dev.smart_log();
+        assert_eq!(log.host_reads, 1);
+        assert_eq!(log.data_units_read, 2);
+        assert_eq!(log.host_writes, 1);
+        assert_eq!(log.data_units_written, 1);
+    }
+}

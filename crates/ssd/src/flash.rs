@@ -1,0 +1,350 @@
+//! NAND flash array geometry and resource occupancy.
+//!
+//! The flash back end is channels × dies; each die serves one array
+//! operation (read page / program page / erase block) at a time, and
+//! each channel bus serializes data transfers between its dies and the
+//! controller. Both are modeled as "next-free-time" resources.
+
+use afa_sim::{SimDuration, SimTime};
+
+/// Physical layout of the NAND array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlashGeometry {
+    /// Independent channels (buses) between controller and dies.
+    pub channels: u32,
+    /// Dies (LUNs) per channel.
+    pub dies_per_channel: u32,
+    /// Erase blocks per die.
+    pub blocks_per_die: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Flash page size in KiB.
+    pub page_kib: u64,
+}
+
+impl FlashGeometry {
+    /// Geometry of the 960 GB Table I device: 8 channels × 4 dies,
+    /// 16 KiB pages — 8 × 4 × 1906 × 1024 × 16 KiB ≈ 1 TiB raw.
+    pub fn m2_960gb() -> Self {
+        FlashGeometry {
+            channels: 8,
+            dies_per_channel: 4,
+            blocks_per_die: 1_906,
+            pages_per_block: 1_024,
+            page_kib: 16,
+        }
+    }
+
+    /// A scaled-down geometry holding roughly `capacity_mb` raw, with
+    /// the same parallelism as the full device. Useful for tests and
+    /// for GC experiments that must fill the device quickly.
+    pub fn scaled(capacity_mb: u64) -> Self {
+        let full = Self::m2_960gb();
+        // Shrink both dimensions: 64-page (1 MiB) blocks, and only as
+        // many blocks per die as the capacity requires.
+        let pages_per_block = 64u32;
+        let block_kib = pages_per_block as u64 * full.page_kib;
+        let per_die_kib = (capacity_mb * 1024) / full.total_dies() as u64;
+        let blocks = (per_die_kib / block_kib).max(6) as u32;
+        FlashGeometry {
+            blocks_per_die: blocks,
+            pages_per_block,
+            ..full
+        }
+    }
+
+    /// Total dies in the array.
+    pub fn total_dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Total flash pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.total_dies() as u64 * self.blocks_per_die as u64 * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_pages() * self.page_kib * 1024
+    }
+
+    /// Maps a physical page number to its die.
+    pub fn die_of_page(&self, physical_page: u64) -> DieAddress {
+        let pages_per_die = self.blocks_per_die as u64 * self.pages_per_block as u64;
+        let die_index = (physical_page / pages_per_die) as u32;
+        DieAddress::from_index(die_index.min(self.total_dies() - 1), self)
+    }
+}
+
+/// Identifies one die as `(channel, die-within-channel)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DieAddress {
+    /// Channel index.
+    pub channel: u32,
+    /// Die index within the channel.
+    pub die: u32,
+}
+
+impl DieAddress {
+    /// Builds a die address from a flat index in
+    /// `[0, geometry.total_dies())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn from_index(index: u32, geometry: &FlashGeometry) -> Self {
+        assert!(index < geometry.total_dies(), "die index out of range");
+        DieAddress {
+            channel: index / geometry.dies_per_channel,
+            die: index % geometry.dies_per_channel,
+        }
+    }
+
+    /// The flat index of this die.
+    pub fn flat_index(&self, geometry: &FlashGeometry) -> u32 {
+        self.channel * geometry.dies_per_channel + self.die
+    }
+}
+
+/// Next-free-time occupancy of every die and channel in the array.
+///
+/// Reservations answer "when can this operation start, and when does
+/// the resource free up" — the entire queueing behaviour of the flash
+/// back end emerges from these two vectors.
+#[derive(Clone, Debug)]
+pub struct FlashArray {
+    geometry: FlashGeometry,
+    die_free: Vec<SimTime>,
+    channel_free: Vec<SimTime>,
+    ops_served: u64,
+}
+
+impl FlashArray {
+    /// Creates an idle array.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        FlashArray {
+            geometry,
+            die_free: vec![SimTime::ZERO; geometry.total_dies() as usize],
+            channel_free: vec![SimTime::ZERO; geometry.channels as usize],
+            ops_served: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// Total array operations reserved so far.
+    pub fn ops_served(&self) -> u64 {
+        self.ops_served
+    }
+
+    /// Reserves a page read on `die` starting no earlier than `ready`:
+    /// array read (`t_read`), then the channel bus for `t_xfer`.
+    /// Returns the time the data is on the controller side of the bus.
+    pub fn reserve_read(
+        &mut self,
+        die: DieAddress,
+        ready: SimTime,
+        t_read: SimDuration,
+        t_xfer: SimDuration,
+    ) -> SimTime {
+        self.ops_served += 1;
+        let di = die.flat_index(&self.geometry) as usize;
+        let ci = die.channel as usize;
+        let read_start = self.die_free[di].max(ready);
+        let read_end = read_start + t_read;
+        self.die_free[di] = read_end;
+        let xfer_start = self.channel_free[ci].max(read_end);
+        let xfer_end = xfer_start + t_xfer;
+        self.channel_free[ci] = xfer_end;
+        xfer_end
+    }
+
+    /// Reserves a page program on `die`: channel transfer of the data
+    /// to the die, then the program time. Returns program completion.
+    pub fn reserve_program(
+        &mut self,
+        die: DieAddress,
+        ready: SimTime,
+        t_xfer: SimDuration,
+        t_prog: SimDuration,
+    ) -> SimTime {
+        self.ops_served += 1;
+        let di = die.flat_index(&self.geometry) as usize;
+        let ci = die.channel as usize;
+        let xfer_start = self.channel_free[ci].max(ready);
+        let xfer_end = xfer_start + t_xfer;
+        self.channel_free[ci] = xfer_end;
+        let prog_start = self.die_free[di].max(xfer_end);
+        let prog_end = prog_start + t_prog;
+        self.die_free[di] = prog_end;
+        prog_end
+    }
+
+    /// Reserves a block erase on `die`. Returns erase completion.
+    pub fn reserve_erase(
+        &mut self,
+        die: DieAddress,
+        ready: SimTime,
+        t_erase: SimDuration,
+    ) -> SimTime {
+        self.ops_served += 1;
+        let di = die.flat_index(&self.geometry) as usize;
+        let start = self.die_free[di].max(ready);
+        let end = start + t_erase;
+        self.die_free[di] = end;
+        end
+    }
+
+    /// When `die` next becomes idle.
+    pub fn die_free_at(&self, die: DieAddress) -> SimTime {
+        self.die_free[die.flat_index(&self.geometry) as usize]
+    }
+
+    /// The least-loaded die (earliest free), ties broken by index —
+    /// used by the FTL write allocator to stripe programs.
+    pub fn least_loaded_die(&self) -> DieAddress {
+        let (idx, _) = self
+            .die_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, t)| (*t, i))
+            .expect("array has dies");
+        DieAddress::from_index(idx as u32, &self.geometry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::micros(n)
+    }
+
+    fn t_us(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::micros(n)
+    }
+
+    #[test]
+    fn geometry_capacity_is_about_1tib_raw() {
+        let g = FlashGeometry::m2_960gb();
+        let gb = g.raw_bytes() / 1_000_000_000;
+        assert!((950..=1100).contains(&gb), "raw {gb} GB");
+        assert_eq!(g.total_dies(), 32);
+    }
+
+    #[test]
+    fn die_address_roundtrips() {
+        let g = FlashGeometry::m2_960gb();
+        for i in 0..g.total_dies() {
+            let addr = DieAddress::from_index(i, &g);
+            assert_eq!(addr.flat_index(&g), i);
+            assert!(addr.channel < g.channels);
+            assert!(addr.die < g.dies_per_channel);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn die_index_out_of_range_panics() {
+        let g = FlashGeometry::m2_960gb();
+        let _ = DieAddress::from_index(g.total_dies(), &g);
+    }
+
+    #[test]
+    fn idle_read_takes_read_plus_xfer() {
+        let g = FlashGeometry::m2_960gb();
+        let mut arr = FlashArray::new(g);
+        let die = DieAddress { channel: 0, die: 0 };
+        let done = arr.reserve_read(die, t_us(0), us(14), us(5));
+        assert_eq!(done, t_us(19));
+    }
+
+    #[test]
+    fn same_die_reads_serialize() {
+        let g = FlashGeometry::m2_960gb();
+        let mut arr = FlashArray::new(g);
+        let die = DieAddress { channel: 0, die: 0 };
+        let first = arr.reserve_read(die, t_us(0), us(14), us(5));
+        let second = arr.reserve_read(die, t_us(0), us(14), us(5));
+        assert!(second > first);
+        // Second array read starts only after the first (die busy), at
+        // 14 µs; transfer waits for bus free at 19 µs.
+        assert_eq!(second, t_us(33));
+    }
+
+    #[test]
+    fn different_channels_are_independent() {
+        let g = FlashGeometry::m2_960gb();
+        let mut arr = FlashArray::new(g);
+        let a = DieAddress { channel: 0, die: 0 };
+        let b = DieAddress { channel: 1, die: 0 };
+        let da = arr.reserve_read(a, t_us(0), us(14), us(5));
+        let db = arr.reserve_read(b, t_us(0), us(14), us(5));
+        assert_eq!(da, db, "independent channels must not interfere");
+    }
+
+    #[test]
+    fn same_channel_shares_bus() {
+        let g = FlashGeometry::m2_960gb();
+        let mut arr = FlashArray::new(g);
+        let a = DieAddress { channel: 0, die: 0 };
+        let b = DieAddress { channel: 0, die: 1 };
+        let da = arr.reserve_read(a, t_us(0), us(14), us(5));
+        let db = arr.reserve_read(b, t_us(0), us(14), us(5));
+        // Array reads overlap; transfers serialize on the shared bus.
+        assert_eq!(da, t_us(19));
+        assert_eq!(db, t_us(24));
+    }
+
+    #[test]
+    fn program_occupies_die_then_read_waits() {
+        let g = FlashGeometry::m2_960gb();
+        let mut arr = FlashArray::new(g);
+        let die = DieAddress { channel: 2, die: 1 };
+        let prog_done = arr.reserve_program(die, t_us(0), us(20), us(600));
+        assert_eq!(prog_done, t_us(620));
+        let read_done = arr.reserve_read(die, t_us(0), us(14), us(5));
+        assert!(read_done >= t_us(634), "read must wait for program");
+    }
+
+    #[test]
+    fn erase_blocks_the_die() {
+        let g = FlashGeometry::m2_960gb();
+        let mut arr = FlashArray::new(g);
+        let die = DieAddress { channel: 0, die: 3 };
+        let done = arr.reserve_erase(die, t_us(1), SimDuration::millis(3));
+        assert_eq!(done, t_us(3_001));
+        assert_eq!(arr.die_free_at(die), t_us(3_001));
+    }
+
+    #[test]
+    fn least_loaded_die_prefers_idle() {
+        let g = FlashGeometry::m2_960gb();
+        let mut arr = FlashArray::new(g);
+        let busy = DieAddress { channel: 0, die: 0 };
+        arr.reserve_erase(busy, t_us(0), SimDuration::millis(3));
+        let pick = arr.least_loaded_die();
+        assert_ne!(pick, busy);
+    }
+
+    #[test]
+    fn scaled_geometry_shrinks() {
+        let g = FlashGeometry::scaled(256);
+        assert!(g.raw_bytes() <= 512 * 1024 * 1024);
+        assert_eq!(g.channels, FlashGeometry::m2_960gb().channels);
+    }
+
+    #[test]
+    fn die_of_page_covers_all_dies() {
+        let g = FlashGeometry::scaled(256);
+        let pages_per_die = g.blocks_per_die as u64 * g.pages_per_block as u64;
+        for die_idx in 0..g.total_dies() {
+            let page = die_idx as u64 * pages_per_die;
+            assert_eq!(g.die_of_page(page).flat_index(&g), die_idx);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! NVMe SSD device model for the AFA reproduction.
+//!
+//! Models a single M.2 NVMe SSD of the class used by the paper's
+//! all-flash array (Table I: 960 GB, NVMe 1.2 over PCIe 3.0 x4,
+//! 160 K / 30 K random read/write IOPS, 1700 / 750 MB/s sequential,
+//! 3D MLC NAND) as a resource-reservation queueing network:
+//!
+//! * a **controller** admission stage (command-processing rate caps —
+//!   this is what pins random-read IOPS), a DMA engine with separate
+//!   read/write bandwidth caps (what pins sequential throughput), and
+//!   small per-command firmware overheads,
+//! * a **flash back end** of channels × dies with per-die read/program/
+//!   erase occupancy and per-channel bus transfer occupancy,
+//! * a page-mapped **FTL** with a write buffer, greedy garbage
+//!   collection and an explicit FOB (fresh-out-of-box) state reachable
+//!   via the NVMe `Format` command — the paper formats all devices to
+//!   FOB before each experiment (§III-B),
+//! * a **firmware profile**: production firmware runs periodic SMART
+//!   data update/save windows that stall command admission (the source
+//!   of the paper's Fig. 10 latency spikes); the experimental firmware
+//!   of §IV-E disables them,
+//! * rare **read-retry** events that keep the post-firmware maximum
+//!   spread realistic (Fig. 11 shows 40–90 µs after SMART removal).
+//!
+//! Because every stage is modeled as a "next-free-time" resource,
+//! submitting a command computes its completion instant in O(1) with no
+//! internal events, which keeps whole-array simulations (64 devices ×
+//! millions of I/Os) fast.
+//!
+//! # Example
+//!
+//! ```
+//! use afa_sim::SimTime;
+//! use afa_ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
+//!
+//! let mut dev = SsdDevice::new(SsdSpec::table1(), FirmwareProfile::experimental(), 42);
+//! let done = dev.submit(SimTime::ZERO, NvmeCommand::read(1234, 4096));
+//! // A QD1 4 KiB random read completes in ~25 µs on this device.
+//! let us = done.completes_at.as_micros_f64();
+//! assert!(us > 15.0 && us < 40.0, "latency {us} us");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod firmware;
+mod flash;
+mod ftl;
+mod nvme;
+mod smart;
+mod spec;
+
+pub use device::{CompletionInfo, DeviceStats, SsdDevice};
+pub use firmware::{FirmwareProfile, SmartPolicy};
+pub use flash::{DieAddress, FlashArray, FlashGeometry};
+pub use ftl::{Ftl, FtlConfig, FtlStats, GcEvent};
+pub use nvme::{NvmeCommand, NvmeOpcode};
+pub use smart::{SmartEngine, SmartLog};
+pub use spec::{SsdSpec, SsdTiming};

@@ -1,0 +1,159 @@
+//! A compact NVMe-like command set.
+//!
+//! The host accesses each SSD through raw block I/O plus the admin
+//! commands the paper exercises: `Format` (to reach the FOB state,
+//! §III-B) and `GetLogPage` for SMART (§IV-E).
+
+/// NVMe opcodes supported by the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NvmeOpcode {
+    /// 4 KiB-granular read.
+    Read,
+    /// 4 KiB-granular write.
+    Write,
+    /// Flush the volatile write buffer to flash.
+    Flush,
+    /// NVMe Format: discard all data, restoring FOB state.
+    Format,
+    /// Identify controller (admin).
+    Identify,
+    /// Get Log Page — SMART / health information (admin).
+    GetLogPage,
+}
+
+/// One host command submitted to a device.
+///
+/// LBAs address 4 KiB logical blocks; `bytes` must be a positive
+/// multiple of 4096.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NvmeCommand {
+    /// Operation to perform.
+    pub opcode: NvmeOpcode,
+    /// Starting logical block (4 KiB units). Ignored by admin commands.
+    pub lba: u64,
+    /// Transfer length in bytes. Ignored by admin commands.
+    pub bytes: u32,
+}
+
+/// Logical-block size used throughout the model.
+pub const LBA_BYTES: u32 = 4096;
+
+impl NvmeCommand {
+    /// Builds a read of `bytes` starting at `lba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or not a multiple of 4096.
+    pub fn read(lba: u64, bytes: u32) -> Self {
+        assert!(
+            bytes > 0 && bytes % LBA_BYTES == 0,
+            "bytes must be a positive multiple of 4096"
+        );
+        NvmeCommand {
+            opcode: NvmeOpcode::Read,
+            lba,
+            bytes,
+        }
+    }
+
+    /// Builds a write of `bytes` starting at `lba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or not a multiple of 4096.
+    pub fn write(lba: u64, bytes: u32) -> Self {
+        assert!(
+            bytes > 0 && bytes % LBA_BYTES == 0,
+            "bytes must be a positive multiple of 4096"
+        );
+        NvmeCommand {
+            opcode: NvmeOpcode::Write,
+            lba,
+            bytes,
+        }
+    }
+
+    /// Builds a flush command.
+    pub fn flush() -> Self {
+        NvmeCommand {
+            opcode: NvmeOpcode::Flush,
+            lba: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Builds a format command (returns the device to FOB state).
+    pub fn format() -> Self {
+        NvmeCommand {
+            opcode: NvmeOpcode::Format,
+            lba: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Builds an identify admin command.
+    pub fn identify() -> Self {
+        NvmeCommand {
+            opcode: NvmeOpcode::Identify,
+            lba: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Builds a SMART / health Get Log Page admin command.
+    pub fn get_log_page() -> Self {
+        NvmeCommand {
+            opcode: NvmeOpcode::GetLogPage,
+            lba: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Number of 4 KiB logical blocks this command covers.
+    pub fn lba_count(&self) -> u64 {
+        (self.bytes / LBA_BYTES) as u64
+    }
+
+    /// Whether this is an I/O (read/write) rather than an admin or
+    /// management command.
+    pub fn is_io(&self) -> bool {
+        matches!(self.opcode, NvmeOpcode::Read | NvmeOpcode::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_constructors() {
+        let r = NvmeCommand::read(10, 8192);
+        assert_eq!(r.opcode, NvmeOpcode::Read);
+        assert_eq!(r.lba_count(), 2);
+        assert!(r.is_io());
+
+        let w = NvmeCommand::write(0, 4096);
+        assert_eq!(w.opcode, NvmeOpcode::Write);
+        assert_eq!(w.lba_count(), 1);
+    }
+
+    #[test]
+    fn admin_commands_are_not_io() {
+        assert!(!NvmeCommand::flush().is_io());
+        assert!(!NvmeCommand::format().is_io());
+        assert!(!NvmeCommand::identify().is_io());
+        assert!(!NvmeCommand::get_log_page().is_io());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4096")]
+    fn unaligned_read_panics() {
+        let _ = NvmeCommand::read(0, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4096")]
+    fn zero_byte_write_panics() {
+        let _ = NvmeCommand::write(0, 0);
+    }
+}

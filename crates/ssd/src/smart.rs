@@ -1,0 +1,296 @@
+//! SMART housekeeping engine and log data.
+//!
+//! Production firmware periodically collects and persists SMART data;
+//! while a window is open, command admission stalls, producing the
+//! periodic latency spikes of the paper's Fig. 10. The engine derives
+//! its window schedule deterministically from the device's RNG stream.
+
+use afa_sim::{SimDuration, SimRng, SimTime};
+
+use crate::firmware::SmartPolicy;
+
+/// Generates the (lazy, deterministic) schedule of housekeeping
+/// windows and answers "does admission at time `t` stall, and until
+/// when?".
+#[derive(Clone, Debug)]
+pub struct SmartEngine {
+    policy: SmartPolicy,
+    rng: SimRng,
+    /// Current window, if housekeeping is enabled.
+    window: Option<(SimTime, SimTime)>,
+    windows_run: u64,
+    log: SmartLog,
+}
+
+impl SmartEngine {
+    /// Creates an engine for the given policy; `rng` seeds the window
+    /// schedule.
+    pub fn new(policy: SmartPolicy, mut rng: SimRng) -> Self {
+        let window = Self::first_window(policy, &mut rng);
+        SmartEngine {
+            policy,
+            rng,
+            window,
+            windows_run: 0,
+            log: SmartLog::default(),
+        }
+    }
+
+    fn first_window(policy: SmartPolicy, rng: &mut SimRng) -> Option<(SimTime, SimTime)> {
+        match policy {
+            SmartPolicy::Disabled => None,
+            SmartPolicy::Periodic {
+                mean_period,
+                min_duration,
+                max_duration,
+                ..
+            } => {
+                // Phase-randomize: the device has been powered on for
+                // a long time already, so the measurement window cuts
+                // into its schedule at a uniformly random phase.
+                let start =
+                    SimTime::ZERO + SimDuration::nanos(rng.below(mean_period.as_nanos().max(1)));
+                let dur = SimDuration::nanos(
+                    rng.range_inclusive(min_duration.as_nanos(), max_duration.as_nanos()),
+                );
+                Some((start, start + dur))
+            }
+        }
+    }
+
+    fn next_window(policy: SmartPolicy, after: SimTime, rng: &mut SimRng) -> (SimTime, SimTime) {
+        match policy {
+            SmartPolicy::Disabled => unreachable!("no windows when disabled"),
+            SmartPolicy::Periodic {
+                mean_period,
+                period_jitter,
+                min_duration,
+                max_duration,
+            } => {
+                let jitter_ns = if period_jitter.is_zero() {
+                    0
+                } else {
+                    rng.range_inclusive(0, 2 * period_jitter.as_nanos())
+                };
+                let gap = SimDuration::nanos(
+                    (mean_period.as_nanos() + jitter_ns).saturating_sub(period_jitter.as_nanos()),
+                );
+                let dur = SimDuration::nanos(
+                    rng.range_inclusive(min_duration.as_nanos(), max_duration.as_nanos()),
+                );
+                let start = after + gap;
+                (start, start + dur)
+            }
+        }
+    }
+
+    /// If command admission at `t` falls inside a housekeeping window,
+    /// returns the window's end (admission resumes there); otherwise
+    /// returns `t` unchanged. Advances the schedule as time passes.
+    pub fn admission_after(&mut self, t: SimTime) -> SimTime {
+        let policy = self.policy;
+        while let Some((start, end)) = self.window {
+            if t < start {
+                return t;
+            }
+            if t < end {
+                // Stalled behind this window.
+                self.log.note_housekeeping();
+                return end;
+            }
+            // Window fully in the past; generate the next one.
+            self.windows_run += 1;
+            self.window = Some(Self::next_window(policy, start, &mut self.rng));
+        }
+        t
+    }
+
+    /// Start of the next window at or after `t`, if housekeeping is
+    /// enabled (used by tests and the housekeeping ablation).
+    pub fn next_window_start(&mut self, t: SimTime) -> Option<SimTime> {
+        let policy = self.policy;
+        loop {
+            let (start, end) = self.window?;
+            if t <= end {
+                return Some(start);
+            }
+            self.windows_run += 1;
+            self.window = Some(Self::next_window(policy, start, &mut self.rng));
+        }
+    }
+
+    /// Number of windows that have fully elapsed.
+    pub fn windows_run(&self) -> u64 {
+        self.windows_run
+    }
+
+    /// The device's SMART log (served to `GetLogPage`).
+    pub fn log(&self) -> &SmartLog {
+        &self.log
+    }
+
+    /// Mutable access for the device to update counters.
+    pub fn log_mut(&mut self) -> &mut SmartLog {
+        &mut self.log
+    }
+}
+
+/// Host-visible SMART / health counters (NVMe log page 0x02 subset).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SmartLog {
+    /// Composite temperature in Kelvin (modeled constant).
+    pub temperature_k: u16,
+    /// 4 KiB units read since format.
+    pub data_units_read: u64,
+    /// 4 KiB units written since format.
+    pub data_units_written: u64,
+    /// Host read commands completed.
+    pub host_reads: u64,
+    /// Host write commands completed.
+    pub host_writes: u64,
+    /// Media read-retry events.
+    pub media_retries: u64,
+    /// Housekeeping stalls encountered by host commands.
+    pub housekeeping_stalls: u64,
+}
+
+impl SmartLog {
+    /// Records a host read of `units` 4 KiB blocks.
+    pub fn note_read(&mut self, units: u64) {
+        self.host_reads += 1;
+        self.data_units_read += units;
+    }
+
+    /// Records a host write of `units` 4 KiB blocks.
+    pub fn note_write(&mut self, units: u64) {
+        self.host_writes += 1;
+        self.data_units_written += units;
+    }
+
+    /// Records a media read-retry.
+    pub fn note_retry(&mut self) {
+        self.media_retries += 1;
+    }
+
+    /// Records a host command stalled behind housekeeping.
+    pub fn note_housekeeping(&mut self) {
+        self.housekeeping_stalls += 1;
+    }
+
+    /// Clears all counters (NVMe Format).
+    pub fn reset(&mut self) {
+        *self = SmartLog {
+            temperature_k: self.temperature_k,
+            ..SmartLog::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(period_s: u64, dur_us: u64) -> SmartPolicy {
+        SmartPolicy::Periodic {
+            mean_period: SimDuration::secs(period_s),
+            period_jitter: SimDuration::ZERO,
+            min_duration: SimDuration::micros(dur_us),
+            max_duration: SimDuration::micros(dur_us),
+        }
+    }
+
+    #[test]
+    fn disabled_never_stalls() {
+        let mut e = SmartEngine::new(SmartPolicy::Disabled, SimRng::from_seed(1));
+        for s in 0..1000 {
+            let t = SimTime::ZERO + SimDuration::millis(s * 100);
+            assert_eq!(e.admission_after(t), t);
+        }
+        assert_eq!(e.windows_run(), 0);
+    }
+
+    #[test]
+    fn first_window_is_phase_randomized_within_one_period() {
+        let mut starts = Vec::new();
+        for seed in 0..50 {
+            let mut e = SmartEngine::new(periodic(10, 500), SimRng::from_seed(seed));
+            let start = e.next_window_start(SimTime::ZERO).expect("window");
+            assert!(
+                start < SimTime::ZERO + SimDuration::secs(10),
+                "phase beyond period"
+            );
+            starts.push(start);
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        assert!(starts.len() > 40, "phases should differ across devices");
+    }
+
+    #[test]
+    fn admission_inside_window_stalls_to_end() {
+        let mut e = SmartEngine::new(periodic(10, 500), SimRng::from_seed(2));
+        let start = e.next_window_start(SimTime::ZERO).expect("window");
+        let inside = start + SimDuration::micros(100);
+        let resumed = e.admission_after(inside);
+        assert_eq!(resumed, start + SimDuration::micros(500));
+    }
+
+    #[test]
+    fn admission_outside_window_passes_through() {
+        let mut e = SmartEngine::new(periodic(10, 500), SimRng::from_seed(3));
+        let start = e.next_window_start(SimTime::ZERO).expect("window");
+        if start > SimTime::ZERO {
+            let before = start - SimDuration::micros(1);
+            assert_eq!(e.admission_after(before), before);
+        }
+    }
+
+    #[test]
+    fn windows_repeat_periodically() {
+        let mut e = SmartEngine::new(periodic(10, 500), SimRng::from_seed(4));
+        // Jump far ahead: the first window starts within the first
+        // 10 s, then one window per 10 s follows.
+        let t = SimTime::ZERO + SimDuration::secs(35);
+        assert_eq!(e.admission_after(t), t);
+        assert!((3..=4).contains(&e.windows_run()), "{}", e.windows_run());
+    }
+
+    #[test]
+    fn jittered_schedule_is_deterministic_per_seed() {
+        let policy = SmartPolicy::Periodic {
+            mean_period: SimDuration::secs(25),
+            period_jitter: SimDuration::secs(5),
+            min_duration: SimDuration::micros(300),
+            max_duration: SimDuration::micros(600),
+        };
+        let mut a = SmartEngine::new(policy, SimRng::from_seed(7));
+        let mut b = SmartEngine::new(policy, SimRng::from_seed(7));
+        for s in 0..20 {
+            let t = SimTime::ZERO + SimDuration::secs(s * 10);
+            assert_eq!(a.admission_after(t), b.admission_after(t));
+        }
+    }
+
+    #[test]
+    fn log_counters_accumulate_and_reset() {
+        let mut log = SmartLog::default();
+        log.note_read(8);
+        log.note_write(1);
+        log.note_retry();
+        log.note_housekeeping();
+        assert_eq!(log.data_units_read, 8);
+        assert_eq!(log.host_writes, 1);
+        assert_eq!(log.media_retries, 1);
+        assert_eq!(log.housekeeping_stalls, 1);
+        log.reset();
+        assert_eq!(log, SmartLog::default());
+    }
+
+    #[test]
+    fn stall_increments_log() {
+        let mut e = SmartEngine::new(periodic(1, 500), SimRng::from_seed(9));
+        let start = e.next_window_start(SimTime::ZERO).unwrap();
+        e.admission_after(start + SimDuration::micros(1));
+        assert_eq!(e.log().housekeeping_stalls, 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Failure-injection tests: crank the device's rare-event knobs and
+//! verify the tail responds the way the model promises.
+
+use afa_sim::{SimDuration, SimTime};
+use afa_ssd::{FirmwareProfile, NvmeCommand, SmartPolicy, SsdDevice, SsdSpec};
+
+fn qd1_max_us(mut dev: SsdDevice, ios: u64) -> f64 {
+    let mut now = SimTime::ZERO;
+    let mut max = 0.0f64;
+    for i in 0..ios {
+        let lba = (i * 48_271) % 1_000_000;
+        let info = dev.submit(now, NvmeCommand::read(lba, 4096));
+        max = max.max(info.latency_since(now).as_micros_f64());
+        now = info.completes_at + SimDuration::micros(5);
+    }
+    max
+}
+
+#[test]
+fn elevated_read_retry_rate_fattens_the_tail() {
+    let mut healthy = SsdSpec::table1();
+    healthy.timing.read_retry_prob_ppm = 0;
+    let mut flaky = SsdSpec::table1();
+    // A dying drive: 1 % of reads need a retry.
+    flaky.timing.read_retry_prob_ppm = 10_000;
+    flaky.timing.read_retry_min = SimDuration::micros(100);
+    flaky.timing.read_retry_max = SimDuration::micros(300);
+
+    let max_healthy = qd1_max_us(
+        SsdDevice::new(healthy, FirmwareProfile::experimental(), 1),
+        20_000,
+    );
+    let max_flaky = qd1_max_us(
+        SsdDevice::new(flaky, FirmwareProfile::experimental(), 1),
+        20_000,
+    );
+    assert!(max_healthy < 60.0, "healthy max {max_healthy}");
+    assert!(
+        max_flaky > 120.0,
+        "flaky drive should show retry tail, got {max_flaky}"
+    );
+}
+
+#[test]
+fn pathological_housekeeping_dominates_everything() {
+    // A firmware bug: SMART every 50 ms for 5 ms.
+    let fw = FirmwareProfile::with_smart_policy(
+        "BUGGY",
+        SmartPolicy::Periodic {
+            mean_period: SimDuration::millis(50),
+            period_jitter: SimDuration::millis(5),
+            min_duration: SimDuration::millis(5),
+            max_duration: SimDuration::millis(5),
+        },
+    );
+    let max = qd1_max_us(SsdDevice::new(SsdSpec::table1(), fw, 2), 20_000);
+    assert!(
+        (4_000.0..6_000.0).contains(&max),
+        "buggy firmware max should be ~5 ms, got {max}"
+    );
+}
+
+#[test]
+fn slow_flash_shifts_the_whole_distribution() {
+    let mut worn = SsdSpec::table1();
+    // End-of-life flash: tripled array read time.
+    worn.timing.flash_read = SimDuration::micros(42);
+    let mut dev = SsdDevice::new(worn, FirmwareProfile::experimental(), 3);
+    let mut now = SimTime::ZERO;
+    let mut sum = 0.0;
+    let n = 5_000;
+    for i in 0..n {
+        let info = dev.submit(now, NvmeCommand::read(i % 100_000, 4096));
+        sum += info.latency_since(now).as_micros_f64();
+        now = info.completes_at + SimDuration::micros(5);
+    }
+    let mean = sum / n as f64;
+    assert!(
+        (50.0..60.0).contains(&mean),
+        "worn-flash mean should shift by ~tR delta, got {mean}"
+    );
+}
+
+#[test]
+fn write_buffer_saturation_backpressures_writes() {
+    let mut small_buffer = SsdSpec::table1();
+    small_buffer.timing.buffer_bytes = 256 * 1024; // 256 KiB cache
+    let mut dev = SsdDevice::new(small_buffer, FirmwareProfile::experimental(), 4);
+    // Hammer 128 KiB writes back-to-back; once the tiny buffer fills,
+    // completions must wait for flash programs.
+    let mut now = SimTime::ZERO;
+    let mut worst = SimDuration::ZERO;
+    for i in 0..200u64 {
+        let info = dev.submit(now, NvmeCommand::write(i * 32, 131_072));
+        worst = worst.max(info.latency_since(now));
+        now = info.completes_at;
+    }
+    assert!(
+        worst >= SimDuration::micros(300),
+        "saturated buffer should stall writes, worst {worst}"
+    );
+}
+
+#[test]
+fn degraded_dma_caps_sequential_throughput() {
+    let mut degraded = SsdSpec::table1();
+    degraded.timing.dma_read_mbps = 400; // a Gen1-x1-class bottleneck
+    let mut dev = SsdDevice::new(degraded, FirmwareProfile::experimental(), 5);
+    let mut inflight = vec![SimTime::ZERO; 8];
+    let mut bytes = 0u64;
+    let horizon = SimTime::ZERO + SimDuration::millis(100);
+    let mut lba = 0;
+    loop {
+        let (idx, &now) = inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, t)| *t)
+            .unwrap();
+        if now >= horizon {
+            break;
+        }
+        let info = dev.submit(now, NvmeCommand::read(lba, 131_072));
+        lba += 32;
+        inflight[idx] = info.completes_at;
+        bytes += 131_072;
+    }
+    let mbps = bytes as f64 / 0.1 / 1e6;
+    assert!(
+        (300.0..480.0).contains(&mbps),
+        "throughput should track the degraded DMA: {mbps} MB/s"
+    );
+}
+
+mod wear {
+    use afa_ssd::{FlashGeometry, Ftl, FtlConfig};
+
+    /// A workload that hammers a small hot range while a large cold
+    /// range sits still — the classic wear-leveling stress.
+    fn hot_cold_workload(ftl: &mut Ftl, logical: u64, rounds: u64) {
+        // Cold fill.
+        for lpn in 0..logical {
+            ftl.write_slot(lpn);
+        }
+        // Hot overwrites of the first 5 %.
+        let hot = (logical / 20).max(1);
+        let mut x = 9u64;
+        for _ in 0..rounds {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ftl.write_slot(x % hot);
+        }
+    }
+
+    #[test]
+    fn wear_leveling_bounds_the_erase_spread() {
+        let g = FlashGeometry::scaled(64);
+        let logical = g.total_pages() * (g.page_kib / 4) * 75 / 100;
+
+        let mut without = Ftl::new(
+            g,
+            FtlConfig {
+                wear_level_threshold: None,
+                ..FtlConfig::default()
+            },
+        );
+        hot_cold_workload(&mut without, logical, 400_000);
+
+        let mut with_wl = Ftl::new(g, FtlConfig::default());
+        hot_cold_workload(&mut with_wl, logical, 400_000);
+
+        let spread_without = without.max_erase_spread();
+        let spread_with = with_wl.max_erase_spread();
+        assert!(
+            spread_without > 32,
+            "hot/cold workload should skew wear: spread {spread_without}"
+        );
+        assert!(
+            spread_with < spread_without / 2,
+            "WL must bound the spread: {spread_with} vs {spread_without}"
+        );
+        assert!(with_wl.stats().wl_swaps > 0);
+        // Data integrity after all that churn.
+        for lpn in 0..logical {
+            assert!(with_wl.read_slot(lpn).is_some(), "lpn {lpn} lost");
+        }
+    }
+}

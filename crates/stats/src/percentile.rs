@@ -1,0 +1,255 @@
+//! The paper's fixed metric set: average, 2-nines … 6-nines, max.
+
+use crate::histogram::LatencyHistogram;
+
+/// One point on the paper's latency-distribution x-axis.
+///
+/// The paper plots average completion latency, the 99 % ("2-nines")
+/// through 99.9999 % ("6-nines") percentiles, and the 100th (maximum)
+/// latency for each SSD (§III-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NinesPoint {
+    /// Arithmetic mean of completion latency.
+    Average,
+    /// 99 % percentile.
+    Nines2,
+    /// 99.9 % percentile.
+    Nines3,
+    /// 99.99 % percentile.
+    Nines4,
+    /// 99.999 % percentile.
+    Nines5,
+    /// 99.9999 % percentile.
+    Nines6,
+    /// 100th percentile (worst observed sample).
+    Max,
+}
+
+impl NinesPoint {
+    /// All points in plot order (left to right on the paper's x-axis).
+    pub const ALL: [NinesPoint; 7] = [
+        NinesPoint::Average,
+        NinesPoint::Nines2,
+        NinesPoint::Nines3,
+        NinesPoint::Nines4,
+        NinesPoint::Nines5,
+        NinesPoint::Nines6,
+        NinesPoint::Max,
+    ];
+
+    /// The percentile this point corresponds to, or `None` for the
+    /// average.
+    pub fn percentile(self) -> Option<f64> {
+        match self {
+            NinesPoint::Average => None,
+            NinesPoint::Nines2 => Some(99.0),
+            NinesPoint::Nines3 => Some(99.9),
+            NinesPoint::Nines4 => Some(99.99),
+            NinesPoint::Nines5 => Some(99.999),
+            NinesPoint::Nines6 => Some(99.9999),
+            NinesPoint::Max => Some(100.0),
+        }
+    }
+
+    /// Minimum sample count for the percentile to be directly
+    /// resolvable (one sample beyond the percentile).
+    pub fn min_samples(self) -> u64 {
+        match self {
+            NinesPoint::Average | NinesPoint::Max => 1,
+            NinesPoint::Nines2 => 100,
+            NinesPoint::Nines3 => 1_000,
+            NinesPoint::Nines4 => 10_000,
+            NinesPoint::Nines5 => 100_000,
+            NinesPoint::Nines6 => 1_000_000,
+        }
+    }
+
+    /// A short, stable label matching the paper's axis ("avg",
+    /// "99%", …, "max").
+    pub fn label(self) -> &'static str {
+        match self {
+            NinesPoint::Average => "avg",
+            NinesPoint::Nines2 => "99%",
+            NinesPoint::Nines3 => "99.9%",
+            NinesPoint::Nines4 => "99.99%",
+            NinesPoint::Nines5 => "99.999%",
+            NinesPoint::Nines6 => "99.9999%",
+            NinesPoint::Max => "max",
+        }
+    }
+}
+
+impl std::fmt::Display for NinesPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One device's latency profile: the value (in nanoseconds) at each
+/// [`NinesPoint`], plus the sample count it was computed from.
+///
+/// # Example
+///
+/// ```
+/// use afa_stats::{LatencyHistogram, NinesPoint};
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=100_000u64 {
+///     h.record(25_000 + v % 7_000);
+/// }
+/// let p = h.profile();
+/// assert!(p.get(NinesPoint::Average) >= 25_000);
+/// assert!(p.get(NinesPoint::Nines5) <= p.get(NinesPoint::Max));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyProfile {
+    values_ns: [u64; 7],
+    samples: u64,
+}
+
+impl LatencyProfile {
+    /// Extracts a profile from a histogram.
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        let mut values_ns = [0u64; 7];
+        for (i, point) in NinesPoint::ALL.iter().enumerate() {
+            values_ns[i] = match point.percentile() {
+                None => h.mean().round() as u64,
+                Some(p) => h.value_at_percentile(p),
+            };
+        }
+        LatencyProfile {
+            values_ns,
+            samples: h.count(),
+        }
+    }
+
+    /// Builds a profile directly from per-point values (nanoseconds),
+    /// in [`NinesPoint::ALL`] order.
+    pub fn from_values(values_ns: [u64; 7], samples: u64) -> Self {
+        LatencyProfile { values_ns, samples }
+    }
+
+    /// The value at `point`, in nanoseconds.
+    pub fn get(&self, point: NinesPoint) -> u64 {
+        let idx = NinesPoint::ALL
+            .iter()
+            .position(|&p| p == point)
+            .expect("known point");
+        self.values_ns[idx]
+    }
+
+    /// The value at `point`, in microseconds.
+    pub fn get_micros(&self, point: NinesPoint) -> f64 {
+        self.get(point) as f64 / 1_000.0
+    }
+
+    /// Number of samples the profile was computed from.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Whether `point` is directly resolvable from this many samples
+    /// (e.g. 6-nines needs ≥ 10⁶ samples).
+    pub fn resolves(&self, point: NinesPoint) -> bool {
+        self.samples >= point.min_samples()
+    }
+
+    /// Iterates `(point, value_ns)` pairs in plot order.
+    pub fn iter(&self) -> impl Iterator<Item = (NinesPoint, u64)> + '_ {
+        NinesPoint::ALL
+            .iter()
+            .zip(self.values_ns.iter())
+            .map(|(&p, &v)| (p, v))
+    }
+
+    /// Renders the profile as a single CSV row of microsecond values
+    /// (columns in [`NinesPoint::ALL`] order).
+    pub fn to_csv_row(&self) -> String {
+        self.values_ns
+            .iter()
+            .map(|&v| format!("{:.1}", v as f64 / 1_000.0))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_histogram(n: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=n {
+            h.record(v * 100);
+        }
+        h
+    }
+
+    #[test]
+    fn points_are_monotone_for_any_distribution() {
+        let h = ramp_histogram(100_000);
+        let p = h.profile();
+        let ordered: Vec<u64> = NinesPoint::ALL[1..].iter().map(|&pt| p.get(pt)).collect();
+        for w in ordered.windows(2) {
+            assert!(w[0] <= w[1], "percentiles must be monotone: {ordered:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_axis() {
+        let labels: Vec<&str> = NinesPoint::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["avg", "99%", "99.9%", "99.99%", "99.999%", "99.9999%", "max"]
+        );
+    }
+
+    #[test]
+    fn resolvability_thresholds() {
+        let p = ramp_histogram(1_000).profile();
+        assert!(p.resolves(NinesPoint::Nines2));
+        assert!(p.resolves(NinesPoint::Nines3));
+        assert!(!p.resolves(NinesPoint::Nines4));
+        assert!(p.resolves(NinesPoint::Max));
+    }
+
+    #[test]
+    fn average_is_mean() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(30);
+        let p = h.profile();
+        assert_eq!(p.get(NinesPoint::Average), 20);
+    }
+
+    #[test]
+    fn max_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_456_789);
+        h.record(25_000);
+        assert_eq!(h.profile().get(NinesPoint::Max), 123_456_789);
+    }
+
+    #[test]
+    fn csv_row_has_seven_columns() {
+        let p = ramp_histogram(100).profile();
+        assert_eq!(p.to_csv_row().split(',').count(), 7);
+    }
+
+    #[test]
+    fn from_values_roundtrips() {
+        let vals = [1, 2, 3, 4, 5, 6, 7];
+        let p = LatencyProfile::from_values(vals, 42);
+        assert_eq!(p.samples(), 42);
+        for (i, (pt, v)) in p.iter().enumerate() {
+            assert_eq!(pt, NinesPoint::ALL[i]);
+            assert_eq!(v, vals[i]);
+        }
+    }
+
+    #[test]
+    fn get_micros_scales() {
+        let p = LatencyProfile::from_values([25_000; 7], 1);
+        assert_eq!(p.get_micros(NinesPoint::Average), 25.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-sample latency logs for scatter plots.
+//!
+//! Fig. 10 of the paper scatter-plots every latency sample of 32 SSDs
+//! against its sample index, revealing periodic SMART-induced spikes.
+//! [`LatencyLog`] captures `(sample_index, latency)` pairs with an
+//! optional decimation filter that always keeps spike samples (points
+//! above a threshold) while thinning the dense baseline — the same
+//! trick one uses to plot millions of points.
+
+/// One logged completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogPoint {
+    /// Zero-based completion index within the owning job.
+    pub index: u64,
+    /// Completion latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// A per-sample latency log with optional baseline decimation.
+///
+/// # Example
+///
+/// ```
+/// use afa_stats::series::LatencyLog;
+///
+/// // Keep every 10th baseline sample but every sample above 100 µs.
+/// let mut log = LatencyLog::with_decimation(10, 100_000);
+/// for i in 0..100u64 {
+///     log.push(30_000);
+/// }
+/// log.push(500_000); // a spike
+/// assert!(log.points().iter().any(|p| p.latency_ns == 500_000));
+/// assert!(log.points().len() < 102);
+/// assert_eq!(log.samples_seen(), 101);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LatencyLog {
+    points: Vec<LogPoint>,
+    seen: u64,
+    keep_every: u64,
+    spike_threshold_ns: u64,
+}
+
+impl LatencyLog {
+    /// Creates a log that keeps every sample.
+    pub fn new() -> Self {
+        LatencyLog {
+            points: Vec::new(),
+            seen: 0,
+            keep_every: 1,
+            spike_threshold_ns: u64::MAX,
+        }
+    }
+
+    /// Creates a log that keeps one of every `keep_every` baseline
+    /// samples but *all* samples at or above `spike_threshold_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_every` is zero.
+    pub fn with_decimation(keep_every: u64, spike_threshold_ns: u64) -> Self {
+        assert!(keep_every > 0, "keep_every must be positive");
+        LatencyLog {
+            points: Vec::new(),
+            seen: 0,
+            keep_every,
+            spike_threshold_ns,
+        }
+    }
+
+    /// Records one completion latency.
+    pub fn push(&mut self, latency_ns: u64) {
+        let index = self.seen;
+        self.seen += 1;
+        if latency_ns >= self.spike_threshold_ns || index % self.keep_every == 0 {
+            self.points.push(LogPoint { index, latency_ns });
+        }
+    }
+
+    /// The retained points, in completion order.
+    pub fn points(&self) -> &[LogPoint] {
+        &self.points
+    }
+
+    /// Total samples pushed (kept or not).
+    pub fn samples_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Indices of retained points above `threshold_ns` — the spike
+    /// positions used to measure housekeeping periodicity.
+    pub fn spike_indices(&self, threshold_ns: u64) -> Vec<u64> {
+        self.points
+            .iter()
+            .filter(|p| p.latency_ns > threshold_ns)
+            .map(|p| p.index)
+            .collect()
+    }
+
+    /// Renders as CSV (`index,latency_us` rows) for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.points.len() * 16);
+        out.push_str("index,latency_us\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.1}\n",
+                p.index,
+                p.latency_ns as f64 / 1_000.0
+            ));
+        }
+        out
+    }
+}
+
+/// Estimates the dominant gap (in samples) between consecutive spike
+/// indices — used to verify the periodicity of SMART spikes in the
+/// Fig. 10 reproduction. Returns `None` with fewer than two spikes.
+pub fn median_spike_gap(spike_indices: &[u64]) -> Option<u64> {
+    if spike_indices.len() < 2 {
+        return None;
+    }
+    let mut gaps: Vec<u64> = spike_indices.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_unstable();
+    Some(gaps[gaps.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_by_default() {
+        let mut log = LatencyLog::new();
+        for i in 0..50 {
+            log.push(i);
+        }
+        assert_eq!(log.points().len(), 50);
+        assert_eq!(log.samples_seen(), 50);
+        assert_eq!(log.points()[10].index, 10);
+    }
+
+    #[test]
+    fn decimation_thins_baseline_but_keeps_spikes() {
+        let mut log = LatencyLog::with_decimation(100, 1_000);
+        for _ in 0..1_000 {
+            log.push(30);
+        }
+        log.push(5_000);
+        let kept = log.points().len();
+        assert!(kept <= 12, "kept {kept}");
+        assert!(log.points().iter().any(|p| p.latency_ns == 5_000));
+    }
+
+    #[test]
+    fn spike_indices_filters_by_threshold() {
+        let mut log = LatencyLog::new();
+        log.push(10);
+        log.push(900);
+        log.push(10);
+        log.push(901);
+        assert_eq!(log.spike_indices(100), vec![1, 3]);
+    }
+
+    #[test]
+    fn median_gap_of_periodic_spikes() {
+        let spikes = vec![100, 1_100, 2_100, 3_100];
+        assert_eq!(median_spike_gap(&spikes), Some(1_000));
+        assert_eq!(median_spike_gap(&[5]), None);
+        assert_eq!(median_spike_gap(&[]), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut log = LatencyLog::new();
+        log.push(1_500);
+        let csv = log.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("index,latency_us"));
+        assert_eq!(lines.next(), Some("0,1.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_every")]
+    fn zero_decimation_panics() {
+        let _ = LatencyLog::with_decimation(0, 100);
+    }
+}

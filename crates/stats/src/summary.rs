@@ -1,0 +1,167 @@
+//! Cross-device aggregates: mean ± std of each metric across SSDs.
+//!
+//! Fig. 12 and Fig. 14 of the paper plot, for each configuration, the
+//! average and the standard deviation of each latency percentile
+//! *across the 64 SSDs*. [`ProfileSummary`] computes exactly that from
+//! a set of per-device [`LatencyProfile`]s.
+
+use crate::online::OnlineStats;
+use crate::percentile::{LatencyProfile, NinesPoint};
+
+/// Mean and standard deviation of one metric across devices, in
+/// microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricSummary {
+    /// Mean across devices (µs).
+    pub mean_us: f64,
+    /// Population standard deviation across devices (µs).
+    pub std_us: f64,
+    /// Smallest per-device value (µs).
+    pub min_us: f64,
+    /// Largest per-device value (µs).
+    pub max_us: f64,
+    /// Number of devices aggregated.
+    pub devices: u64,
+}
+
+/// Cross-device summary of latency profiles: one [`MetricSummary`] per
+/// [`NinesPoint`].
+///
+/// # Example
+///
+/// ```
+/// use afa_stats::{LatencyProfile, NinesPoint, ProfileSummary};
+///
+/// let profiles = vec![
+///     LatencyProfile::from_values([30_000; 7], 1000),
+///     LatencyProfile::from_values([34_000; 7], 1000),
+/// ];
+/// let summary = ProfileSummary::from_profiles(&profiles);
+/// let avg = summary.get(NinesPoint::Average);
+/// assert_eq!(avg.mean_us, 32.0);
+/// assert_eq!(avg.std_us, 2.0);
+/// assert_eq!(avg.devices, 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileSummary {
+    metrics: [MetricSummary; 7],
+}
+
+impl ProfileSummary {
+    /// Aggregates a set of per-device profiles.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn from_profiles(profiles: &[LatencyProfile]) -> Self {
+        let mut metrics = [MetricSummary::default(); 7];
+        for (i, point) in NinesPoint::ALL.iter().enumerate() {
+            let stats: OnlineStats = profiles
+                .iter()
+                .map(|p| p.get(*point) as f64 / 1_000.0)
+                .collect();
+            metrics[i] = MetricSummary {
+                mean_us: stats.mean(),
+                std_us: stats.population_std_dev(),
+                min_us: stats.min(),
+                max_us: stats.max(),
+                devices: stats.count(),
+            };
+        }
+        ProfileSummary { metrics }
+    }
+
+    /// The summary for one metric point.
+    pub fn get(&self, point: NinesPoint) -> MetricSummary {
+        let idx = NinesPoint::ALL
+            .iter()
+            .position(|&p| p == point)
+            .expect("known point");
+        self.metrics[idx]
+    }
+
+    /// Iterates `(point, summary)` pairs in plot order.
+    pub fn iter(&self) -> impl Iterator<Item = (NinesPoint, MetricSummary)> + '_ {
+        NinesPoint::ALL
+            .iter()
+            .zip(self.metrics.iter())
+            .map(|(&p, &m)| (p, m))
+    }
+
+    /// Renders a fixed-width table like the paper's Fig. 12/14 charts:
+    /// one row per metric with mean and std columns (µs).
+    pub fn to_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{title}\n"));
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}\n",
+            "metric", "mean(us)", "std(us)", "min(us)", "max(us)"
+        ));
+        for (point, m) in self.iter() {
+            out.push_str(&format!(
+                "{:<10} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+                point.label(),
+                m.mean_us,
+                m.std_us,
+                m.min_us,
+                m.max_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(base_ns: u64) -> LatencyProfile {
+        let mut vals = [0u64; 7];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = base_ns + i as u64 * 1_000;
+        }
+        LatencyProfile::from_values(vals, 10_000)
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = ProfileSummary::from_profiles(&[]);
+        let m = s.get(NinesPoint::Max);
+        assert_eq!(m.devices, 0);
+        assert_eq!(m.mean_us, 0.0);
+        assert_eq!(m.std_us, 0.0);
+    }
+
+    #[test]
+    fn single_profile_has_zero_std() {
+        let s = ProfileSummary::from_profiles(&[profile(30_000)]);
+        for (_, m) in s.iter() {
+            assert_eq!(m.std_us, 0.0);
+            assert_eq!(m.devices, 1);
+        }
+    }
+
+    #[test]
+    fn mean_and_std_across_devices() {
+        let s = ProfileSummary::from_profiles(&[profile(20_000), profile(40_000)]);
+        let avg = s.get(NinesPoint::Average);
+        assert_eq!(avg.mean_us, 30.0);
+        assert_eq!(avg.std_us, 10.0);
+        assert_eq!(avg.min_us, 20.0);
+        assert_eq!(avg.max_us, 40.0);
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let s = ProfileSummary::from_profiles(&[profile(25_000)]);
+        let table = s.to_table("test");
+        for point in NinesPoint::ALL {
+            assert!(table.contains(point.label()), "missing {point}");
+        }
+    }
+
+    #[test]
+    fn iter_is_in_plot_order() {
+        let s = ProfileSummary::from_profiles(&[profile(1_000)]);
+        let points: Vec<NinesPoint> = s.iter().map(|(p, _)| p).collect();
+        assert_eq!(points, NinesPoint::ALL.to_vec());
+    }
+}

@@ -1,0 +1,224 @@
+//! RAID-0 address mapping.
+
+/// Striping parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StripeConfig {
+    unit_bytes: u32,
+}
+
+impl StripeConfig {
+    /// Creates a config with the given stripe unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the unit is a positive multiple of 4096.
+    pub fn new(unit_bytes: u32) -> Self {
+        assert!(
+            unit_bytes > 0 && unit_bytes % 4096 == 0,
+            "stripe unit must be a positive multiple of 4096"
+        );
+        StripeConfig { unit_bytes }
+    }
+
+    /// The stripe unit in bytes.
+    pub fn unit_bytes(&self) -> u32 {
+        self.unit_bytes
+    }
+
+    /// The stripe unit in 4 KiB pages.
+    pub fn unit_pages(&self) -> u64 {
+        (self.unit_bytes / 4096) as u64
+    }
+}
+
+impl Default for StripeConfig {
+    /// 64 KiB — a common RAID-0 default.
+    fn default() -> Self {
+        StripeConfig::new(65_536)
+    }
+}
+
+/// One per-member I/O produced by splitting a client request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubIo {
+    /// Member index *within the volume* (0-based); callers translate
+    /// to physical device ids via [`StripedVolume::member_device`].
+    pub member: usize,
+    /// Starting 4 KiB page on the member device.
+    pub lba: u64,
+    /// Transfer length in bytes.
+    pub bytes: u32,
+}
+
+/// A RAID-0 volume over a set of member devices.
+///
+/// Volume pages are distributed round-robin in stripe-unit chunks:
+/// volume page `v` lives on member `(v / unit) % width` at member page
+/// `(v / (unit * width)) * unit + v % unit`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StripedVolume {
+    members: Vec<usize>,
+    config: StripeConfig,
+}
+
+impl StripedVolume {
+    /// Creates a volume over `members` (physical device ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<usize>, config: StripeConfig) -> Self {
+        assert!(!members.is_empty(), "a volume needs at least one member");
+        StripedVolume { members, config }
+    }
+
+    /// Number of member devices (the stripe width).
+    pub fn width(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The striping parameters.
+    pub fn config(&self) -> StripeConfig {
+        self.config
+    }
+
+    /// Physical device id of volume member `member`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member >= width()`.
+    pub fn member_device(&self, member: usize) -> usize {
+        self.members[member]
+    }
+
+    /// Maps one volume page to `(member, member_page)`.
+    pub fn map_page(&self, volume_page: u64) -> (usize, u64) {
+        let unit = self.config.unit_pages();
+        let width = self.width() as u64;
+        let chunk = volume_page / unit;
+        let member = (chunk % width) as usize;
+        let member_page = (chunk / width) * unit + volume_page % unit;
+        (member, member_page)
+    }
+
+    /// Splits a read of `bytes` at `volume_page` into per-member
+    /// sub-I/Os, coalescing contiguous pages on the same member.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` is a positive multiple of 4096.
+    pub fn map_read(&self, volume_page: u64, bytes: u32) -> Vec<SubIo> {
+        assert!(
+            bytes > 0 && bytes % 4096 == 0,
+            "request must be a positive multiple of 4096"
+        );
+        let pages = (bytes / 4096) as u64;
+        let mut out: Vec<SubIo> = Vec::new();
+        for p in volume_page..volume_page + pages {
+            let (member, member_page) = self.map_page(p);
+            if let Some(last) = out.last_mut() {
+                if last.member == member && last.lba + (last.bytes / 4096) as u64 == member_page {
+                    last.bytes += 4096;
+                    continue;
+                }
+            }
+            out.push(SubIo {
+                member,
+                lba: member_page,
+                bytes: 4096,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol(width: usize, unit: u32) -> StripedVolume {
+        StripedVolume::new((100..100 + width).collect(), StripeConfig::new(unit))
+    }
+
+    #[test]
+    fn small_read_hits_one_member() {
+        let v = vol(8, 65_536);
+        let sub = v.map_read(3, 4096);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub[0].member, 0);
+        assert_eq!(sub[0].lba, 3);
+    }
+
+    #[test]
+    fn unit_boundary_splits() {
+        let v = vol(4, 16_384); // 4-page units
+        let sub = v.map_read(2, 4 * 4096); // pages 2..6 span two units
+        assert_eq!(sub.len(), 2);
+        assert_eq!(
+            sub[0],
+            SubIo {
+                member: 0,
+                lba: 2,
+                bytes: 8192
+            }
+        );
+        assert_eq!(
+            sub[1],
+            SubIo {
+                member: 1,
+                lba: 0,
+                bytes: 8192
+            }
+        );
+    }
+
+    #[test]
+    fn full_stripe_read_touches_every_member() {
+        let v = vol(8, 65_536);
+        let sub = v.map_read(0, 8 * 65_536);
+        assert_eq!(sub.len(), 8);
+        let members: Vec<usize> = sub.iter().map(|s| s.member).collect();
+        assert_eq!(members, (0..8).collect::<Vec<_>>());
+        for s in &sub {
+            assert_eq!(s.bytes, 65_536);
+        }
+    }
+
+    #[test]
+    fn wraparound_returns_to_member_zero() {
+        let v = vol(4, 16_384);
+        // Page 16 = unit 4 → member 0, second row.
+        let (member, page) = v.map_page(16);
+        assert_eq!(member, 0);
+        assert_eq!(page, 4);
+    }
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        let v = vol(4, 16_384);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..1_000u64 {
+            let key = v.map_page(p);
+            assert!(seen.insert(key), "collision at volume page {p}: {key:?}");
+        }
+    }
+
+    #[test]
+    fn member_devices_translate() {
+        let v = StripedVolume::new(vec![7, 11, 13], StripeConfig::default());
+        assert_eq!(v.width(), 3);
+        assert_eq!(v.member_device(1), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_volume_panics() {
+        let _ = StripedVolume::new(vec![], StripeConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4096")]
+    fn bad_unit_panics() {
+        let _ = StripeConfig::new(1000);
+    }
+}

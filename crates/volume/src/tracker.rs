@@ -1,0 +1,121 @@
+//! In-flight client-request tracking.
+//!
+//! A striped read completes when its *last* sub-I/O completes — the
+//! "slowest SSD decides responsiveness" semantics. [`RequestTracker`]
+//! matches sub-completions back to their parent requests.
+
+use afa_sim::SimTime;
+
+/// One outstanding client request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientRequest {
+    /// Caller-chosen identifier (e.g. the client index).
+    pub client: usize,
+    /// When the request was issued.
+    pub issued_at: SimTime,
+    /// Sub-I/Os still in flight.
+    pub pending: u32,
+}
+
+/// Tracks outstanding striped requests by id.
+#[derive(Clone, Debug, Default)]
+pub struct RequestTracker {
+    requests: std::collections::HashMap<u64, ClientRequest>,
+    next_id: u64,
+}
+
+impl RequestTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a request with `fanout` sub-I/Os; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn begin(&mut self, client: usize, issued_at: SimTime, fanout: u32) -> u64 {
+        assert!(fanout > 0, "a request needs at least one sub-I/O");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.requests.insert(
+            id,
+            ClientRequest {
+                client,
+                issued_at,
+                pending: fanout,
+            },
+        );
+        id
+    }
+
+    /// Records one sub-completion. Returns the finished request when
+    /// it was the last one.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown id (a completion without a request is a
+    /// simulator bug, not a recoverable condition).
+    pub fn complete_sub(&mut self, id: u64) -> Option<ClientRequest> {
+        let req = self
+            .requests
+            .get_mut(&id)
+            .expect("sub-completion for unknown request");
+        req.pending -= 1;
+        if req.pending == 0 {
+            self.requests.remove(&id)
+        } else {
+            None
+        }
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_on_last_sub() {
+        let mut t = RequestTracker::new();
+        let id = t.begin(3, SimTime::from_nanos(100), 4);
+        assert_eq!(t.in_flight(), 1);
+        for _ in 0..3 {
+            assert!(t.complete_sub(id).is_none());
+        }
+        let done = t.complete_sub(id).expect("last sub completes");
+        assert_eq!(done.client, 3);
+        assert_eq!(done.issued_at, SimTime::from_nanos(100));
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn ids_are_unique_and_concurrent() {
+        let mut t = RequestTracker::new();
+        let a = t.begin(0, SimTime::ZERO, 2);
+        let b = t.begin(1, SimTime::ZERO, 1);
+        assert_ne!(a, b);
+        assert!(t.complete_sub(b).is_some());
+        assert!(t.complete_sub(a).is_none());
+        assert!(t.complete_sub(a).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown request")]
+    fn unknown_id_panics() {
+        let mut t = RequestTracker::new();
+        t.complete_sub(42);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_fanout_panics() {
+        let mut t = RequestTracker::new();
+        t.begin(0, SimTime::ZERO, 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Job specification (the fio command line, as a builder).
+
+use afa_host::{CpuId, SchedPolicy};
+use afa_sim::SimDuration;
+
+/// The I/O mix of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RwPattern {
+    /// Uniformly random reads (the paper's workload).
+    RandRead,
+    /// Uniformly random writes.
+    RandWrite,
+    /// Sequential reads.
+    SeqRead,
+    /// Sequential writes.
+    SeqWrite,
+    /// Mixed random I/O with the given read percentage (0–100).
+    RandRw {
+        /// Percent of operations that are reads.
+        read_pct: u8,
+    },
+}
+
+/// How completions are reaped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoEngine {
+    /// Linux AIO: submit, sleep, be woken by the completion interrupt
+    /// (the paper's engine, §III-B).
+    Libaio,
+    /// Synchronous pread-style: identical path at queue depth 1.
+    Sync,
+    /// Busy-poll the completion queue: no interrupt, no wake-up — the
+    /// §V "poll instead of interrupt" alternative. Costs CPU.
+    Polling,
+}
+
+/// One fio job: what to run against one device.
+///
+/// Builder-style setters return `&mut Self` so specs configure in one
+/// chain; `clone()` at the end yields an owned spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    device: usize,
+    rw: RwPattern,
+    block_size: u32,
+    iodepth: u32,
+    runtime: SimDuration,
+    cpu: Option<CpuId>,
+    policy: SchedPolicy,
+    engine: IoEngine,
+    region_pages: u64,
+    log_latency: bool,
+    rate_iops: Option<u64>,
+}
+
+impl JobSpec {
+    /// The paper's §III-B job for `device`: 4 KiB random read,
+    /// iodepth 1, libaio, 120 s, CFS nice 0 (pin with
+    /// [`JobSpec::cpus_allowed`]).
+    pub fn paper_default(device: usize) -> Self {
+        JobSpec {
+            device,
+            rw: RwPattern::RandRead,
+            block_size: 4096,
+            iodepth: 1,
+            runtime: SimDuration::secs(120),
+            cpu: None,
+            policy: SchedPolicy::default_fair(),
+            engine: IoEngine::Libaio,
+            region_pages: 200_000_000, // ~800 GB of 4 KiB pages
+            log_latency: false,
+            rate_iops: None,
+        }
+    }
+
+    /// Sets the I/O mix.
+    pub fn rw(&mut self, rw: RwPattern) -> &mut Self {
+        self.rw = rw;
+        self
+    }
+
+    /// Sets the block size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not a positive multiple of 4096.
+    pub fn block_size_bytes(&mut self, bs: u32) -> &mut Self {
+        assert!(
+            bs > 0 && bs % 4096 == 0,
+            "block size must be a positive multiple of 4096"
+        );
+        self.block_size = bs;
+        self
+    }
+
+    /// Sets the queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn iodepth_n(&mut self, depth: u32) -> &mut Self {
+        assert!(depth > 0, "iodepth must be positive");
+        self.iodepth = depth;
+        self
+    }
+
+    /// Sets the run time.
+    pub fn runtime(&mut self, runtime: SimDuration) -> &mut Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Pins the job's thread to a CPU (fio's `cpus_allowed`).
+    pub fn cpus_allowed(&mut self, cpu: CpuId) -> &mut Self {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// Sets the scheduling class (`chrt`).
+    pub fn sched(&mut self, policy: SchedPolicy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the I/O engine.
+    pub fn ioengine(&mut self, engine: IoEngine) -> &mut Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Restricts I/O to the first `pages` 4 KiB pages of the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn region(&mut self, pages: u64) -> &mut Self {
+        assert!(pages > 0, "region must be non-empty");
+        self.region_pages = pages;
+        self
+    }
+
+    /// Enables per-sample completion-latency logging (fio's
+    /// `write_lat_log`). Logging itself costs CPU per completion —
+    /// the paper's Fig. 10 footnote had to halve the device count
+    /// because of exactly this overhead.
+    pub fn log_latency(&mut self, enable: bool) -> &mut Self {
+        self.log_latency = enable;
+        self
+    }
+
+    /// Caps the issue rate (fio's `rate_iops`).
+    pub fn rate_iops_cap(&mut self, iops: u64) -> &mut Self {
+        self.rate_iops = Some(iops);
+        self
+    }
+
+    /// Target device index.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// I/O mix.
+    pub fn rw_pattern(&self) -> RwPattern {
+        self.rw
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Queue depth.
+    pub fn iodepth(&self) -> u32 {
+        self.iodepth
+    }
+
+    /// Run time.
+    pub fn runtime_limit(&self) -> SimDuration {
+        self.runtime
+    }
+
+    /// Pinned CPU, if any.
+    pub fn pinned_cpu(&self) -> Option<CpuId> {
+        self.cpu
+    }
+
+    /// Scheduling class.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// I/O engine.
+    pub fn engine(&self) -> IoEngine {
+        self.engine
+    }
+
+    /// Accessible region in 4 KiB pages.
+    pub fn region_pages(&self) -> u64 {
+        self.region_pages
+    }
+
+    /// Whether per-sample latency logging is on.
+    pub fn logs_latency(&self) -> bool {
+        self.log_latency
+    }
+
+    /// Issue-rate cap, if any.
+    pub fn rate_iops(&self) -> Option<u64> {
+        self.rate_iops
+    }
+
+    /// CPU cost of fio's per-completion latency logging when enabled.
+    pub fn logging_cpu_overhead(&self) -> SimDuration {
+        if self.log_latency {
+            SimDuration::nanos(900)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Minimum gap between issues implied by [`JobSpec::rate_iops_cap`].
+    pub fn min_issue_gap(&self) -> SimDuration {
+        match self.rate_iops {
+            Some(iops) if iops > 0 => SimDuration::from_secs_f64(1.0 / iops as f64),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_methodology() {
+        let j = JobSpec::paper_default(3);
+        assert_eq!(j.device(), 3);
+        assert_eq!(j.rw_pattern(), RwPattern::RandRead);
+        assert_eq!(j.block_size(), 4096);
+        assert_eq!(j.iodepth(), 1);
+        assert_eq!(j.runtime_limit(), SimDuration::secs(120));
+        assert_eq!(j.engine(), IoEngine::Libaio);
+        assert!(!j.logs_latency());
+        assert_eq!(j.policy(), SchedPolicy::default_fair());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let j = JobSpec::paper_default(0)
+            .rw(RwPattern::SeqRead)
+            .block_size_bytes(131_072)
+            .iodepth_n(8)
+            .cpus_allowed(CpuId(4))
+            .sched(SchedPolicy::chrt_fifo_99())
+            .ioengine(IoEngine::Polling)
+            .log_latency(true)
+            .clone();
+        assert_eq!(j.rw_pattern(), RwPattern::SeqRead);
+        assert_eq!(j.block_size(), 131_072);
+        assert_eq!(j.iodepth(), 8);
+        assert_eq!(j.pinned_cpu(), Some(CpuId(4)));
+        assert!(j.policy().is_realtime());
+        assert_eq!(j.engine(), IoEngine::Polling);
+        assert!(j.logs_latency());
+        assert!(j.logging_cpu_overhead() > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4096")]
+    fn bad_block_size_panics() {
+        JobSpec::paper_default(0).block_size_bytes(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "iodepth")]
+    fn zero_iodepth_panics() {
+        JobSpec::paper_default(0).iodepth_n(0);
+    }
+
+    #[test]
+    fn rate_cap_implies_issue_gap() {
+        let j = JobSpec::paper_default(0).rate_iops_cap(10_000).clone();
+        assert_eq!(j.min_issue_gap(), SimDuration::micros(100));
+        assert_eq!(JobSpec::paper_default(0).min_issue_gap(), SimDuration::ZERO);
+    }
+}

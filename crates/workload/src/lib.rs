@@ -1,0 +1,44 @@
+//! fio-like workload engine for the AFA reproduction.
+//!
+//! The paper drives every raw block device with one fio job — 4 KiB
+//! random reads, queue depth 1, libaio, 120 s, thread pinned via
+//! `cpus_allowed` (§III-B/§III-C) — and reads fio's completion-latency
+//! percentiles. This crate provides the same vocabulary:
+//!
+//! * [`JobSpec`] — a builder covering the options the paper uses
+//!   (pattern, block size, iodepth, runtime, pinning, scheduling class,
+//!   I/O engine, optional full latency logging),
+//! * [`AccessPattern`] — random/sequential generators over a device
+//!   region,
+//! * [`JobState`] — the per-job issue/complete bookkeeping used by the
+//!   system simulator,
+//! * [`JobReport`] — per-job results: latency histogram, optional
+//!   per-sample log, and a fio-style text rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use afa_sim::SimDuration;
+//! use afa_workload::JobSpec;
+//!
+//! let job = JobSpec::paper_default(0)
+//!     .runtime(SimDuration::secs(120))
+//!     .clone();
+//! assert_eq!(job.block_size(), 4096);
+//! assert_eq!(job.iodepth(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod jobfile;
+mod pattern;
+mod report;
+mod state;
+
+pub use job::{IoEngine, JobSpec, RwPattern};
+pub use jobfile::{parse_jobfile, ParseJobFileError};
+pub use pattern::{AccessPattern, Op};
+pub use report::JobReport;
+pub use state::JobState;

@@ -1,0 +1,156 @@
+//! Access-pattern generation.
+
+use afa_sim::SimRng;
+
+use crate::job::RwPattern;
+
+/// One generated operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// Starting 4 KiB logical page.
+    pub lba: u64,
+    /// Whether this is a write.
+    pub is_write: bool,
+}
+
+/// Generates the LBA stream for a job.
+#[derive(Clone, Debug)]
+pub struct AccessPattern {
+    rw: RwPattern,
+    region_pages: u64,
+    pages_per_op: u64,
+    cursor: u64,
+    rng: SimRng,
+}
+
+impl AccessPattern {
+    /// Creates a generator over the first `region_pages` 4 KiB pages,
+    /// issuing `block_size`-byte operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than one operation.
+    pub fn new(rw: RwPattern, region_pages: u64, block_size: u32, rng: SimRng) -> Self {
+        let pages_per_op = (block_size / 4096) as u64;
+        assert!(
+            region_pages >= pages_per_op,
+            "region smaller than one operation"
+        );
+        AccessPattern {
+            rw,
+            region_pages,
+            pages_per_op,
+            cursor: 0,
+            rng,
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let max_start = self.region_pages - self.pages_per_op;
+        match self.rw {
+            RwPattern::RandRead => Op {
+                lba: self.random_aligned(max_start),
+                is_write: false,
+            },
+            RwPattern::RandWrite => Op {
+                lba: self.random_aligned(max_start),
+                is_write: true,
+            },
+            RwPattern::SeqRead => Op {
+                lba: self.advance_sequential(),
+                is_write: false,
+            },
+            RwPattern::SeqWrite => Op {
+                lba: self.advance_sequential(),
+                is_write: true,
+            },
+            RwPattern::RandRw { read_pct } => {
+                let is_write = !self.rng.chance(read_pct as f64 / 100.0);
+                Op {
+                    lba: self.random_aligned(max_start),
+                    is_write,
+                }
+            }
+        }
+    }
+
+    fn random_aligned(&mut self, max_start: u64) -> u64 {
+        let slots = max_start / self.pages_per_op + 1;
+        self.rng.below(slots) * self.pages_per_op
+    }
+
+    fn advance_sequential(&mut self) -> u64 {
+        let lba = self.cursor;
+        self.cursor += self.pages_per_op;
+        if self.cursor + self.pages_per_op > self.region_pages {
+            self.cursor = 0;
+        }
+        lba
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(42)
+    }
+
+    #[test]
+    fn random_reads_stay_in_region() {
+        let mut p = AccessPattern::new(RwPattern::RandRead, 1_000, 4096, rng());
+        for _ in 0..10_000 {
+            let op = p.next_op();
+            assert!(op.lba < 1_000);
+            assert!(!op.is_write);
+        }
+    }
+
+    #[test]
+    fn random_large_blocks_are_aligned_and_bounded() {
+        let mut p = AccessPattern::new(RwPattern::RandWrite, 1_000, 32_768, rng());
+        for _ in 0..10_000 {
+            let op = p.next_op();
+            assert_eq!(op.lba % 8, 0, "32 KiB ops must be 8-page aligned");
+            assert!(op.lba + 8 <= 1_000);
+            assert!(op.is_write);
+        }
+    }
+
+    #[test]
+    fn sequential_advances_and_wraps() {
+        let mut p = AccessPattern::new(RwPattern::SeqRead, 10, 4096, rng());
+        let lbas: Vec<u64> = (0..12).map(|_| p.next_op().lba).collect();
+        assert_eq!(lbas[..10], (0..10).collect::<Vec<u64>>()[..]);
+        assert_eq!(lbas[10], 0, "wraps to start");
+    }
+
+    #[test]
+    fn mixed_ratio_approximates_read_pct() {
+        let mut p = AccessPattern::new(RwPattern::RandRw { read_pct: 70 }, 1_000, 4096, rng());
+        let writes = (0..100_000).filter(|_| p.next_op().is_write).count();
+        let write_frac = writes as f64 / 100_000.0;
+        assert!(
+            (write_frac - 0.30).abs() < 0.01,
+            "write fraction {write_frac}"
+        );
+    }
+
+    #[test]
+    fn random_covers_the_region() {
+        let mut p = AccessPattern::new(RwPattern::RandRead, 64, 4096, rng());
+        let mut seen = vec![false; 64];
+        for _ in 0..10_000 {
+            seen[p.next_op().lba as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "random pattern missed pages");
+    }
+
+    #[test]
+    #[should_panic(expected = "region smaller")]
+    fn tiny_region_panics() {
+        let _ = AccessPattern::new(RwPattern::SeqRead, 1, 16_384, rng());
+    }
+}

@@ -1,0 +1,172 @@
+//! Job results: histograms, logs, and fio-style rendering.
+
+use afa_sim::SimTime;
+use afa_stats::series::LatencyLog;
+use afa_stats::{LatencyHistogram, LatencyProfile, NinesPoint};
+
+/// Accumulated results of one job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    hist: LatencyHistogram,
+    log: Option<LatencyLog>,
+    completed: u64,
+    bytes: u64,
+}
+
+impl JobReport {
+    /// Creates an empty report; `log_latency` enables the per-sample
+    /// log (fio's `write_lat_log`).
+    ///
+    /// The log keeps every sample above 100 µs (the spikes a Fig. 10
+    /// style scatter is after) and every 16th baseline sample, which
+    /// bounds memory on multi-million-I/O runs without losing the
+    /// plot's structure.
+    pub fn new(log_latency: bool) -> Self {
+        JobReport {
+            hist: LatencyHistogram::new(),
+            log: log_latency.then(|| LatencyLog::with_decimation(16, 100_000)),
+            completed: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Records one completion.
+    pub fn record(&mut self, latency_ns: u64, bytes: u32) {
+        self.hist.record(latency_ns);
+        if let Some(log) = &mut self.log {
+            log.push(latency_ns);
+        }
+        self.completed += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Completions recorded.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Payload bytes transferred.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The completion-latency histogram.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// The per-sample log, if enabled.
+    pub fn latency_log(&self) -> Option<&LatencyLog> {
+        self.log.as_ref()
+    }
+
+    /// The paper's metric set for this job.
+    pub fn profile(&self) -> LatencyProfile {
+        self.hist.profile()
+    }
+
+    /// Average IOPS over `elapsed` wall time.
+    pub fn iops(&self, elapsed: SimTime) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Average throughput in MB/s over `elapsed` wall time.
+    pub fn throughput_mbps(&self, elapsed: SimTime) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / secs / 1e6
+        }
+    }
+
+    /// Renders fio-style "clat percentiles" output.
+    pub fn to_fio_style(&self, name: &str) -> String {
+        let p = self.profile();
+        let mut out = String::new();
+        out.push_str(&format!("{name}: ios={} ", self.completed));
+        out.push_str(&format!(
+            "clat avg={:.1}us min={:.1}us max={:.1}us\n",
+            self.hist.mean() / 1_000.0,
+            self.hist.min() as f64 / 1_000.0,
+            self.hist.max() as f64 / 1_000.0
+        ));
+        out.push_str("  clat percentiles (usec):\n");
+        for point in NinesPoint::ALL {
+            if let Some(pct) = point.percentile() {
+                out.push_str(&format!(
+                    "   | {:>9.4}th=[{:>10.1}]\n",
+                    pct,
+                    p.get_micros(point)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afa_sim::SimDuration;
+
+    #[test]
+    fn empty_report() {
+        let r = JobReport::new(false);
+        assert_eq!(r.completed(), 0);
+        assert_eq!(r.bytes_transferred(), 0);
+        assert!(r.latency_log().is_none());
+        assert_eq!(r.iops(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut r = JobReport::new(true);
+        for i in 1..=100u64 {
+            r.record(i * 1_000, 4096);
+        }
+        assert_eq!(r.completed(), 100);
+        assert_eq!(r.bytes_transferred(), 409_600);
+        assert_eq!(r.histogram().count(), 100);
+        assert_eq!(r.latency_log().unwrap().samples_seen(), 100);
+    }
+
+    #[test]
+    fn iops_and_throughput() {
+        let mut r = JobReport::new(false);
+        for _ in 0..1_000 {
+            r.record(25_000, 4096);
+        }
+        let one_second = SimTime::ZERO + SimDuration::secs(1);
+        assert_eq!(r.iops(one_second), 1_000.0);
+        assert!((r.throughput_mbps(one_second) - 4.096).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fio_style_output_contains_percentiles() {
+        let mut r = JobReport::new(false);
+        for i in 1..=10_000u64 {
+            r.record(20_000 + i, 4096);
+        }
+        let text = r.to_fio_style("nvme0");
+        assert!(text.contains("nvme0: ios=10000"));
+        assert!(text.contains("99.0000th"));
+        assert!(text.contains("99.9999th"));
+        assert!(text.contains("clat avg="));
+    }
+
+    #[test]
+    fn profile_matches_histogram() {
+        let mut r = JobReport::new(false);
+        r.record(1_000, 4096);
+        r.record(99_000, 4096);
+        let p = r.profile();
+        assert_eq!(p.get(NinesPoint::Max), 99_000);
+        assert_eq!(p.get(NinesPoint::Average), 50_000);
+    }
+}

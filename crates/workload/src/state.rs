@@ -1,0 +1,198 @@
+//! Per-job runtime bookkeeping.
+
+use afa_sim::{SimRng, SimTime};
+
+use crate::job::JobSpec;
+use crate::pattern::{AccessPattern, Op};
+use crate::report::JobReport;
+
+/// Live state of one running job: the pattern generator, in-flight
+/// accounting and the accumulating report. The system simulator owns
+/// the actual submit/complete orchestration and calls back into this.
+#[derive(Debug)]
+pub struct JobState {
+    spec: JobSpec,
+    pattern: AccessPattern,
+    report: JobReport,
+    inflight: u32,
+    issued: u64,
+    started_at: SimTime,
+    deadline: SimTime,
+    stopped: bool,
+}
+
+impl JobState {
+    /// Creates the runtime state for `spec`, starting at `start`.
+    pub fn new(spec: JobSpec, start: SimTime, rng: SimRng) -> Self {
+        let pattern = AccessPattern::new(
+            spec.rw_pattern(),
+            spec.region_pages(),
+            spec.block_size(),
+            rng,
+        );
+        let report = JobReport::new(spec.logs_latency());
+        let deadline = start + spec.runtime_limit();
+        JobState {
+            spec,
+            pattern,
+            report,
+            inflight: 0,
+            issued: 0,
+            started_at: start,
+            deadline,
+            stopped: false,
+        }
+    }
+
+    /// The job's specification.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Whether the job may issue another operation at `now`
+    /// (queue-depth slot free, not past the deadline, not stopped).
+    pub fn can_issue(&self, now: SimTime) -> bool {
+        !self.stopped && now < self.deadline && self.inflight < self.spec.iodepth()
+    }
+
+    /// Whether the job has reached its deadline with no I/O in
+    /// flight.
+    pub fn is_finished(&self, now: SimTime) -> bool {
+        (self.stopped || now >= self.deadline) && self.inflight == 0
+    }
+
+    /// Draws the next operation and marks it in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`JobState::can_issue`] is false (the
+    /// simulator must check first).
+    pub fn issue(&mut self, now: SimTime) -> Op {
+        assert!(self.can_issue(now), "issue() without a free slot");
+        self.inflight += 1;
+        self.issued += 1;
+        self.pattern.next_op()
+    }
+
+    /// Records a completion whose end-to-end latency is
+    /// `latency_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight.
+    pub fn complete(&mut self, latency_ns: u64) {
+        assert!(self.inflight > 0, "complete() without in-flight I/O");
+        self.inflight -= 1;
+        self.report.record(latency_ns, self.spec.block_size());
+    }
+
+    /// Force-stops the job (no further issues).
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Operations currently in flight.
+    pub fn inflight(&self) -> u32 {
+        self.inflight
+    }
+
+    /// When the job started.
+    pub fn started_at(&self) -> SimTime {
+        self.started_at
+    }
+
+    /// The job's issue deadline.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &JobReport {
+        &self.report
+    }
+
+    /// Consumes the state, yielding the final report.
+    pub fn into_report(self) -> JobReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afa_sim::SimDuration;
+
+    fn job(depth: u32) -> JobState {
+        let spec = JobSpec::paper_default(0)
+            .iodepth_n(depth)
+            .runtime(SimDuration::secs(1))
+            .clone();
+        JobState::new(spec, SimTime::ZERO, SimRng::from_seed(1))
+    }
+
+    #[test]
+    fn queue_depth_limits_inflight() {
+        let mut j = job(2);
+        assert!(j.can_issue(SimTime::ZERO));
+        j.issue(SimTime::ZERO);
+        assert!(j.can_issue(SimTime::ZERO));
+        j.issue(SimTime::ZERO);
+        assert!(!j.can_issue(SimTime::ZERO), "QD2 full");
+        j.complete(25_000);
+        assert!(j.can_issue(SimTime::ZERO));
+        assert_eq!(j.issued(), 2);
+        assert_eq!(j.inflight(), 1);
+    }
+
+    #[test]
+    fn deadline_stops_issue_but_waits_for_inflight() {
+        let mut j = job(1);
+        let late = SimTime::ZERO + SimDuration::secs(2);
+        j.issue(SimTime::ZERO);
+        assert!(!j.can_issue(late));
+        assert!(!j.is_finished(late), "still one in flight");
+        j.complete(30_000);
+        assert!(j.is_finished(late));
+    }
+
+    #[test]
+    fn stop_halts_issuing() {
+        let mut j = job(4);
+        j.stop();
+        assert!(!j.can_issue(SimTime::ZERO));
+        assert!(j.is_finished(SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a free slot")]
+    fn issue_over_depth_panics() {
+        let mut j = job(1);
+        j.issue(SimTime::ZERO);
+        j.issue(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "without in-flight")]
+    fn complete_without_inflight_panics() {
+        let mut j = job(1);
+        j.complete(1);
+    }
+
+    #[test]
+    fn completions_feed_the_report() {
+        let mut j = job(1);
+        for _ in 0..10 {
+            j.issue(SimTime::ZERO);
+            j.complete(25_000);
+        }
+        assert_eq!(j.report().completed(), 10);
+        assert_eq!(j.report().bytes_transferred(), 10 * 4096);
+        let report = j.into_report();
+        assert_eq!(report.histogram().count(), 10);
+    }
+}

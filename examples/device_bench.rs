@@ -1,0 +1,65 @@
+//! Drive a single simulated NVMe SSD directly through its command
+//! interface: format to FOB, sweep queue depths, read the SMART log.
+//!
+//! ```sh
+//! cargo run --release --example device_bench
+//! ```
+
+use afa::sim::{SimDuration, SimTime};
+use afa::ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
+
+fn main() {
+    let mut dev = SsdDevice::new(SsdSpec::table1(), FirmwareProfile::production(), 1);
+    println!(
+        "device: {} GB, {} ({})",
+        dev.spec().capacity_gb,
+        dev.spec().interface,
+        dev.firmware().version()
+    );
+
+    // NVMe Format → FOB state, like the paper does before every run.
+    let fmt = dev.submit(SimTime::ZERO, NvmeCommand::format());
+    let mut now = fmt.completes_at;
+    println!(
+        "formatted to FOB in {:.0} ms\n",
+        fmt.service.as_secs_f64() * 1e3
+    );
+
+    // Queue-depth sweep of 4 KiB random reads.
+    println!("{:<6} {:>12} {:>14}", "QD", "IOPS", "mean lat (us)");
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let horizon = now + SimDuration::millis(200);
+        let mut inflight = vec![now; depth];
+        let mut done = 0u64;
+        let mut lat_sum = 0.0;
+        let mut lba = 0u64;
+        loop {
+            let (idx, &t) = inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| *t)
+                .expect("non-empty");
+            if t >= horizon {
+                break;
+            }
+            lba = (lba + 7_919) % 1_000_000;
+            let info = dev.submit(t, NvmeCommand::read(lba, 4096));
+            lat_sum += info.latency_since(t).as_micros_f64();
+            inflight[idx] = info.completes_at;
+            done += 1;
+        }
+        println!(
+            "{depth:<6} {:>12.0} {:>14.1}",
+            done as f64 / 0.2,
+            lat_sum / done as f64
+        );
+        now = horizon;
+    }
+
+    // Read back SMART via GetLogPage semantics.
+    let log = dev.smart_log();
+    println!(
+        "\nSMART: {} host reads, {} data units read, {} retries, {} housekeeping stalls",
+        log.host_reads, log.data_units_read, log.media_retries, log.housekeeping_stalls
+    );
+}

@@ -1,0 +1,34 @@
+//! The §V/§VI profiling framework: characterize a fleet of SSDs in
+//! parallel (the paper: "x10 or even x100 faster ... using a single
+//! host server") and flag latency outliers — e.g. from a bad daily
+//! firmware build.
+//!
+//! ```sh
+//! cargo run --release --example profile_fleet
+//! ```
+
+use afa::core::profiler::ParallelProfiler;
+use afa::sim::SimDuration;
+use afa::stats::LatencyProfile;
+
+fn main() {
+    // A healthy batch measured live on the simulated array.
+    let profiler = ParallelProfiler::new(16, SimDuration::millis(500), 42);
+    let batch = profiler.run();
+    println!("{}", batch.to_table());
+    println!("outliers: {:?}\n", batch.outliers());
+
+    // The same detector applied to a stored dataset where one device
+    // regressed (a lemon from a bad firmware drop).
+    let mut stored: Vec<LatencyProfile> =
+        batch.verdicts.iter().map(|v| v.profile.clone()).collect();
+    stored.push(LatencyProfile::from_values(
+        [
+            40_000, 45_000, 90_000, 400_000, 2_000_000, 4_900_000, 5_100_000,
+        ],
+        1_000_000,
+    ));
+    let judged = profiler.threshold_sigmas(2.5).judge(stored);
+    println!("{}", judged.to_table());
+    println!("regressed devices: {:?}", judged.outliers());
+}

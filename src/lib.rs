@@ -1,0 +1,25 @@
+//! Facade crate for the AFA reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can write `use afa::...`. See the individual
+//! crates for full documentation:
+//!
+//! * [`sim`] — discrete-event simulation substrate,
+//! * [`stats`] — latency histograms, percentiles, summaries,
+//! * [`ssd`] — NVMe SSD device model (flash, FTL, firmware, SMART),
+//! * [`pcie`] — PCIe Gen3 switch-fabric model,
+//! * [`host`] — host/OS model (CPUs, scheduler, IRQs, kernel knobs),
+//! * [`workload`] — fio-like workload engine,
+//! * [`core`] — system assembly, tuning stages, and the paper's
+//!   experiments.
+
+#![forbid(unsafe_code)]
+
+pub use afa_core as core;
+pub use afa_host as host;
+pub use afa_pcie as pcie;
+pub use afa_sim as sim;
+pub use afa_ssd as ssd;
+pub use afa_stats as stats;
+pub use afa_volume as volume;
+pub use afa_workload as workload;

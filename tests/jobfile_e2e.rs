@@ -1,0 +1,98 @@
+//! End-to-end: a fio-style jobfile drives the whole-array simulation.
+
+use afa::core::{AfaConfig, AfaSystem, TuningStage};
+use afa::sim::SimDuration;
+use afa::workload::parse_jobfile;
+
+const JOBFILE: &str = "\
+[global]
+ioengine=libaio
+rw=randread
+bs=4k
+iodepth=1
+runtime=0.08
+
+[a]
+filename=/dev/nvme0
+cpus_allowed=4
+
+[b]
+filename=/dev/nvme1
+cpus_allowed=5
+
+[c]
+filename=/dev/nvme2
+cpus_allowed=17
+";
+
+#[test]
+fn jobfile_runs_end_to_end() {
+    let jobs = parse_jobfile(JOBFILE).expect("parse");
+    assert_eq!(jobs.len(), 3);
+    let config = AfaConfig::paper(TuningStage::IrqAffinity)
+        .with_seed(11)
+        .with_jobs(jobs);
+    let result = AfaSystem::run(&config);
+    assert_eq!(result.reports.len(), 3);
+    for report in &result.reports {
+        assert!(report.completed() > 1_000, "{} I/Os", report.completed());
+        let mean = report.histogram().mean() / 1e3;
+        assert!((28.0..45.0).contains(&mean), "mean {mean} us");
+    }
+}
+
+#[test]
+fn jobfile_pinning_is_honored() {
+    let jobs = parse_jobfile(JOBFILE).expect("parse");
+    let config = AfaConfig::paper(TuningStage::IrqAffinity)
+        .with_seed(12)
+        .with_jobs(jobs);
+    // Geometry resolution happens in run(); if the pinned CPUs were
+    // ignored, the vectors (designated = assignment) would differ and
+    // pinned-IRQ stats would show remote deliveries.
+    let result = AfaSystem::run(&config);
+    assert_eq!(result.host.stats().remote_irqs, 0);
+}
+
+#[test]
+fn heterogeneous_jobfile_mixes_engines() {
+    let text = "\
+[poll]
+filename=/dev/nvme0
+cpus_allowed=4
+ioengine=pvsync2_hipri
+runtime=0.05
+
+[irqd]
+filename=/dev/nvme1
+cpus_allowed=5
+ioengine=libaio
+runtime=0.05
+";
+    let jobs = parse_jobfile(text).expect("parse");
+    let config = AfaConfig::paper(TuningStage::ExperimentalFirmware)
+        .with_seed(13)
+        .with_jobs(jobs);
+    let result = AfaSystem::run(&config);
+    // Only the libaio job generates interrupts.
+    let libaio_ios = result.reports[1].completed();
+    assert!(result.host.stats().irqs >= libaio_ios);
+    assert!(result.host.stats().irqs < libaio_ios + 100);
+    assert!(result.reports[0].completed() > 500);
+}
+
+#[test]
+#[should_panic(expected = "two jobs target device")]
+fn duplicate_device_jobs_panic() {
+    let text = "\
+[a]
+filename=/dev/nvme0
+[b]
+filename=/dev/nvme0
+";
+    let jobs = parse_jobfile(text).expect("parse");
+    let config = AfaConfig::paper(TuningStage::Default)
+        .with_runtime(SimDuration::millis(10))
+        .with_jobs(jobs);
+    let _ = AfaSystem::run(&config);
+}

@@ -1,0 +1,66 @@
+//! Cross-crate property tests over the whole system.
+
+use afa::core::{AfaConfig, AfaSystem, TuningStage};
+use afa::sim::SimDuration;
+use afa::stats::NinesPoint;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seed and small device count, the system completes I/O
+    /// on every device, latencies are at least the physical floor
+    /// (device ~25 µs + fabric), and percentile profiles are monotone.
+    #[test]
+    fn runs_are_sane_for_any_seed(seed in 0u64..10_000, ssds in 1usize..6) {
+        let result = AfaSystem::run(
+            &AfaConfig::paper(TuningStage::IrqAffinity)
+                .with_ssds(ssds)
+                .with_runtime(SimDuration::millis(40))
+                .with_seed(seed),
+        );
+        prop_assert_eq!(result.reports.len(), ssds);
+        for report in &result.reports {
+            prop_assert!(report.completed() > 300, "{} I/Os", report.completed());
+            let profile = report.profile();
+            prop_assert!(profile.get_micros(NinesPoint::Average) > 25.0);
+            let pts = [
+                NinesPoint::Nines2,
+                NinesPoint::Nines3,
+                NinesPoint::Nines4,
+                NinesPoint::Nines5,
+                NinesPoint::Nines6,
+                NinesPoint::Max,
+            ];
+            for w in pts.windows(2) {
+                prop_assert!(profile.get(w[0]) <= profile.get(w[1]));
+            }
+        }
+    }
+
+    /// Tuning never makes the worst case worse than default for the
+    /// same seed (statistically certain at this scale).
+    #[test]
+    fn tuned_never_loses_to_default(seed in 0u64..1_000) {
+        let default = AfaSystem::run(
+            &AfaConfig::paper(TuningStage::Default)
+                .with_ssds(4)
+                .with_runtime(SimDuration::millis(120))
+                .with_seed(seed),
+        );
+        let tuned = AfaSystem::run(
+            &AfaConfig::paper(TuningStage::ExperimentalFirmware)
+                .with_ssds(4)
+                .with_runtime(SimDuration::millis(120))
+                .with_seed(seed),
+        );
+        let max = |r: &afa::core::RunResult| {
+            r.reports
+                .iter()
+                .map(|rep| rep.histogram().max())
+                .max()
+                .unwrap()
+        };
+        prop_assert!(max(&tuned) <= max(&default));
+    }
+}
