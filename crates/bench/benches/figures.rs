@@ -1,4 +1,4 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every artifact in the experiment registry.
 //!
 //! Run with `cargo bench -p afa-bench --bench figures`. Honours
 //! `AFA_SECONDS` / `AFA_SSDS` / `AFA_SEED` / `AFA_FULL=1`; pass a
@@ -6,18 +6,7 @@
 //! `cargo bench -p afa-bench --bench figures -- fig12`.
 
 use afa_bench::banner;
-use afa_core::calibration::PAPER;
-use afa_core::experiment::{
-    ablate_coalescing, ablate_cstate, ablate_gc, ablate_numa, ablate_poll, ablate_rcu,
-    ablate_smart_period, ablate_tick, fig10, fig11, fig12, fig13_and_14, fig6, fig7, fig8, fig9,
-    future_schedulers, multi_host_isolation, pts_random_write, qd_sweep, render_fig14, root_cause,
-    table1, table2, tail_at_scale, uplink_saturation, ExperimentScale,
-};
-use afa_core::TuningStage;
-
-fn wants(filter: &Option<String>, name: &str) -> bool {
-    filter.as_ref().is_none_or(|f| name.contains(f.as_str()))
-}
+use afa_core::experiment::{registry, run_experiment, ExperimentScale};
 
 fn main() {
     // Cargo's bench runner passes flags like `--bench`; take the first
@@ -26,107 +15,32 @@ fn main() {
     let scale = ExperimentScale::from_env();
     let t0 = std::time::Instant::now();
 
-    if wants(&filter, "table1") {
-        banner("Table I", scale);
-        println!("{}", table1(scale.seed).to_table());
-    }
-    if wants(&filter, "table2") {
-        banner("Table II", scale);
-        println!("{}", table2());
-    }
-    if wants(&filter, "fig06") {
-        banner("Fig. 6 (default configuration)", scale);
-        let fig = fig6(scale);
-        println!("{}", fig.to_table());
-        println!(
-            "paper: worst-case ~{:.0} us; measured worst {:.0} us\n",
-            PAPER.default_max_us,
-            fig.worst_max_us()
-        );
-    }
-    if wants(&filter, "fig07") {
-        banner("Fig. 7 (+chrt -f 99)", scale);
-        let fig = fig7(scale);
-        println!("{}", fig.to_table());
-        println!(
-            "paper: worst-case ~{:.0} us; measured worst {:.0} us\n",
-            PAPER.chrt_max_us,
-            fig.worst_max_us()
-        );
-    }
-    if wants(&filter, "fig08") {
-        banner("Fig. 8 (+isolcpus/nohz_full/rcu_nocbs/idle=poll)", scale);
-        println!("{}", fig8(scale).to_table());
-    }
-    if wants(&filter, "fig09") {
-        banner("Fig. 9 (+IRQ affinity pinned)", scale);
-        println!("{}", fig9(scale).to_table());
-    }
-    if wants(&filter, "fig10") {
-        banner("Fig. 10 (latency scatter, 32 SSDs)", scale);
-        println!("{}", fig10(scale).to_table());
-    }
-    if wants(&filter, "fig11") {
-        banner("Fig. 11 (experimental firmware, SMART off)", scale);
-        let fig = fig11(scale);
-        println!("{}", fig.to_table());
-        println!(
-            "paper: worst-case ~{:.0} us; measured worst {:.0} us\n",
-            PAPER.exp_firmware_max_us,
-            fig.worst_max_us()
-        );
-    }
-    if wants(&filter, "fig12") {
-        banner("Fig. 12 (four kernel configurations)", scale);
-        println!("{}", fig12(scale).to_table());
-    }
-    if wants(&filter, "fig13") || wants(&filter, "fig14") {
-        banner("Fig. 13 + Fig. 14 (SSDs per physical core)", scale);
-        let (fig13_results, fig14_summaries) = fig13_and_14(scale);
-        println!("{}", fig13_results.to_table());
-        println!("{}", render_fig14(&fig14_summaries));
-    }
-    if wants(&filter, "ablate") {
-        banner("Ablations", scale);
-        println!("{}", ablate_tick(scale).to_table());
-        println!("{}", ablate_cstate(scale).to_table());
-        println!("{}", ablate_smart_period(scale).to_table());
-        println!("{}", ablate_poll(scale).to_table());
-        println!("{}", ablate_numa(scale).to_table());
-        println!("{}", ablate_rcu(scale).to_table());
-        println!("{}", ablate_coalescing(scale).to_table());
-        println!("{}", ablate_gc(scale.seed).to_table());
-    }
-    if wants(&filter, "tailscale") {
-        banner("Tail at scale (striped volume, §I motivation)", scale);
-        println!("{}", tail_at_scale(scale).to_table());
-    }
-    if wants(&filter, "saturation") {
-        banner("Uplink saturation check (§III-B / §IV-G)", scale);
-        println!("{}", uplink_saturation(scale).to_table());
-    }
-    if wants(&filter, "pts") {
-        banner("SNIA PTS-E steady-state procedure", scale);
-        println!("{}", pts_random_write(scale.seed, 30).to_table());
-    }
-    if wants(&filter, "qdsweep") {
-        banner("Queue-depth sweep", scale);
-        println!("{}", qd_sweep(scale.seed).to_table());
-    }
-    if wants(&filter, "multihost") {
-        banner("Multi-host enclosure isolation (§III-A)", scale);
-        println!("{}", multi_host_isolation(scale).to_table());
-    }
-    if wants(&filter, "futurework") {
-        banner("§VI future-work prototypes", scale);
-        println!("{}", future_schedulers(scale).to_table());
-    }
-    if wants(&filter, "rootcause") {
-        banner("Root-cause latency budgets", scale);
-        for stage in [TuningStage::Default, TuningStage::IrqAffinity] {
-            println!("{}", root_cause(stage, scale).to_table());
+    let mut ran = 0usize;
+    for def in registry() {
+        if filter
+            .as_ref()
+            .is_some_and(|f| !def.name.contains(f.as_str()))
+        {
+            continue;
         }
+        banner(&format!("{} — {}", def.name, def.description), scale);
+        let run = run_experiment(def, scale);
+        println!("{}", run.result.to_table());
+        println!("{}", run.manifest.to_table());
+        ran += 1;
     }
 
-    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if ran == 0 {
+        if let Some(f) = &filter {
+            eprintln!("filter '{f}' matched no registered experiment; known names:");
+            for def in registry() {
+                eprintln!("  {}", def.name);
+            }
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "regenerated {ran} artifact(s) in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -1,73 +1,73 @@
-//! Criterion micro-benchmarks of the substrate hot paths.
+//! Micro-benchmarks of the substrate hot paths (stdlib harness).
 //!
 //! The whole-array simulation's throughput is set by: histogram
 //! recording (once per I/O), event-queue churn (once per I/O),
 //! device-command reservation (once per I/O), the RNG, and the
 //! scheduler wake path. These benches keep those paths honest.
+//!
+//! Run with `cargo bench -p afa-bench --bench micro`; pass a substring
+//! filter as the first CLI argument to run a subset, e.g.
+//! `cargo bench -p afa-bench --bench micro -- rng`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use afa_bench::micro::Harness;
 use afa_host::{BackgroundConfig, CpuId, CpuTopology, HostModel, KernelConfig, SchedPolicy};
 use afa_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use afa_ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
 use afa_stats::LatencyHistogram;
 
-fn bench_histogram(c: &mut Criterion) {
+fn bench_histogram(harness: &mut Harness) {
     let mut h = LatencyHistogram::new();
     let mut x = 12345u64;
-    c.bench_function("histogram_record", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-            h.record(black_box(20_000 + (x >> 40)));
-        })
+    harness.bench("histogram_record", || {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        h.record(black_box(20_000 + (x >> 40)));
     });
     for v in 0..1_000_000u64 {
         h.record(25_000 + v % 10_000);
     }
-    c.bench_function("histogram_percentile", |b| {
-        b.iter(|| black_box(h.value_at_percentile(black_box(99.999))))
+    harness.bench("histogram_percentile", || {
+        black_box(h.value_at_percentile(black_box(99.999)));
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop", |b| {
-        let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
-        let mut t = 0u64;
-        for i in 0..512 {
-            q.push(SimTime::from_nanos(i * 1000), i);
-        }
-        b.iter(|| {
-            t += 997;
-            q.push(SimTime::from_nanos(black_box(t)), t);
-            black_box(q.pop());
-        })
+fn bench_event_queue(harness: &mut Harness) {
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+    let mut t = 0u64;
+    for i in 0..512 {
+        q.push(SimTime::from_nanos(i * 1000), i);
+    }
+    harness.bench("event_queue_push_pop", || {
+        t += 997;
+        q.push(SimTime::from_nanos(black_box(t)), t);
+        black_box(q.pop());
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
+fn bench_rng(harness: &mut Harness) {
     let mut rng = SimRng::from_seed(7);
-    c.bench_function("rng_next_u64", |b| b.iter(|| black_box(rng.next_u64())));
-    c.bench_function("rng_exponential", |b| {
-        b.iter(|| black_box(rng.exponential(black_box(30.0))))
+    harness.bench("rng_next_u64", || {
+        black_box(rng.next_u64());
+    });
+    harness.bench("rng_exponential", || {
+        black_box(rng.exponential(black_box(30.0)));
     });
 }
 
-fn bench_device(c: &mut Criterion) {
+fn bench_device(harness: &mut Harness) {
     let mut dev = SsdDevice::new(SsdSpec::table1(), FirmwareProfile::production(), 3);
     let mut now = SimTime::ZERO;
     let mut lba = 0u64;
-    c.bench_function("ssd_submit_read_4k", |b| {
-        b.iter(|| {
-            lba = (lba + 7_919) % 1_000_000;
-            let info = dev.submit(now, NvmeCommand::read(black_box(lba), 4096));
-            now = info.completes_at + SimDuration::micros(5);
-            black_box(info);
-        })
+    harness.bench("ssd_submit_read_4k", || {
+        lba = (lba + 7_919) % 1_000_000;
+        let info = dev.submit(now, NvmeCommand::read(black_box(lba), 4096));
+        now = info.completes_at + SimDuration::micros(5);
+        black_box(info);
     });
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler(harness: &mut Harness) {
     let mut host = HostModel::new(
         CpuTopology::xeon_e5_2690_v2_dual(),
         KernelConfig::stock(),
@@ -77,25 +77,23 @@ fn bench_scheduler(c: &mut Criterion) {
     host.init_vectors((0..64u16).map(|d| CpuId(4 + d % 32)).collect(), 11);
     let mut now = SimTime::ZERO;
     let mut d = 0usize;
-    c.bench_function("host_irq_wake_charge", |b| {
-        b.iter(|| {
-            d = (d + 1) % 64;
-            let out = host.deliver_irq(d, now);
-            let cpu = CpuId(4 + (d % 32) as u16);
-            let (start, _) = host.wake_io_task(cpu, out.wake_ready, SchedPolicy::chrt_fifo_99());
-            let end = host.charge_cpu(cpu, start, SimDuration::nanos(1_300));
-            now = now + SimDuration::nanos(520);
-            black_box(end);
-        })
+    harness.bench("host_irq_wake_charge", || {
+        d = (d + 1) % 64;
+        let out = host.deliver_irq(d, now);
+        let cpu = CpuId(4 + (d % 32) as u16);
+        let (start, _) = host.wake_io_task(cpu, out.wake_ready, SchedPolicy::chrt_fifo_99());
+        let end = host.charge_cpu(cpu, start, SimDuration::nanos(1_300));
+        now = now + SimDuration::nanos(520);
+        black_box(end);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_histogram,
-    bench_event_queue,
-    bench_rng,
-    bench_device,
-    bench_scheduler
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_histogram(&mut harness);
+    bench_event_queue(&mut harness);
+    bench_rng(&mut harness);
+    bench_device(&mut harness);
+    bench_scheduler(&mut harness);
+    harness.report();
+}

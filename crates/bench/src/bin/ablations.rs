@@ -1,21 +1,19 @@
-//! Runs the `DESIGN.md` ablations: tick rate, C-states, housekeeping
-//! protocol, interrupt-vs-polling, and GC on aged devices.
+//! Runs every `DESIGN.md` ablation registered in the experiment
+//! registry: tick rate, C-states, SMART housekeeping, interrupt vs.
+//! polling, coalescing, rcu_nocbs, NUMA placement, and GC on aged
+//! devices.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::{
-    ablate_coalescing, ablate_cstate, ablate_gc, ablate_numa, ablate_poll, ablate_rcu,
-    ablate_smart_period, ablate_tick,
-};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Ablations", scale);
-    println!("{}", ablate_tick(scale).to_table());
-    println!("{}", ablate_cstate(scale).to_table());
-    println!("{}", ablate_smart_period(scale).to_table());
-    println!("{}", ablate_poll(scale).to_table());
-    println!("{}", ablate_numa(scale).to_table());
-    println!("{}", ablate_rcu(scale).to_table());
-    println!("{}", ablate_coalescing(scale).to_table());
-    println!("{}", ablate_gc(scale.seed).to_table());
+fn main() -> ExitCode {
+    afa_bench::run_many(&[
+        "ablate-tick",
+        "ablate-cstate",
+        "ablate-smart-period",
+        "ablate-poll",
+        "ablate-coalescing",
+        "ablate-rcu",
+        "ablate-numa",
+        "ablate-gc",
+    ])
 }

@@ -1,32 +1,7 @@
-//! blktrace-style per-I/O stage dump: trace a window of I/Os through
-//! the full path and print the slowest one end to end.
+//! blktrace-style per-I/O stage traces via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::{AfaConfig, AfaSystem, TuningStage};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("blktrace-style I/O stage traces (default config)", scale);
-    let result = AfaSystem::run(
-        &AfaConfig::paper(TuningStage::Default)
-            .with_ssds(scale.ssds.min(8))
-            .with_runtime(scale.runtime.min(afa_sim::SimDuration::secs(2)))
-            .with_seed(scale.seed)
-            .with_io_tracing(200_000),
-    );
-    let traces = result.traces.expect("tracing enabled");
-    println!("traced {} I/Os", traces.traces().len());
-    if let Some(slowest) = traces.slowest() {
-        println!(
-            "slowest I/O ({:.1} us) stage by stage:",
-            slowest.total().as_micros_f64()
-        );
-        println!("{}", slowest.to_text(0));
-    }
-    // Full dump as an artifact (first 1000 traces to keep it sane).
-    let mut text = String::new();
-    for (seq, t) in traces.traces().iter().take(1_000).enumerate() {
-        text.push_str(&t.to_text(seq));
-    }
-    write_csv("blktrace.txt", &text);
+fn main() -> ExitCode {
+    afa_bench::run_named("blktrace")
 }

@@ -1,12 +1,7 @@
-//! Regenerates the paper's Fig. 6 — default configuration distribution figure.
+//! Regenerates Fig. 6 (default configuration) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::fig6;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 6 — default configuration", scale);
-    let fig = fig6(scale);
-    println!("{}", fig.to_table());
-    write_csv("fig06.csv", &fig.to_csv());
+fn main() -> ExitCode {
+    afa_bench::run_named("fig06")
 }

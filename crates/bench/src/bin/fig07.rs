@@ -1,12 +1,7 @@
-//! Regenerates the paper's Fig. 7 — +chrt -f 99 distribution figure.
+//! Regenerates Fig. 7 (+chrt -f 99) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::fig7;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 7 — +chrt -f 99", scale);
-    let fig = fig7(scale);
-    println!("{}", fig.to_table());
-    write_csv("fig07.csv", &fig.to_csv());
+fn main() -> ExitCode {
+    afa_bench::run_named("fig07")
 }

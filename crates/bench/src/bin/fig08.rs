@@ -1,12 +1,7 @@
-//! Regenerates the paper's Fig. 8 — +CPU isolation distribution figure.
+//! Regenerates Fig. 8 (+isolcpus/nohz_full/rcu_nocbs/idle=poll) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::fig8;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 8 — +CPU isolation", scale);
-    let fig = fig8(scale);
-    println!("{}", fig.to_table());
-    write_csv("fig08.csv", &fig.to_csv());
+fn main() -> ExitCode {
+    afa_bench::run_named("fig08")
 }

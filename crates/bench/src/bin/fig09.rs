@@ -1,12 +1,7 @@
-//! Regenerates the paper's Fig. 9 — +IRQ affinity distribution figure.
+//! Regenerates Fig. 9 (+IRQ affinity pinned) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::fig9;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 9 — +IRQ affinity", scale);
-    let fig = fig9(scale);
-    println!("{}", fig.to_table());
-    write_csv("fig09.csv", &fig.to_csv());
+fn main() -> ExitCode {
+    afa_bench::run_named("fig09")
 }

@@ -1,13 +1,7 @@
-//! Regenerates the Fig. 10 latency scatter (32 SSDs, per-sample logs,
-//! periodic SMART spikes).
+//! Regenerates Fig. 10 (latency scatter with SMART spikes) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::fig10;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 10 — latency scatter, 32 SSDs", scale);
-    let scatter = fig10(scale);
-    println!("{}", scatter.to_table());
-    write_csv("fig10.csv", &scatter.to_csv());
+fn main() -> ExitCode {
+    afa_bench::run_named("fig10")
 }

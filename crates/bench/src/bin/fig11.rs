@@ -1,12 +1,7 @@
-//! Regenerates the paper's Fig. 11 — experimental firmware distribution figure.
+//! Regenerates Fig. 11 (experimental firmware, SMART off) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::fig11;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 11 — experimental firmware", scale);
-    let fig = fig11(scale);
-    println!("{}", fig.to_table());
-    write_csv("fig11.csv", &fig.to_csv());
+fn main() -> ExitCode {
+    afa_bench::run_named("fig11")
 }

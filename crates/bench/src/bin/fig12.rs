@@ -1,33 +1,7 @@
-//! Regenerates Fig. 12 (the four kernel configurations compared) and
-//! the abstract's ×8 / ×400 headline numbers.
+//! Regenerates Fig. 12 (four kernel configurations side by side) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::calibration::PAPER;
-use afa_core::experiment::fig12;
-use afa_stats::NinesPoint;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 12 — comparison of four system configurations", scale);
-    let cmp = fig12(scale);
-    println!("{}", cmp.to_table());
-    println!(
-        "paper reference: default max ~{:.0} us (std {:.0}), tuned std(max) {:.0}",
-        PAPER.default_max_us, PAPER.default_max_std, PAPER.tuned_max_std
-    );
-
-    let mut csv = String::from("stage,metric,mean_us,std_us\n");
-    for (stage, summary) in &cmp.stages {
-        for point in NinesPoint::ALL {
-            let m = summary.get(point);
-            csv.push_str(&format!(
-                "{},{},{:.2},{:.2}\n",
-                stage.label(),
-                point.label(),
-                m.mean_us,
-                m.std_us
-            ));
-        }
-    }
-    write_csv("fig12.csv", &csv);
+fn main() -> ExitCode {
+    afa_bench::run_named("fig12")
 }

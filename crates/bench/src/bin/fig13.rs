@@ -1,22 +1,8 @@
 //! Regenerates Fig. 13 and Fig. 14 (latency vs. SSDs per physical CPU
-//! core, per the Table II run matrix).
+//! core, per the Table II run matrix) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::{fig13_and_14, render_fig14};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Fig. 13 + Fig. 14 — SSDs per physical core", scale);
-    let (results, summaries) = fig13_and_14(scale);
-    println!("{}", results.to_table());
-    println!("{}", render_fig14(&summaries));
-    for (row, fig) in &results.rows {
-        let name = format!(
-            "fig13{}.csv",
-            row.label()
-                .trim_start_matches("Fig. 13(")
-                .trim_end_matches(')')
-        );
-        write_csv(&name, &fig.to_csv());
-    }
+fn main() -> ExitCode {
+    afa_bench::run_many(&["fig13", "fig14"])
 }

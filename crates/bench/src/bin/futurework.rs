@@ -1,12 +1,7 @@
-//! Evaluates the §VI future-work prototypes (automatic I/O-aggressive
-//! scheduler + affinity-aware IRQ balancer) against the paper's manual
-//! tuning.
+//! Future-work prototype comparison via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::future_schedulers;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("§VI future-work prototypes", scale);
-    println!("{}", future_schedulers(scale).to_table());
+fn main() -> ExitCode {
+    afa_bench::run_named("futurework")
 }

@@ -1,11 +1,7 @@
-//! Multi-host enclosure isolation: host 0's latency vs. neighbor
-//! hosts hammering their static partitions (§III-A).
+//! Multi-host enclosure isolation via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::multi_host_isolation;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Multi-host enclosure isolation", scale);
-    println!("{}", multi_host_isolation(scale).to_table());
+fn main() -> ExitCode {
+    afa_bench::run_named("multihost")
 }

@@ -1,11 +1,7 @@
-//! SNIA PTS-E style steady-state run on a scaled device (§III-B cites
-//! PTS-E ch. 9 for the measurement methodology).
+//! SNIA PTS-E steady-state rounds via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::pts_random_write;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("SNIA PTS-E steady-state procedure", scale);
-    println!("{}", pts_random_write(scale.seed, 30).to_table());
+fn main() -> ExitCode {
+    afa_bench::run_named("pts")
 }

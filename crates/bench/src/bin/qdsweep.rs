@@ -1,10 +1,7 @@
-//! Queue-depth knee curve of the Table I device.
+//! Queue-depth sweep via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::qd_sweep;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Queue-depth sweep", scale);
-    println!("{}", qd_sweep(scale.seed).to_table());
+fn main() -> ExitCode {
+    afa_bench::run_named("qdsweep")
 }

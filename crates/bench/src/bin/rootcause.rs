@@ -1,14 +1,7 @@
-//! Per-cause latency budgets for every tuning stage — the simulated
-//! LTTng analysis (§IV-B/§IV-D).
+//! Per-cause latency budgets across the tuning ladder via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::root_cause;
-use afa_core::TuningStage;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Root-cause latency budgets", scale);
-    for stage in TuningStage::ALL {
-        println!("{}", root_cause(stage, scale).to_table());
-    }
+fn main() -> ExitCode {
+    afa_bench::run_named("rootcause")
 }

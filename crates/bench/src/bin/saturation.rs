@@ -1,11 +1,7 @@
-//! The §III-B preliminary check: sequential reads saturate the PCIe
-//! uplink; 4 KiB QD1 random reads sit far below it (§IV-G).
+//! Uplink-saturation check via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::uplink_saturation;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Uplink saturation check", scale);
-    println!("{}", uplink_saturation(scale).to_table());
+fn main() -> ExitCode {
+    afa_bench::run_named("saturation")
 }

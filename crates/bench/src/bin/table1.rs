@@ -1,17 +1,7 @@
-//! Regenerates Table I: the device model measured against its data
-//! sheet.
+//! Regenerates Table I (device model, rated vs. measured) via the experiment registry.
 
-use afa_bench::{banner, write_csv, ExperimentScale};
-use afa_core::experiment::table1;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Table I — NVMe SSD specification", scale);
-    let t = table1(scale.seed);
-    println!("{}", t.to_table());
-    let mut csv = String::from("metric,rated,measured\n");
-    for (metric, rated, measured) in &t.rows {
-        csv.push_str(&format!("{metric},{rated},{measured:.0}\n"));
-    }
-    write_csv("table1.csv", &csv);
+fn main() -> ExitCode {
+    afa_bench::run_named("table1")
 }

@@ -1,13 +1,7 @@
-//! Regenerates Table II: the Fig. 13 run matrix, derived from the
-//! geometry code.
+//! Regenerates Table II (the Fig. 13 run matrix) via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::table2;
+use std::process::ExitCode;
 
-fn main() {
-    banner(
-        "Table II — varying number of SSDs / CPU core",
-        ExperimentScale::from_env(),
-    );
-    println!("{}", table2());
+fn main() -> ExitCode {
+    afa_bench::run_named("table2")
 }

@@ -1,12 +1,7 @@
-//! The §I motivation quantified: client-perceived latency over a
-//! RAID-0 striped volume, where the slowest member decides each
-//! request's latency.
+//! Tail-at-scale striped-volume sweep via the experiment registry.
 
-use afa_bench::{banner, ExperimentScale};
-use afa_core::experiment::tail_at_scale;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = ExperimentScale::from_env();
-    banner("Tail at scale — striped-volume client latency", scale);
-    println!("{}", tail_at_scale(scale).to_table());
+fn main() -> ExitCode {
+    afa_bench::run_named("tailscale")
 }

@@ -8,9 +8,10 @@
 use afa_host::IdlePolicy;
 use afa_sim::{SimDuration, SimTime};
 use afa_ssd::{FirmwareProfile, NvmeCommand, SmartPolicy, SsdDevice, SsdSpec};
-use afa_stats::{LatencyHistogram, NinesPoint};
+use afa_stats::{Json, LatencyHistogram, NinesPoint};
 use afa_workload::IoEngine;
 
+use crate::experiment::registry::ExperimentResult;
 use crate::experiment::{run_parallel, ExperimentScale};
 use crate::system::AfaConfig;
 use crate::tuning::TuningStage;
@@ -38,6 +39,52 @@ impl AblationResult {
             ));
         }
         out
+    }
+
+    /// One CSV row per sweep setting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("setting,mean_us,p99999_us,max_us\n");
+        for (setting, mean, p5, max) in &self.rows {
+            out.push_str(&format!(
+                "{},{mean:.3},{p5:.3},{max:.3}\n",
+                setting.replace(',', ";")
+            ));
+        }
+        out
+    }
+}
+
+impl ExperimentResult for AblationResult {
+    fn to_table(&self) -> String {
+        AblationResult::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        AblationResult::to_csv(self)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::str(&self.title)),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|(setting, mean, p5, max)| {
+                    Json::obj([
+                        ("setting", Json::str(setting)),
+                        ("mean_us", Json::f64(*mean)),
+                        ("p99999_us", Json::f64(*p5)),
+                        ("max_us", Json::f64(*max)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .map(|&(_, _, _, max)| max)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 }
 
@@ -403,6 +450,62 @@ impl GcAblationResult {
             self.aged_write_amplification, self.gc_cycles
         ));
         out
+    }
+}
+
+fn histogram_json(h: &LatencyHistogram) -> Json {
+    Json::obj([
+        ("count", Json::u64(h.count())),
+        ("mean_us", Json::f64(h.mean() / 1e3)),
+        (
+            "p99_us",
+            Json::f64(h.value_at_percentile(99.0) as f64 / 1e3),
+        ),
+        (
+            "p9999_us",
+            Json::f64(h.value_at_percentile(99.99) as f64 / 1e3),
+        ),
+        ("max_us", Json::f64(h.max() as f64 / 1e3)),
+    ])
+}
+
+impl ExperimentResult for GcAblationResult {
+    fn to_table(&self) -> String {
+        GcAblationResult::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("state,mean_us,p99_us,p9999_us,max_us\n");
+        for (name, h) in [("FOB", &self.fob), ("aged", &self.aged)] {
+            out.push_str(&format!(
+                "{name},{:.3},{:.3},{:.3},{:.3}\n",
+                h.mean() / 1e3,
+                h.value_at_percentile(99.0) as f64 / 1e3,
+                h.value_at_percentile(99.99) as f64 / 1e3,
+                h.max() as f64 / 1e3
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fob", histogram_json(&self.fob)),
+            ("aged", histogram_json(&self.aged)),
+            (
+                "aged_write_amplification",
+                Json::f64(self.aged_write_amplification),
+            ),
+            ("gc_cycles", Json::u64(self.gc_cycles)),
+        ])
+    }
+
+    fn samples(&self) -> u64 {
+        self.fob.count() + self.aged.count()
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        Some(self.aged.max() as f64 / 1e3)
     }
 }
 

@@ -7,7 +7,9 @@
 
 use afa_sim::{SimDuration, SimTime};
 use afa_ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
-use afa_stats::LatencyHistogram;
+use afa_stats::{Json, LatencyHistogram};
+
+use crate::experiment::registry::ExperimentResult;
 
 /// One queue-depth point.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,6 +61,40 @@ impl QdSweepResult {
             self.knee_depth()
         ));
         out
+    }
+}
+
+impl ExperimentResult for QdSweepResult {
+    fn to_table(&self) -> String {
+        QdSweepResult::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("qd,iops,mean_us,p99_us\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.1},{:.3},{:.3}\n",
+                p.depth, p.iops, p.mean_us, p.p99_us
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("depth", Json::u64(p.depth as u64)),
+                        ("iops", Json::f64(p.iops)),
+                        ("mean_us", Json::f64(p.mean_us)),
+                        ("p99_us", Json::f64(p.p99_us)),
+                    ])
+                })),
+            ),
+            ("knee_depth", Json::u64(self.knee_depth() as u64)),
+        ])
     }
 }
 

@@ -2,8 +2,9 @@
 
 use afa_sim::SimDuration;
 use afa_stats::series::{median_spike_gap, LogPoint};
-use afa_stats::{LatencyProfile, NinesPoint, OnlineStats, ProfileSummary};
+use afa_stats::{Json, LatencyProfile, NinesPoint, OnlineStats, ProfileSummary};
 
+use crate::experiment::registry::ExperimentResult;
 use crate::experiment::{run_parallel, ExperimentScale};
 use crate::geometry::Table2Row;
 use crate::system::{AfaConfig, AfaSystem, RunResult};
@@ -74,6 +75,46 @@ impl FigureDistributions {
             out.push_str(&format!("{d},{}\n", p.to_csv_row()));
         }
         out
+    }
+
+    /// Total samples behind the figure.
+    pub fn total_samples(&self) -> u64 {
+        self.profiles.iter().map(LatencyProfile::samples).sum()
+    }
+
+    /// Serializes the figure: label, summary, per-device profiles.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(&self.label)),
+            ("devices", Json::u64(self.profiles.len() as u64)),
+            ("summary", self.summary.to_json()),
+            (
+                "profiles",
+                Json::arr(self.profiles.iter().map(LatencyProfile::to_json)),
+            ),
+        ])
+    }
+}
+
+impl ExperimentResult for FigureDistributions {
+    fn to_table(&self) -> String {
+        FigureDistributions::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        FigureDistributions::to_csv(self)
+    }
+
+    fn to_json(&self) -> Json {
+        FigureDistributions::to_json(self)
+    }
+
+    fn samples(&self) -> u64 {
+        self.total_samples()
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        Some(self.worst_max_us())
     }
 }
 
@@ -174,6 +215,43 @@ impl Fig10Scatter {
             }
         }
         out
+    }
+}
+
+impl ExperimentResult for Fig10Scatter {
+    fn to_table(&self) -> String {
+        Fig10Scatter::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        Fig10Scatter::to_csv(self)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("devices", Json::u64(self.points_per_device.len() as u64)),
+            (
+                "retained_points",
+                Json::u64(self.points_per_device.iter().map(Vec::len).sum::<usize>() as u64),
+            ),
+            (
+                "spikes_per_device",
+                Json::arr(self.spikes_per_device.iter().map(|&n| Json::u64(n as u64))),
+            ),
+            (
+                "spike_gaps",
+                Json::arr(self.spike_gaps.iter().map(|&g| Json::u64(g))),
+            ),
+            ("mean_latency_ns", Json::f64(self.mean_latency_ns)),
+            (
+                "estimated_period_secs",
+                self.estimated_period_secs().map_or(Json::Null, Json::f64),
+            ),
+        ])
+    }
+
+    fn samples(&self) -> u64 {
+        self.points_per_device.iter().map(Vec::len).sum::<usize>() as u64
     }
 }
 
@@ -297,6 +375,57 @@ impl Fig12Comparison {
         ));
         out
     }
+
+    /// One CSV row per `(stage, metric)`: cross-device mean and std.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("stage,metric,mean_us,std_us\n");
+        for (stage, summary) in &self.stages {
+            for point in NinesPoint::ALL {
+                let m = summary.get(point);
+                out.push_str(&format!(
+                    "{},{},{:.3},{:.3}\n",
+                    stage.label(),
+                    point.key(),
+                    m.mean_us,
+                    m.std_us
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl ExperimentResult for Fig12Comparison {
+    fn to_table(&self) -> String {
+        Fig12Comparison::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        Fig12Comparison::to_csv(self)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "stages",
+                Json::arr(self.stages.iter().map(|(stage, summary)| {
+                    Json::obj([
+                        ("stage", Json::str(stage.label())),
+                        ("summary", summary.to_json()),
+                    ])
+                })),
+            ),
+            (
+                "mean_max_improvement",
+                Json::f64(self.mean_max_improvement()),
+            ),
+            ("std_max_improvement", Json::f64(self.std_max_improvement())),
+        ])
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        Some(self.mean_max_us(TuningStage::Default))
+    }
 }
 
 /// Fig. 12: runs the four kernel-configuration stages (in parallel)
@@ -363,6 +492,93 @@ impl Fig13Results {
             self.row_a_aggregate_gbps
         ));
         out
+    }
+
+    /// One CSV row per `(Table II row, device)`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("row,device,avg,p99,p999,p9999,p99999,p999999,max\n");
+        for (row, fig) in &self.rows {
+            for (d, p) in fig.profiles.iter().enumerate() {
+                out.push_str(&format!("{},{d},{}\n", row.label(), p.to_csv_row()));
+            }
+        }
+        out
+    }
+}
+
+impl ExperimentResult for Fig13Results {
+    fn to_table(&self) -> String {
+        Fig13Results::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        Fig13Results::to_csv(self)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|(row, fig)| {
+                    Json::obj([
+                        ("row", Json::str(row.label())),
+                        ("distributions", fig.to_json()),
+                    ])
+                })),
+            ),
+            ("row_a_aggregate_gbps", Json::f64(self.row_a_aggregate_gbps)),
+        ])
+    }
+
+    fn samples(&self) -> u64 {
+        self.rows.iter().map(|(_, fig)| fig.total_samples()).sum()
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .map(|(_, fig)| fig.worst_max_us())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// The Fig. 14 aggregation as a first-class result (the Fig. 13 runs'
+/// mean/std summaries per Table II row).
+#[derive(Clone, Debug)]
+pub struct Fig14Result {
+    /// `(row, summary)` per configuration.
+    pub summaries: Vec<(Table2Row, ProfileSummary)>,
+}
+
+impl ExperimentResult for Fig14Result {
+    fn to_table(&self) -> String {
+        render_fig14(&self.summaries)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("row,metric,mean_us,std_us\n");
+        for (row, summary) in &self.summaries {
+            for point in NinesPoint::ALL {
+                let m = summary.get(point);
+                out.push_str(&format!(
+                    "{},{},{:.3},{:.3}\n",
+                    row.label(),
+                    point.key(),
+                    m.mean_us,
+                    m.std_us
+                ));
+            }
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::arr(self.summaries.iter().map(|(row, summary)| {
+            Json::obj([
+                ("row", Json::str(row.label())),
+                ("summary", summary.to_json()),
+            ])
+        }))
     }
 }
 

@@ -10,8 +10,9 @@
 //! the paper's manual tuning?*
 
 use afa_host::KernelConfig;
-use afa_stats::NinesPoint;
+use afa_stats::{Json, NinesPoint};
 
+use crate::experiment::registry::ExperimentResult;
 use crate::experiment::{run_parallel, ExperimentScale};
 use crate::system::AfaConfig;
 use crate::tuning::TuningStage;
@@ -69,6 +70,50 @@ impl FutureWorkResult {
             self.prototype_win_fraction() * 100.0
         ));
         out
+    }
+}
+
+impl ExperimentResult for FutureWorkResult {
+    fn to_table(&self) -> String {
+        FutureWorkResult::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("kernel,avg_us,p999_us,max_us\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{:.3},{:.3},{:.3}\n",
+                row.name.replace(',', ";"),
+                row.avg_us,
+                row.p999_us,
+                row.max_us
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|row| {
+                    Json::obj([
+                        ("kernel", Json::str(&row.name)),
+                        ("avg_us", Json::f64(row.avg_us)),
+                        ("p999_us", Json::f64(row.p999_us)),
+                        ("max_us", Json::f64(row.max_us)),
+                    ])
+                })),
+            ),
+            (
+                "prototype_win_fraction",
+                Json::f64(self.prototype_win_fraction()),
+            ),
+        ])
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        self.rows.last().map(|r| r.max_us)
     }
 }
 

@@ -4,14 +4,20 @@
 //! Every runner takes an [`ExperimentScale`] (run time, device count,
 //! seed — typically from the environment via
 //! [`ExperimentScale::from_env`]) and returns a result object with
-//! `to_table()` / `to_csv()` renderings that the bench harness prints.
+//! `to_table()` / `to_csv()` / `to_json()` renderings. All runners are
+//! registered in [`registry::registry`], which the bench harness and
+//! `afactl` dispatch through; [`registry::run_experiment`] wraps any
+//! run with a reproducibility manifest.
 
 mod ablations;
 mod characterize;
 mod figures;
 mod futurework;
+mod iotrace;
 mod multihost;
+pub mod pool;
 mod pts;
+pub mod registry;
 mod rootcause;
 mod saturation;
 mod scale;
@@ -25,28 +31,24 @@ pub use ablations::{
 pub use characterize::{qd_sweep, QdPoint, QdSweepResult};
 pub use figures::{
     fig10, fig11, fig12, fig13, fig13_and_14, fig14, fig6, fig7, fig8, fig9, render_fig14,
-    run_stage, Fig10Scatter, Fig12Comparison, Fig13Results, FigureDistributions,
+    run_stage, Fig10Scatter, Fig12Comparison, Fig13Results, Fig14Result, FigureDistributions,
 };
 pub use futurework::{future_schedulers, FutureWorkResult, FutureWorkRow};
+pub use iotrace::{io_trace, IoTraceResult};
 pub use multihost::{multi_host_isolation, MultiHostResult};
 pub use pts::{pts_random_write, PtsRun, SteadyStateDetector};
-pub use rootcause::{root_cause, RootCauseReport};
+pub use registry::{
+    cause_rows_json, find, registry, run_experiment, Experiment, ExperimentDef, ExperimentResult,
+    ExperimentRun, RunManifest,
+};
+pub use rootcause::{root_cause, root_cause_ladder, RootCauseLadder, RootCauseReport};
 pub use saturation::{uplink_saturation, SaturationResult};
 pub use scale::ExperimentScale;
-pub use tables::{table1, table2, Table1Result};
+pub use tables::{table1, table2, table2_matrix, Table1Result, Table2Matrix};
 pub use tailscale::{tail_at_scale, TailScaleCell, TailScaleResult};
 
-/// Runs several independent experiment configurations in parallel OS
-/// threads, preserving input order.
+/// Runs several independent experiment configurations on the bounded
+/// worker pool ([`pool::map_bounded`]), preserving input order.
 pub(crate) fn run_parallel(configs: Vec<crate::AfaConfig>) -> Vec<crate::RunResult> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|config| scope.spawn(move || crate::AfaSystem::run(&config)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
-    })
+    pool::map_bounded(configs, |config| crate::AfaSystem::run(&config))
 }

@@ -12,8 +12,9 @@
 use afa_pcie::PcieFabric;
 use afa_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
 use afa_ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
-use afa_stats::{LatencyHistogram, LatencyProfile, NinesPoint};
+use afa_stats::{Json, LatencyHistogram, LatencyProfile, NinesPoint};
 
+use crate::experiment::registry::ExperimentResult;
 use crate::experiment::ExperimentScale;
 
 /// Devices per host in the experiment.
@@ -70,6 +71,43 @@ impl MultiHostResult {
             self.p999_shift() * 100.0
         ));
         out
+    }
+}
+
+impl ExperimentResult for MultiHostResult {
+    fn to_table(&self) -> String {
+        MultiHostResult::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("neighbors,avg_us,p99_us,p999_us,max_us\n");
+        for (name, p) in [("idle", &self.quiet), ("saturating", &self.noisy)] {
+            out.push_str(&format!(
+                "{name},{:.3},{:.3},{:.3},{:.3}\n",
+                p.get_micros(NinesPoint::Average),
+                p.get_micros(NinesPoint::Nines2),
+                p.get_micros(NinesPoint::Nines3),
+                p.get_micros(NinesPoint::Max)
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("quiet", self.quiet.to_json()),
+            ("noisy", self.noisy.to_json()),
+            ("neighbor_gbps", Json::f64(self.neighbor_gbps)),
+            ("p999_shift", Json::f64(self.p999_shift())),
+        ])
+    }
+
+    fn samples(&self) -> u64 {
+        self.quiet.samples() + self.noisy.samples()
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        Some(self.noisy.get_micros(NinesPoint::Max))
     }
 }
 

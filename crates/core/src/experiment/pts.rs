@@ -10,6 +10,9 @@
 
 use afa_sim::{SimDuration, SimTime};
 use afa_ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
+use afa_stats::Json;
+
+use crate::experiment::registry::ExperimentResult;
 
 /// The PTS steady-state criterion over a sliding window.
 #[derive(Clone, Debug)]
@@ -118,6 +121,42 @@ impl PtsRun {
             self.final_write_amplification
         ));
         out
+    }
+}
+
+impl ExperimentResult for PtsRun {
+    fn to_table(&self) -> String {
+        PtsRun::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("round,iops,steady\n");
+        for (i, iops) in self.rounds.iter().enumerate() {
+            let steady = matches!(self.steady_at, Some(s) if i >= s);
+            out.push_str(&format!("{i},{iops:.1},{}\n", u8::from(steady)));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "rounds_iops",
+                Json::arr(self.rounds.iter().map(|&v| Json::f64(v))),
+            ),
+            (
+                "steady_at",
+                self.steady_at.map_or(Json::Null, |s| Json::u64(s as u64)),
+            ),
+            (
+                "final_write_amplification",
+                Json::f64(self.final_write_amplification),
+            ),
+        ])
+    }
+
+    fn samples(&self) -> u64 {
+        self.rounds.len() as u64
     }
 }
 

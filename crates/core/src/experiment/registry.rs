@@ -1,0 +1,515 @@
+//! The experiment registry: every figure, table and ablation of the
+//! reproduction as a first-class, named, runnable object.
+//!
+//! Three layers:
+//!
+//! * [`ExperimentResult`] — what every experiment returns: a paper
+//!   table ([`ExperimentResult::to_table`]), a plotting CSV
+//!   ([`ExperimentResult::to_csv`]) and a machine-readable JSON
+//!   document ([`ExperimentResult::to_json`]).
+//! * [`Experiment`] / [`ExperimentDef`] — a named, described runner.
+//!   The static [`registry`] lists one [`ExperimentDef`] per artifact;
+//!   [`find`] resolves a name.
+//! * [`run_experiment`] — runs a definition at an [`ExperimentScale`]
+//!   and wraps the result with a [`RunManifest`]: seed, scale, stage,
+//!   wall-clock, sample count and a per-[`Cause`] latency budget
+//!   measured by a deterministic attribution probe.
+//!
+//! Everything in the JSON artifact is a pure function of
+//! `(experiment, scale)` — host wall-clock is carried in the manifest
+//! struct and rendered in tables, but serialized as `null` so two runs
+//! with the same seed emit byte-identical JSON.
+
+use std::time::Duration;
+use std::time::Instant;
+
+use afa_sim::trace::{Cause, CauseBudget};
+use afa_sim::SimDuration;
+use afa_stats::Json;
+
+use crate::experiment::{self, ExperimentScale};
+use crate::system::{AfaConfig, AfaSystem};
+use crate::tuning::TuningStage;
+
+/// Uniform interface over every experiment's result object.
+pub trait ExperimentResult {
+    /// Paper-style human-readable table.
+    fn to_table(&self) -> String;
+    /// CSV for plotting.
+    fn to_csv(&self) -> String;
+    /// Machine-readable JSON document. Must be a pure function of the
+    /// experiment inputs (no wall-clock, no host state) so same-seed
+    /// runs serialize byte-identically.
+    fn to_json(&self) -> Json;
+    /// Latency samples behind the result (0 when the experiment has no
+    /// per-I/O sample notion).
+    fn samples(&self) -> u64 {
+        0
+    }
+    /// Headline worst-case latency in µs, when the experiment has one.
+    fn headline_max_us(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A named experiment that can run at any [`ExperimentScale`].
+pub trait Experiment {
+    /// Registry name (`afactl exp <name>`).
+    fn name(&self) -> &'static str;
+    /// One-line description (`afactl list`).
+    fn description(&self) -> &'static str;
+    /// The tuning stage the experiment is *about*, when it has a
+    /// single one (sweeps over stages return `None`).
+    fn stage(&self) -> Option<TuningStage> {
+        None
+    }
+    /// Runs the experiment.
+    fn run(&self, scale: ExperimentScale) -> Box<dyn ExperimentResult>;
+}
+
+/// A registry entry: a name, a description and a runner fn.
+#[derive(Clone, Copy)]
+pub struct ExperimentDef {
+    /// Registry name (`afactl exp <name>`).
+    pub name: &'static str,
+    /// One-line description (`afactl list`).
+    pub description: &'static str,
+    /// The single tuning stage the experiment runs at, if any.
+    pub stage: Option<TuningStage>,
+    runner: fn(ExperimentScale) -> Box<dyn ExperimentResult>,
+}
+
+impl Experiment for ExperimentDef {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn stage(&self) -> Option<TuningStage> {
+        self.stage
+    }
+
+    fn run(&self, scale: ExperimentScale) -> Box<dyn ExperimentResult> {
+        (self.runner)(scale)
+    }
+}
+
+static REGISTRY: [ExperimentDef; 27] = [
+    ExperimentDef {
+        name: "fig06",
+        description: "Fig. 6: per-SSD latency distributions, default configuration",
+        stage: Some(TuningStage::Default),
+        runner: |s| Box::new(experiment::fig6(s)),
+    },
+    ExperimentDef {
+        name: "fig07",
+        description: "Fig. 7: + fio under chrt -f 99",
+        stage: Some(TuningStage::Chrt),
+        runner: |s| Box::new(experiment::fig7(s)),
+    },
+    ExperimentDef {
+        name: "fig08",
+        description: "Fig. 8: + isolcpus/nohz_full/rcu_nocbs/idle=poll",
+        stage: Some(TuningStage::Isolcpus),
+        runner: |s| Box::new(experiment::fig8(s)),
+    },
+    ExperimentDef {
+        name: "fig09",
+        description: "Fig. 9: + all NVMe vectors pinned to designated CPUs",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::fig9(s)),
+    },
+    ExperimentDef {
+        name: "fig10",
+        description: "Fig. 10: per-sample latency scatter, SMART spikes visible",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::fig10(s)),
+    },
+    ExperimentDef {
+        name: "fig11",
+        description: "Fig. 11: + experimental firmware (SMART disabled)",
+        stage: Some(TuningStage::ExperimentalFirmware),
+        runner: |s| Box::new(experiment::fig11(s)),
+    },
+    ExperimentDef {
+        name: "fig12",
+        description: "Fig. 12: the four kernel configurations side by side",
+        stage: None,
+        runner: |s| Box::new(experiment::fig12(s)),
+    },
+    ExperimentDef {
+        name: "fig13",
+        description: "Fig. 13: latency vs. SSDs per physical core (Table II sweep)",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::fig13(s)),
+    },
+    ExperimentDef {
+        name: "fig14",
+        description: "Fig. 14: mean/std aggregation of the Fig. 13 sweep",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| {
+            Box::new(experiment::Fig14Result {
+                summaries: experiment::fig14(s),
+            })
+        },
+    },
+    ExperimentDef {
+        name: "table1",
+        description: "Table I: device model, rated vs. measured",
+        stage: None,
+        runner: |s| Box::new(experiment::table1(s.seed)),
+    },
+    ExperimentDef {
+        name: "table2",
+        description: "Table II: the Fig. 13 run matrix, derived from the geometry",
+        stage: None,
+        runner: |_| Box::new(experiment::table2_matrix()),
+    },
+    ExperimentDef {
+        name: "ablate-tick",
+        description: "Ablation: timer-tick rate vs. CFS wake-up tail",
+        stage: Some(TuningStage::Default),
+        runner: |s| Box::new(experiment::ablate_tick(s)),
+    },
+    ExperimentDef {
+        name: "ablate-cstate",
+        description: "Ablation: idle C-state policy vs. latency",
+        stage: Some(TuningStage::Chrt),
+        runner: |s| Box::new(experiment::ablate_cstate(s)),
+    },
+    ExperimentDef {
+        name: "ablate-smart-period",
+        description: "Ablation: SMART housekeeping protocol sweep",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::ablate_smart_period(s)),
+    },
+    ExperimentDef {
+        name: "ablate-poll",
+        description: "Ablation: interrupt vs. polling completions",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::ablate_poll(s)),
+    },
+    ExperimentDef {
+        name: "ablate-coalescing",
+        description: "Ablation: NVMe interrupt coalescing at QD4",
+        stage: Some(TuningStage::ExperimentalFirmware),
+        runner: |s| Box::new(experiment::ablate_coalescing(s)),
+    },
+    ExperimentDef {
+        name: "ablate-rcu",
+        description: "Ablation: rcu_nocbs callback offloading",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::ablate_rcu(s)),
+    },
+    ExperimentDef {
+        name: "ablate-numa",
+        description: "Ablation: NUMA placement of fio threads",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::ablate_numa(s)),
+    },
+    ExperimentDef {
+        name: "ablate-gc",
+        description: "Ablation: FOB vs. aged device (GC interference)",
+        stage: None,
+        runner: |s| Box::new(experiment::ablate_gc(s.seed)),
+    },
+    ExperimentDef {
+        name: "rootcause",
+        description: "Per-cause latency budget across the whole tuning ladder",
+        stage: None,
+        runner: |s| Box::new(experiment::root_cause_ladder(s)),
+    },
+    ExperimentDef {
+        name: "tailscale",
+        description: "Tail at scale: client latency over a striped volume",
+        stage: None,
+        runner: |s| Box::new(experiment::tail_at_scale(s)),
+    },
+    ExperimentDef {
+        name: "saturation",
+        description: "Uplink saturation: sequential vs. QD1 random throughput",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::uplink_saturation(s)),
+    },
+    ExperimentDef {
+        name: "pts",
+        description: "SNIA PTS-E style steady-state random-write rounds",
+        stage: None,
+        runner: |s| Box::new(experiment::pts_random_write(s.seed, 30)),
+    },
+    ExperimentDef {
+        name: "qdsweep",
+        description: "Queue-depth sweep: the device's latency/IOPS knee",
+        stage: None,
+        runner: |s| Box::new(experiment::qd_sweep(s.seed)),
+    },
+    ExperimentDef {
+        name: "multihost",
+        description: "Multi-host enclosure isolation across the shared fabric",
+        stage: None,
+        runner: |s| Box::new(experiment::multi_host_isolation(s)),
+    },
+    ExperimentDef {
+        name: "futurework",
+        description: "Future-work prototypes vs. the paper's manual tuning",
+        stage: None,
+        runner: |s| Box::new(experiment::future_schedulers(s)),
+    },
+    ExperimentDef {
+        name: "blktrace",
+        description: "blktrace-style per-I/O stage timestamps, slowest sample",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::io_trace(s)),
+    },
+];
+
+/// All registered experiments, in presentation order.
+pub fn registry() -> &'static [ExperimentDef] {
+    &REGISTRY
+}
+
+/// Resolves a registry name.
+pub fn find(name: &str) -> Option<&'static ExperimentDef> {
+    REGISTRY.iter().find(|def| def.name == name)
+}
+
+/// Provenance of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunManifest {
+    /// Registry name of the experiment.
+    pub experiment: &'static str,
+    /// The scale the experiment ran at.
+    pub scale: ExperimentScale,
+    /// The experiment's single tuning stage, if it has one.
+    pub stage: Option<TuningStage>,
+    /// Latency samples behind the result.
+    pub samples: u64,
+    /// Host wall-clock time of the run. Rendered in tables only —
+    /// serialized as `null` so same-seed JSON is byte-identical.
+    pub wall: Duration,
+    /// Per-cause latency budget from the attribution probe.
+    pub budget: CauseBudget,
+    /// Scale the attribution probe ran at (reduced from `scale` to
+    /// keep the probe cheap).
+    pub probe_scale: ExperimentScale,
+    /// Tuning stage the attribution probe ran at
+    /// (`stage.unwrap_or(IrqAffinity)`).
+    pub probe_stage: TuningStage,
+}
+
+impl RunManifest {
+    /// Renders the manifest for humans (includes wall-clock).
+    pub fn to_table(&self) -> String {
+        let mut out = format!("run manifest — {}\n", self.experiment);
+        out.push_str(&format!(
+            "scale   : {:.3}s per job, {} SSDs, seed {}\n",
+            self.scale.runtime.as_secs_f64(),
+            self.scale.ssds,
+            self.scale.seed
+        ));
+        out.push_str(&format!(
+            "stage   : {}\n",
+            self.stage.map_or("(multi)", TuningStage::label)
+        ));
+        out.push_str(&format!("samples : {}\n", self.samples));
+        out.push_str(&format!("wall    : {:.2}s\n", self.wall.as_secs_f64()));
+        out.push_str(&format!(
+            "latency budget (probe: '{}' at {:.3}s x {} SSDs):\n",
+            self.probe_stage.label(),
+            self.probe_scale.runtime.as_secs_f64(),
+            self.probe_scale.ssds
+        ));
+        out.push_str(&format!(
+            "  {:<20} {:>12} {:>12}\n",
+            "cause", "total(ms)", "events"
+        ));
+        for &(cause, total, events) in self.budget.rows() {
+            out.push_str(&format!(
+                "  {:<20} {:>12.2} {:>12}\n",
+                cause.label(),
+                total.as_micros_f64() / 1_000.0,
+                events
+            ));
+        }
+        out
+    }
+
+    /// Serializes the manifest. `wall_ms` is always `null`: wall-clock
+    /// is the one non-deterministic field, and the JSON artifact must
+    /// be byte-identical across same-seed runs.
+    pub fn to_json(&self) -> Json {
+        let causes = Json::arr(self.budget.rows().iter().map(|&(cause, total, events)| {
+            Json::obj([
+                ("cause", Json::str(cause.label())),
+                ("total_us", Json::f64(total.as_micros_f64())),
+                ("events", Json::u64(events)),
+            ])
+        }));
+        Json::obj([
+            ("experiment", Json::str(self.experiment)),
+            ("seed", Json::u64(self.scale.seed)),
+            (
+                "scale",
+                Json::obj([
+                    (
+                        "runtime_ms",
+                        Json::f64(self.scale.runtime.as_secs_f64() * 1e3),
+                    ),
+                    ("ssds", Json::u64(self.scale.ssds as u64)),
+                ]),
+            ),
+            ("stage", stage_json(self.stage)),
+            ("samples", Json::u64(self.samples)),
+            ("wall_ms", Json::Null),
+            (
+                "budget",
+                Json::obj([
+                    (
+                        "probe",
+                        Json::obj([
+                            ("stage", Json::str(self.probe_stage.label())),
+                            (
+                                "runtime_ms",
+                                Json::f64(self.probe_scale.runtime.as_secs_f64() * 1e3),
+                            ),
+                            ("ssds", Json::u64(self.probe_scale.ssds as u64)),
+                            ("seed", Json::u64(self.probe_scale.seed)),
+                        ]),
+                    ),
+                    ("total_us", Json::f64(self.budget.total().as_micros_f64())),
+                    ("causes", causes),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn stage_json(stage: Option<TuningStage>) -> Json {
+    stage.map_or(Json::Null, |s| Json::str(s.label()))
+}
+
+/// One experiment run: the result plus its provenance manifest.
+pub struct ExperimentRun {
+    /// Provenance: seed, scale, wall-clock, latency budget.
+    pub manifest: RunManifest,
+    /// The experiment's result object.
+    pub result: Box<dyn ExperimentResult>,
+}
+
+impl ExperimentRun {
+    /// The full JSON artifact: manifest + data. Byte-identical across
+    /// runs with the same `(experiment, scale)`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("manifest", self.manifest.to_json()),
+            ("data", self.result.to_json()),
+        ])
+    }
+}
+
+/// Runs `def` at `scale` and attaches a [`RunManifest`].
+///
+/// The per-cause latency budget comes from a separate deterministic
+/// *probe* run with attribution enabled, at the experiment's stage
+/// (or the fully tuned kernel for multi-stage experiments) and a
+/// reduced scale, so the budget is cheap and reproducible even for
+/// experiments that don't attribute causes themselves.
+pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> ExperimentRun {
+    let t0 = Instant::now();
+    let result = def.run(scale);
+    let wall = t0.elapsed();
+
+    let probe_runtime = if scale.runtime > SimDuration::millis(250) {
+        SimDuration::millis(250)
+    } else {
+        scale.runtime
+    };
+    let probe_scale = ExperimentScale::new(probe_runtime, scale.ssds.min(8), scale.seed);
+    let probe_stage = def.stage.unwrap_or(TuningStage::IrqAffinity);
+    let probe = AfaSystem::run(
+        &AfaConfig::paper(probe_stage)
+            .with_ssds(probe_scale.ssds)
+            .with_runtime(probe_scale.runtime)
+            .with_seed(probe_scale.seed)
+            .with_cause_attribution(true),
+    );
+    let budget = probe.causes.expect("attribution enabled").budget();
+
+    let samples = result.samples();
+    ExperimentRun {
+        manifest: RunManifest {
+            experiment: def.name,
+            scale,
+            stage: def.stage,
+            samples,
+            wall,
+            budget,
+            probe_scale,
+            probe_stage,
+        },
+        result,
+    }
+}
+
+/// Convenience: JSON rows for a per-cause budget (used by result
+/// serializers that carry their own [`Cause`] tables).
+pub fn cause_rows_json(rows: &[(Cause, f64, u64, f64)]) -> Json {
+    Json::arr(rows.iter().map(|&(cause, total_us, events, per_io)| {
+        Json::obj([
+            ("cause", Json::str(cause.label())),
+            ("total_us", Json::f64(total_us)),
+            ("events", Json::u64(events)),
+            ("us_per_io", Json::f64(per_io)),
+        ])
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_twenty_unique_names() {
+        let names: Vec<&str> = registry().iter().map(|d| d.name).collect();
+        assert!(names.len() >= 20, "only {} experiments", names.len());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+    }
+
+    #[test]
+    fn find_resolves_known_names_and_rejects_unknown() {
+        assert_eq!(find("fig12").unwrap().name, "fig12");
+        assert!(find("fig12").unwrap().stage.is_none());
+        assert_eq!(find("fig06").unwrap().stage, Some(TuningStage::Default));
+        assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_single_line() {
+        for def in registry() {
+            assert!(!def.description.is_empty(), "{} undescribed", def.name);
+            assert!(
+                !def.description.contains('\n'),
+                "{} description spans lines",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_json_has_null_wall_clock() {
+        let def = find("table2").expect("table2 registered");
+        let run = run_experiment(def, ExperimentScale::quick());
+        let manifest = run.manifest.to_json();
+        let rendered = manifest.to_string();
+        assert!(rendered.contains("\"wall_ms\":null"), "{rendered}");
+        assert!(rendered.contains("\"experiment\":\"table2\""));
+        assert!(!run.manifest.budget.is_empty(), "probe budget missing");
+        assert!(run.manifest.to_table().contains("latency budget"));
+    }
+}

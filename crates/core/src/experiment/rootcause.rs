@@ -8,8 +8,10 @@
 //! latency budget.
 
 use afa_sim::trace::Cause;
+use afa_stats::Json;
 
-use crate::experiment::ExperimentScale;
+use crate::experiment::registry::{cause_rows_json, ExperimentResult};
+use crate::experiment::{pool, ExperimentScale};
 use crate::system::{AfaConfig, AfaSystem};
 use crate::tuning::TuningStage;
 
@@ -62,6 +64,91 @@ impl RootCauseReport {
         }
         out
     }
+
+    /// One CSV row per cause.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("stage,cause,total_us,events,us_per_io\n");
+        for (cause, total_us, events, per_io) in &self.rows {
+            out.push_str(&format!(
+                "{},{},{total_us:.3},{events},{per_io:.4}\n",
+                self.stage.label(),
+                cause.label()
+            ));
+        }
+        out
+    }
+
+    /// Serializes the budget.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("stage", Json::str(self.stage.label())),
+            ("completed", Json::u64(self.completed)),
+            ("causes", cause_rows_json(&self.rows)),
+        ])
+    }
+}
+
+impl ExperimentResult for RootCauseReport {
+    fn to_table(&self) -> String {
+        RootCauseReport::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        RootCauseReport::to_csv(self)
+    }
+
+    fn to_json(&self) -> Json {
+        RootCauseReport::to_json(self)
+    }
+
+    fn samples(&self) -> u64 {
+        self.completed
+    }
+}
+
+/// Per-cause budgets across the whole tuning ladder — the registry's
+/// `rootcause` experiment.
+#[derive(Clone, Debug)]
+pub struct RootCauseLadder {
+    /// One report per [`TuningStage::ALL`] entry, in ladder order.
+    pub reports: Vec<RootCauseReport>,
+}
+
+impl ExperimentResult for RootCauseLadder {
+    fn to_table(&self) -> String {
+        let mut out = String::new();
+        for report in &self.reports {
+            out.push_str(&report.to_table());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("stage,cause,total_us,events,us_per_io\n");
+        for report in &self.reports {
+            for line in report.to_csv().lines().skip(1) {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::arr(self.reports.iter().map(RootCauseReport::to_json))
+    }
+
+    fn samples(&self) -> u64 {
+        self.reports.iter().map(|r| r.completed).sum()
+    }
+}
+
+/// Runs [`root_cause`] for every stage of the ladder (on the bounded
+/// pool), in ladder order.
+pub fn root_cause_ladder(scale: ExperimentScale) -> RootCauseLadder {
+    let reports = pool::map_bounded(TuningStage::ALL.to_vec(), |stage| root_cause(stage, scale));
+    RootCauseLadder { reports }
 }
 
 /// Runs `stage` with cause attribution on and reports the budget.

@@ -8,8 +8,10 @@
 //! reads stay well below it (§IV-G's 8.3 GB/s argument).
 
 use afa_sim::SimDuration;
+use afa_stats::Json;
 use afa_workload::RwPattern;
 
+use crate::experiment::registry::ExperimentResult;
 use crate::experiment::ExperimentScale;
 use crate::system::{AfaConfig, AfaSystem};
 use crate::tuning::TuningStage;
@@ -43,6 +45,28 @@ impl SaturationResult {
             self.uplink_gbps,
             self.qd1_rand_gbps
         )
+    }
+}
+
+impl ExperimentResult for SaturationResult {
+    fn to_table(&self) -> String {
+        SaturationResult::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        format!(
+            "metric,gbps\nseq_read,{:.3}\nuplink,{:.3}\nqd1_rand,{:.3}\n",
+            self.seq_read_gbps, self.uplink_gbps, self.qd1_rand_gbps
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq_read_gbps", Json::f64(self.seq_read_gbps)),
+            ("uplink_gbps", Json::f64(self.uplink_gbps)),
+            ("qd1_rand_gbps", Json::f64(self.qd1_rand_gbps)),
+            ("seq_utilization", Json::f64(self.seq_utilization())),
+        ])
     }
 }
 

@@ -2,7 +2,9 @@
 
 use afa_sim::{SimDuration, SimTime};
 use afa_ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
+use afa_stats::Json;
 
+use crate::experiment::registry::ExperimentResult;
 use crate::geometry::Table2Row;
 
 /// Measured-vs-rated device figures (Table I).
@@ -35,6 +37,33 @@ impl Table1Result {
             .iter()
             .find(|(m, _, _)| m == metric)
             .map(|&(_, _, v)| v)
+    }
+}
+
+impl ExperimentResult for Table1Result {
+    fn to_table(&self) -> String {
+        Table1Result::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("metric,rated,measured\n");
+        for (metric, rated, measured) in &self.rows {
+            out.push_str(&format!(
+                "{},{rated:.1},{measured:.1}\n",
+                metric.replace(',', ";")
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::arr(self.rows.iter().map(|(metric, rated, measured)| {
+            Json::obj([
+                ("metric", Json::str(metric)),
+                ("rated", Json::f64(*rated)),
+                ("measured", Json::f64(*measured)),
+            ])
+        }))
     }
 }
 
@@ -152,6 +181,73 @@ pub fn table1(seed: u64) -> Table1Result {
     }
 
     Table1Result { rows }
+}
+
+/// The Table II matrix as structured data (what [`table2`] renders).
+#[derive(Clone, Debug)]
+pub struct Table2Matrix {
+    /// Per row: `(label, SSDs per physical core, IRQs per logical
+    /// core, fio threads per logical core, fio threads per run,
+    /// runs)`.
+    pub rows: Vec<(String, usize, usize, usize, usize, usize)>,
+}
+
+/// Table II as a first-class result object.
+pub fn table2_matrix() -> Table2Matrix {
+    let topo = afa_host::CpuTopology::xeon_e5_2690_v2_dual();
+    let rows = Table2Row::ALL
+        .into_iter()
+        .map(|row| {
+            let (_, geometry) = &row.run_geometries()[0];
+            let fio_per_logical = geometry.threads_per_logical_cpu();
+            (
+                row.label().to_owned(),
+                geometry.ssds_per_physical_core(&topo),
+                // With pinned vectors, active IRQ handlers per logical
+                // core equal the fio threads per logical core.
+                fio_per_logical,
+                fio_per_logical,
+                row.threads_per_run(),
+                row.runs(),
+            )
+        })
+        .collect();
+    Table2Matrix { rows }
+}
+
+impl ExperimentResult for Table2Matrix {
+    fn to_table(&self) -> String {
+        table2()
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out =
+            String::from("row,ssds_per_core,irqs_per_logical,fio_per_logical,fio_per_run,runs\n");
+        for (label, ssds, irqs, fio, threads, runs) in &self.rows {
+            out.push_str(&format!(
+                "{},{ssds},{irqs},{fio},{threads},{runs}\n",
+                label.replace(',', ";")
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::arr(
+            self.rows
+                .iter()
+                .map(|(label, ssds, irqs, fio, threads, runs)| {
+                    Json::obj([
+                        ("row", Json::str(label)),
+                        ("ssds_per_core", Json::u64(*ssds as u64)),
+                        ("irqs_per_logical_core", Json::u64(*irqs as u64)),
+                        ("fio_per_logical_core", Json::u64(*fio as u64)),
+                        ("fio_per_run", Json::u64(*threads as u64)),
+                        ("runs", Json::u64(*runs as u64)),
+                    ])
+                }),
+        )
+    }
 }
 
 /// Table II: the Fig. 13 run matrix, generated from the geometry code

@@ -14,10 +14,11 @@ use afa_host::{BackgroundConfig, CpuId, CpuTopology, HostModel, SchedPolicy};
 use afa_pcie::PcieFabric;
 use afa_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
 use afa_ssd::{NvmeCommand, SsdDevice, SsdSpec};
-use afa_stats::{LatencyHistogram, LatencyProfile, NinesPoint};
+use afa_stats::{Json, LatencyHistogram, LatencyProfile, NinesPoint};
 use afa_volume::{RequestTracker, StripeConfig, StripedVolume};
 
-use crate::experiment::ExperimentScale;
+use crate::experiment::registry::ExperimentResult;
+use crate::experiment::{pool, ExperimentScale};
 use crate::geometry::CpuSsdGeometry;
 use crate::tuning::{Tuning, TuningStage};
 
@@ -80,6 +81,52 @@ impl TailScaleResult {
     }
 }
 
+impl ExperimentResult for TailScaleResult {
+    fn to_table(&self) -> String {
+        TailScaleResult::to_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("stage,width,avg_us,p99_us,p999_us,max_us\n");
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3},{:.3},{:.3}\n",
+                cell.stage.label(),
+                cell.width,
+                cell.client.get_micros(NinesPoint::Average),
+                cell.client.get_micros(NinesPoint::Nines2),
+                cell.client.get_micros(NinesPoint::Nines3),
+                cell.client.get_micros(NinesPoint::Max)
+            ));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "cells",
+            Json::arr(self.cells.iter().map(|cell| {
+                Json::obj([
+                    ("stage", Json::str(cell.stage.label())),
+                    ("width", Json::u64(cell.width as u64)),
+                    ("client", cell.client.to_json()),
+                ])
+            })),
+        )])
+    }
+
+    fn samples(&self) -> u64 {
+        self.cells.iter().map(|c| c.client.samples()).sum()
+    }
+
+    fn headline_max_us(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .map(|c| c.client.get_micros(NinesPoint::Max))
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
 /// Runs the sweep: stripe widths 1/4/8/16 (clamped to the scale's
 /// device budget) under the default and fully tuned kernels.
 pub fn tail_at_scale(scale: ExperimentScale) -> TailScaleResult {
@@ -94,16 +141,8 @@ pub fn tail_at_scale(scale: ExperimentScale) -> TailScaleResult {
             jobs.push((stage, width));
         }
     }
-    let cells: Vec<TailScaleCell> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(stage, width)| scope.spawn(move || run_cell(stage, width, scale)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("cell"))
-            .collect()
-    });
+    let cells: Vec<TailScaleCell> =
+        pool::map_bounded(jobs, |(stage, width)| run_cell(stage, width, scale));
     TailScaleResult { cells }
 }
 

@@ -1,10 +1,11 @@
-//! Property-based tests for the host/OS model.
+//! Property-based tests for the host/OS model, on the first-party
+//! [`afa_sim::check`] harness.
 
 use afa_host::{
     BackgroundConfig, CpuId, CpuSet, CpuTopology, HostModel, KernelConfig, SchedPolicy,
 };
+use afa_sim::check::run_cases;
 use afa_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
 
 fn host(seed: u64, isolated: bool) -> HostModel {
     let config = if isolated {
@@ -24,33 +25,43 @@ fn host(seed: u64, isolated: bool) -> HostModel {
     h
 }
 
-proptest! {
-    /// Wake-ups never travel backwards: the task starts at or after
-    /// it became runnable, and charged work ends after it starts.
-    #[test]
-    fn wake_and_charge_are_monotone(seed in 0u64..500,
-                                    wakes in prop::collection::vec((0u16..32, 0u64..1_000_000, prop::bool::ANY), 1..300)) {
+/// Wake-ups never travel backwards: the task starts at or after it
+/// became runnable, and charged work ends after it starts.
+#[test]
+fn wake_and_charge_are_monotone() {
+    run_cases("wake_and_charge_are_monotone", 64, |g| {
+        let seed = g.u64_in(0, 500);
+        let wakes = g.vec_of(1, 300, |g| {
+            (g.u16_in(0, 32), g.u64_in(0, 1_000_000), g.bool())
+        });
         let mut h = host(seed, false);
         let mut clock = SimTime::ZERO;
         for (cpu_off, gap_ns, rt) in wakes {
             clock += SimDuration::nanos(gap_ns);
             h.spawn_background(clock);
             let cpu = CpuId(4 + cpu_off % 32);
-            let policy = if rt { SchedPolicy::chrt_fifo_99() } else { SchedPolicy::default_fair() };
+            let policy = if rt {
+                SchedPolicy::chrt_fifo_99()
+            } else {
+                SchedPolicy::default_fair()
+            };
             let (start, bd) = h.wake_io_task(cpu, clock, policy);
-            prop_assert!(start >= clock, "start {start} < ready {clock}");
-            prop_assert_eq!(start.saturating_since(clock), bd.total());
+            assert!(start >= clock, "start {start} < ready {clock}");
+            assert_eq!(start.saturating_since(clock), bd.total());
             let end = h.charge_cpu(cpu, start, SimDuration::micros(2));
-            prop_assert!(end > start);
+            assert!(end > start);
         }
-    }
+    });
+}
 
-    /// RT wake-up delay is bounded by the non-preemptible cap plus
-    /// fixed costs, no matter what the background does.
-    #[test]
-    fn rt_wake_delay_is_bounded(seed in 0u64..300, steps in 1usize..200) {
+/// RT wake-up delay is bounded by the non-preemptible cap plus fixed
+/// costs, no matter what the background does.
+#[test]
+fn rt_wake_delay_is_bounded() {
+    run_cases("rt_wake_delay_is_bounded", 64, |g| {
+        let seed = g.u64_in(0, 300);
+        let steps = g.usize_in(1, 200);
         let mut h = host(seed, false);
-        let cap = SimDuration::micros(520); // np cap (500) + ctx + slack
         let mut clock = SimTime::ZERO;
         for i in 0..steps {
             clock += SimDuration::micros(137 + (i as u64 * 53) % 400);
@@ -58,18 +69,21 @@ proptest! {
             let cpu = CpuId(4 + (i % 32) as u16);
             let (start, _) = h.wake_io_task(cpu, clock, SchedPolicy::chrt_fifo_99());
             // Another I/O task may hold the CPU (local queueing is not
-            // np-bounded), so only assert when the delay source is bg.
+            // np-bounded), so only assert a coarse upper bound.
             let delay = start.saturating_since(clock);
-            prop_assert!(delay <= SimDuration::millis(30), "delay {delay}");
+            assert!(delay <= SimDuration::millis(30), "delay {delay}");
             let _ = h.charge_cpu(cpu, start, SimDuration::micros(1));
-            let _ = cap;
         }
-    }
+    });
+}
 
-    /// Isolation invariant: background never occupies isolated CPUs,
-    /// for any seed and any arrival pattern.
-    #[test]
-    fn isolcpus_never_hosts_background(seed in 0u64..500, arrivals in 1usize..400) {
+/// Isolation invariant: background never occupies isolated CPUs, for
+/// any seed and any arrival pattern.
+#[test]
+fn isolcpus_never_hosts_background() {
+    run_cases("isolcpus_never_hosts_background", 64, |g| {
+        let seed = g.u64_in(0, 500);
+        let arrivals = g.usize_in(1, 400);
         let mut h = host(seed, true);
         let mut clock = SimTime::ZERO;
         for i in 0..arrivals {
@@ -77,13 +91,17 @@ proptest! {
             h.spawn_background(clock);
         }
         for cpu in (4..20).chain(24..40) {
-            prop_assert_eq!(h.stats().bg_per_cpu[cpu], 0);
+            assert_eq!(h.stats().bg_per_cpu[cpu], 0);
         }
-    }
+    });
+}
 
-    /// Pinned vectors always land on the designated CPU.
-    #[test]
-    fn pinned_irq_routing_is_exact(seed in 0u64..500, deliveries in prop::collection::vec((0usize..64, 0u64..60_000_000), 1..200)) {
+/// Pinned vectors always land on the designated CPU.
+#[test]
+fn pinned_irq_routing_is_exact() {
+    run_cases("pinned_irq_routing_is_exact", 64, |g| {
+        let seed = g.u64_in(0, 500);
+        let deliveries = g.vec_of(1, 200, |g| (g.usize_in(0, 64), g.u64_in(0, 60_000_000)));
         let mut h = host(seed, true);
         let mut last = SimTime::ZERO;
         for (device, t_us) in deliveries {
@@ -91,16 +109,20 @@ proptest! {
             let t = t.max(last);
             last = t;
             let out = h.deliver_irq(device, t);
-            prop_assert!(!out.delivery.remote);
-            prop_assert_eq!(out.delivery.vector_cpu, CpuId(4 + (device % 32) as u16));
-            prop_assert!(out.handler_done > t);
-            prop_assert_eq!(out.wake_ready, out.handler_done);
+            assert!(!out.delivery.remote);
+            assert_eq!(out.delivery.vector_cpu, CpuId(4 + (device % 32) as u16));
+            assert!(out.handler_done > t);
+            assert_eq!(out.wake_ready, out.handler_done);
         }
-    }
+    });
+}
 
-    /// The host is a pure function of (seed, call sequence).
-    #[test]
-    fn host_is_deterministic(seed in 0u64..200, n in 1usize..100) {
+/// The host is a pure function of (seed, call sequence).
+#[test]
+fn host_is_deterministic() {
+    run_cases("host_is_deterministic", 32, |g| {
+        let seed = g.u64_in(0, 200);
+        let n = g.usize_in(1, 100);
         let mut a = host(seed, false);
         let mut b = host(seed, false);
         let mut clock = SimTime::ZERO;
@@ -111,19 +133,21 @@ proptest! {
             let cpu = CpuId(4 + (i % 32) as u16);
             let ra = a.wake_io_task(cpu, clock, SchedPolicy::default_fair());
             let rb = b.wake_io_task(cpu, clock, SchedPolicy::default_fair());
-            prop_assert_eq!(ra, rb);
+            assert_eq!(ra, rb);
             let da = a.deliver_irq(i % 64, clock);
             let db = b.deliver_irq(i % 64, clock);
-            prop_assert_eq!(da, db);
+            assert_eq!(da, db);
         }
-    }
+    });
 }
 
-proptest! {
-    /// The IoAggressive prototype bounds CFS wake-ups like RT ones:
-    /// no tick-granularity waits, only non-preemptible sections.
-    #[test]
-    fn prototype_wakes_are_np_bounded(seed in 0u64..200, steps in 1usize..150) {
+/// The IoAggressive prototype bounds CFS wake-ups like RT ones: no
+/// tick-granularity waits, only non-preemptible sections.
+#[test]
+fn prototype_wakes_are_np_bounded() {
+    run_cases("prototype_wakes_are_np_bounded", 64, |g| {
+        let seed = g.u64_in(0, 200);
+        let steps = g.usize_in(1, 150);
         let mut h = HostModel::new(
             CpuTopology::xeon_e5_2690_v2_dual(),
             KernelConfig::prototype(),
@@ -138,16 +162,20 @@ proptest! {
             let cpu = CpuId(4 + (i % 32) as u16);
             let (start, bd) = h.wake_io_task(cpu, clock, SchedPolicy::default_fair());
             // No CFS tick waits under the prototype.
-            prop_assert_eq!(bd.cfs_preempt_wait, SimDuration::ZERO);
+            assert_eq!(bd.cfs_preempt_wait, SimDuration::ZERO);
             // np sections still bound the delay (plus C-state/queueing).
-            prop_assert!(bd.np_wait <= SimDuration::micros(501));
+            assert!(bd.np_wait <= SimDuration::micros(501));
             let _ = h.charge_cpu(cpu, start, SimDuration::micros(2));
         }
-    }
+    });
+}
 
-    /// The AffinityAware balancer routes like pinning: never remote.
-    #[test]
-    fn prototype_irqs_are_never_remote(seed in 0u64..200, n in 1usize..100) {
+/// The AffinityAware balancer routes like pinning: never remote.
+#[test]
+fn prototype_irqs_are_never_remote() {
+    run_cases("prototype_irqs_are_never_remote", 64, |g| {
+        let seed = g.u64_in(0, 200);
+        let n = g.usize_in(1, 100);
         let mut h = HostModel::new(
             CpuTopology::xeon_e5_2690_v2_dual(),
             KernelConfig::prototype(),
@@ -158,8 +186,8 @@ proptest! {
         for i in 0..n {
             let t = SimTime::ZERO + SimDuration::micros(50 * i as u64);
             let out = h.deliver_irq(i % 64, t);
-            prop_assert!(!out.delivery.remote);
+            assert!(!out.delivery.remote);
         }
-        prop_assert_eq!(h.stats().remote_irqs, 0);
-    }
+        assert_eq!(h.stats().remote_irqs, 0);
+    });
 }

@@ -1,14 +1,16 @@
-//! Property-based tests for the PCIe fabric.
+//! Property-based tests for the PCIe fabric, on the first-party
+//! [`afa_sim::check`] harness.
 
 use afa_pcie::{LinkSpec, PcieFabric};
+use afa_sim::check::run_cases;
 use afa_sim::SimTime;
-use proptest::prelude::*;
 
-proptest! {
-    /// Byte conservation: whatever leaves the devices arrives at the
-    /// uplinks, for any traffic pattern.
-    #[test]
-    fn bytes_are_conserved(ops in prop::collection::vec((0usize..64, 1u32..64), 1..300)) {
+/// Byte conservation: whatever leaves the devices arrives at the
+/// uplinks, for any traffic pattern.
+#[test]
+fn bytes_are_conserved() {
+    run_cases("bytes_are_conserved", 64, |g| {
+        let ops = g.vec_of(1, 300, |g| (g.usize_in(0, 64), g.u32_in(1, 64)));
         let mut fabric = PcieFabric::paper_single_host(64);
         let mut expected = 0u64;
         let mut clock = SimTime::ZERO;
@@ -16,51 +18,63 @@ proptest! {
             let bytes = pages as u64 * 4096;
             let t = fabric.submit_command(device, clock);
             let arrival = fabric.deliver_completion(device, t, bytes);
-            prop_assert!(arrival > clock);
+            assert!(arrival > clock);
             // Payload + CQE (16) + MSI (4) per completion.
             expected += bytes + 20;
             clock = clock.max(t);
         }
         let stats = fabric.stats();
-        prop_assert_eq!(stats.device_bytes, stats.uplink_bytes);
-        prop_assert_eq!(stats.uplink_bytes, expected);
-    }
+        assert_eq!(stats.device_bytes, stats.uplink_bytes);
+        assert_eq!(stats.uplink_bytes, expected);
+    });
+}
 
-    /// Transfers on one link never complete out of order: a later
-    /// reservation arrives no earlier than an earlier one.
-    #[test]
-    fn per_device_fifo_ordering(gaps in prop::collection::vec(0u64..100_000, 2..100)) {
+/// Transfers on one link never complete out of order: a later
+/// reservation arrives no earlier than an earlier one.
+#[test]
+fn per_device_fifo_ordering() {
+    run_cases("per_device_fifo_ordering", 64, |g| {
+        let gaps = g.vec_u64(2, 100, 0, 100_000);
         let mut fabric = PcieFabric::paper_single_host(4);
         let mut clock = SimTime::ZERO;
         let mut last_arrival = SimTime::ZERO;
         for gap in gaps {
             clock = clock + afa_sim::SimDuration::nanos(gap);
             let arrival = fabric.deliver_completion(2, clock, 4096);
-            prop_assert!(arrival >= last_arrival, "reordered: {arrival} < {last_arrival}");
+            assert!(
+                arrival >= last_arrival,
+                "reordered: {arrival} < {last_arrival}"
+            );
             last_arrival = arrival;
         }
-    }
+    });
+}
 
-    /// Serialization time scales linearly with payload on an
-    /// uncontended link.
-    #[test]
-    fn serialization_is_linear(pages in 1u64..1024) {
+/// Serialization time scales linearly with payload on an uncontended
+/// link.
+#[test]
+fn serialization_is_linear() {
+    run_cases("serialization_is_linear", 128, |g| {
+        let pages = g.u64_in(1, 1024);
         let spec = LinkSpec::gen3_x4();
         let one = spec.serialization(4096).as_nanos();
         let many = spec.serialization(4096 * pages).as_nanos();
         let expect = one * pages;
         let err = (many as i64 - expect as i64).unsigned_abs();
-        prop_assert!(err <= pages, "nonlinear serialization: {many} vs {expect}");
-    }
+        assert!(err <= pages, "nonlinear serialization: {many} vs {expect}");
+    });
+}
 
-    /// The unloaded round trip is identical for every device in the
-    /// single-host setup (same two-switch path shape).
-    #[test]
-    fn unloaded_round_trip_uniform(device in 0usize..64) {
+/// The unloaded round trip is identical for every device in the
+/// single-host setup (same two-switch path shape).
+#[test]
+fn unloaded_round_trip_uniform() {
+    run_cases("unloaded_round_trip_uniform", 64, |g| {
+        let device = g.usize_in(0, 64);
         let mut fabric = PcieFabric::paper_single_host(64);
         let t = fabric.submit_command(device, SimTime::ZERO);
         let arrival = fabric.deliver_completion(device, t, 4096);
         let us = arrival.as_micros_f64();
-        prop_assert!((3.0..7.0).contains(&us), "device {device}: {us} us");
-    }
+        assert!((3.0..7.0).contains(&us), "device {device}: {us} us");
+    });
 }

@@ -1,0 +1,198 @@
+//! First-party property-testing harness (stdlib-only).
+//!
+//! The workspace builds in offline environments, so the property suites
+//! cannot depend on an external crate. This module provides the small
+//! slice of a property-testing framework those suites actually use: a
+//! deterministic per-case value generator ([`Gen`]) seeded from the
+//! property name, and a driver ([`run_cases`]) that reports the failing
+//! case's seed so a counterexample can be replayed exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use afa_sim::check::run_cases;
+//!
+//! run_cases("addition_commutes", 32, |g| {
+//!     let a = g.u64_in(0, 1_000);
+//!     let b = g.u64_in(0, 1_000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::SimRng;
+
+/// Deterministic value generator handed to each property case.
+///
+/// All draws come from a [`SimRng`] stream derived from the property
+/// name and case index, so a reported failure replays bit-exactly.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// A generator for an explicit seed (used to replay failures).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: SimRng::from_seed(seed),
+        }
+    }
+
+    /// A uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.below(hi - lo)
+    }
+
+    /// A uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// A uniform `u16` in `[lo, hi)`.
+    pub fn u16_in(&mut self, lo: u16, hi: u16) -> u16 {
+        self.u64_in(lo as u64, hi as u64) as u16
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.uniform_f64(lo, hi)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// A vector with a length drawn from `[min_len, max_len)` whose
+    /// elements come from `element(self)`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut element: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = if min_len + 1 >= max_len {
+            min_len
+        } else {
+            self.usize_in(min_len, max_len)
+        };
+        (0..len).map(|_| element(self)).collect()
+    }
+
+    /// A vector of uniform `u64`s in `[lo, hi)`.
+    pub fn vec_u64(&mut self, min_len: usize, max_len: usize, lo: u64, hi: u64) -> Vec<u64> {
+        self.vec_of(min_len, max_len, |g| g.u64_in(lo, hi))
+    }
+
+    /// Direct access to the underlying RNG for custom draws.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+/// Seed for `name`'s case number `case` (FNV-1a over the name, mixed
+/// with the case index).
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `cases` generated cases of the property `body`, panicking with
+/// the failing case's seed on the first failure.
+///
+/// Honours `AFA_CHECK_CASES=<n>` to globally override the case count
+/// (e.g. for a deeper nightly run) and `AFA_CHECK_SEED=<n>` to replay a
+/// single reported seed.
+pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut Gen)) {
+    if let Some(seed) = std::env::var("AFA_CHECK_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        body(&mut Gen::from_seed(seed));
+        return;
+    }
+    let cases = std::env::var("AFA_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases)
+        .max(1);
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut gen = Gen::from_seed(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut gen)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (replay with AFA_CHECK_SEED={seed}): {msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_respect_ranges() {
+        let mut g = Gen::from_seed(7);
+        for _ in 0..1_000 {
+            let v = g.u64_in(10, 20);
+            assert!((10..20).contains(&v));
+            let f = g.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        let v = g.vec_u64(3, 9, 0, 5);
+        assert!((3..9).contains(&v.len()));
+        assert!(v.iter().all(|&x| x < 5));
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_per_name_and_case() {
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_eq!(case_seed("a", 3), case_seed("a", 3));
+    }
+
+    #[test]
+    fn run_cases_executes_every_case() {
+        let mut n = 0;
+        run_cases("counter", 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn failure_reports_the_case_seed() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_cases("always_fails", 4, |g| {
+                let v = g.u64_in(0, 10);
+                assert!(v > 100, "v was {v}");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("AFA_CHECK_SEED="), "{msg}");
+    }
+}

@@ -14,7 +14,9 @@
 //!   them to a user-provided [`World`],
 //! * [`trace`] — lightweight cause-attribution hooks used to root-cause
 //!   tail-latency samples (the simulated analogue of the paper's LTTng
-//!   analysis).
+//!   analysis),
+//! * [`check`] — a stdlib-only property-testing harness (deterministic
+//!   generators + case driver) used by every crate's property suite.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod driver;
 mod queue;
 pub mod rng;

@@ -156,6 +156,48 @@ impl CauseAccumulator {
             .iter()
             .map(move |(&c, &d)| (c, d, self.count(c)))
     }
+
+    /// Folds another accumulator's attributions into this one (used to
+    /// aggregate budgets across parallel runs).
+    pub fn merge(&mut self, other: &CauseAccumulator) {
+        for (cause, total, count) in other.iter() {
+            *self.totals.entry(cause).or_insert(SimDuration::ZERO) += total;
+            *self.counts.entry(cause).or_insert(0) += count;
+        }
+    }
+
+    /// A frozen snapshot of the per-cause budget, for run manifests.
+    pub fn budget(&self) -> CauseBudget {
+        CauseBudget {
+            rows: self.iter().collect(),
+        }
+    }
+}
+
+/// An immutable per-cause latency budget captured from one run — the
+/// manifest-friendly snapshot of a [`CauseAccumulator`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CauseBudget {
+    rows: Vec<(Cause, SimDuration, u64)>,
+}
+
+impl CauseBudget {
+    /// `(cause, total, events)` rows in cause order.
+    pub fn rows(&self) -> &[(Cause, SimDuration, u64)] {
+        &self.rows
+    }
+
+    /// Total attributed latency across all causes.
+    pub fn total(&self) -> SimDuration {
+        self.rows
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(_, d, _)| acc + d)
+    }
+
+    /// Whether any attribution was captured.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
 }
 
 impl TraceSink for CauseAccumulator {
@@ -211,5 +253,35 @@ mod tests {
         acc.record(SimTime::ZERO, 0, Cause::CpuWork, SimDuration::micros(1));
         let items: Vec<_> = acc.iter().collect();
         assert_eq!(items, vec![(Cause::CpuWork, SimDuration::micros(1), 1)]);
+    }
+
+    #[test]
+    fn merge_sums_totals_and_counts() {
+        let mut a = CauseAccumulator::new();
+        let mut b = CauseAccumulator::new();
+        a.record(SimTime::ZERO, 0, Cause::Fabric, SimDuration::micros(2));
+        b.record(SimTime::ZERO, 1, Cause::Fabric, SimDuration::micros(3));
+        b.record(SimTime::ZERO, 2, Cause::CpuWork, SimDuration::micros(1));
+        a.merge(&b);
+        assert_eq!(a.total(Cause::Fabric), SimDuration::micros(5));
+        assert_eq!(a.count(Cause::Fabric), 2);
+        assert_eq!(a.count(Cause::CpuWork), 1);
+    }
+
+    #[test]
+    fn budget_snapshot_matches_accumulator() {
+        let mut acc = CauseAccumulator::new();
+        acc.record(SimTime::ZERO, 0, Cause::Fabric, SimDuration::micros(2));
+        acc.record(
+            SimTime::ZERO,
+            1,
+            Cause::Housekeeping,
+            SimDuration::micros(7),
+        );
+        let budget = acc.budget();
+        assert_eq!(budget.rows().len(), 2);
+        assert_eq!(budget.total(), SimDuration::micros(9));
+        assert!(!budget.is_empty());
+        assert!(CauseBudget::default().is_empty());
     }
 }

@@ -1,70 +1,87 @@
-//! Property-based tests for the SSD model.
+//! Property-based tests for the SSD model, on the first-party
+//! [`afa_sim::check`] harness.
 
+use afa_sim::check::run_cases;
 use afa_sim::{SimDuration, SimTime};
 use afa_ssd::{FirmwareProfile, FlashGeometry, Ftl, FtlConfig, NvmeCommand, SsdDevice, SsdSpec};
-use proptest::prelude::*;
 
-proptest! {
-    /// Completions never travel back in time, and consecutive
-    /// submissions to one device see monotone admission.
-    #[test]
-    fn completions_after_submission(seed in 0u64..1000, lbas in prop::collection::vec(0u64..100_000, 1..200)) {
+/// Completions never travel back in time, and consecutive submissions
+/// to one device see monotone admission.
+#[test]
+fn completions_after_submission() {
+    run_cases("completions_after_submission", 64, |g| {
+        let seed = g.u64_in(0, 1000);
+        let lbas = g.vec_u64(1, 200, 0, 100_000);
         let mut dev = SsdDevice::new(SsdSpec::table1(), FirmwareProfile::production(), seed);
         let mut now = SimTime::ZERO;
         for lba in lbas {
             let info = dev.submit(now, NvmeCommand::read(lba, 4096));
-            prop_assert!(info.completes_at > now);
+            assert!(info.completes_at > now);
             now = now + SimDuration::micros(1);
         }
-    }
+    });
+}
 
-    /// The latency breakdown components never exceed the total.
-    #[test]
-    fn breakdown_is_consistent(seed in 0u64..500, lba in 0u64..1_000_000) {
+/// The latency breakdown components never exceed the total.
+#[test]
+fn breakdown_is_consistent() {
+    run_cases("breakdown_is_consistent", 128, |g| {
+        let seed = g.u64_in(0, 500);
+        let lba = g.u64_in(0, 1_000_000);
         let mut dev = SsdDevice::new(SsdSpec::table1(), FirmwareProfile::production(), seed);
         let now = SimTime::ZERO + SimDuration::millis(seed % 60_000);
         let info = dev.submit(now, NvmeCommand::read(lba, 4096));
         let total = info.latency_since(now);
         let parts = info.housekeeping_stall + info.queue_wait + info.service;
         // Parts must equal total (within the saturating arithmetic).
-        prop_assert!(parts <= total + SimDuration::nanos(1), "{parts} vs {total}");
-        prop_assert!(total <= parts + SimDuration::nanos(1), "{parts} vs {total}");
-    }
+        assert!(parts <= total + SimDuration::nanos(1), "{parts} vs {total}");
+        assert!(total <= parts + SimDuration::nanos(1), "{parts} vs {total}");
+    });
+}
 
-    /// FTL mapping coherence under random write/overwrite streams:
-    /// every written lpn stays mapped, dies stay in range, and write
-    /// amplification is at least 1.
-    #[test]
-    fn ftl_mapping_coherent(writes in prop::collection::vec(0u64..2_000, 1..3_000)) {
+/// FTL mapping coherence under random write/overwrite streams: every
+/// written lpn stays mapped, dies stay in range, and write
+/// amplification is at least 1.
+#[test]
+fn ftl_mapping_coherent() {
+    run_cases("ftl_mapping_coherent", 32, |g| {
+        let writes = g.vec_u64(1, 3_000, 0, 2_000);
         let mut ftl = Ftl::new(FlashGeometry::scaled(16), FtlConfig::default());
         for &lpn in &writes {
             ftl.write_slot(lpn);
         }
         for &lpn in &writes {
             let die = ftl.read_slot(lpn);
-            prop_assert!(die.is_some(), "lpn {lpn} unmapped");
+            assert!(die.is_some(), "lpn {lpn} unmapped");
             let die = die.unwrap();
-            prop_assert!(die.channel < ftl.geometry().channels);
-            prop_assert!(die.die < ftl.geometry().dies_per_channel);
+            assert!(die.channel < ftl.geometry().channels);
+            assert!(die.die < ftl.geometry().dies_per_channel);
         }
-        prop_assert!(ftl.stats().write_amplification() >= 1.0);
-    }
+        assert!(ftl.stats().write_amplification() >= 1.0);
+    });
+}
 
-    /// Unwritten lpns never become mapped.
-    #[test]
-    fn unwritten_stays_unmapped(writes in prop::collection::vec(0u64..500, 0..500)) {
+/// Unwritten lpns never become mapped.
+#[test]
+fn unwritten_stays_unmapped() {
+    run_cases("unwritten_stays_unmapped", 64, |g| {
+        let writes = g.vec_u64(0, 500, 0, 500);
         let mut ftl = Ftl::new(FlashGeometry::scaled(16), FtlConfig::default());
         for &lpn in &writes {
             ftl.write_slot(lpn);
         }
         for probe in 10_000u64..10_050 {
-            prop_assert!(ftl.read_slot(probe).is_none());
+            assert!(ftl.read_slot(probe).is_none());
         }
-    }
+    });
+}
 
-    /// Device behaviour is a pure function of (seed, command stream).
-    #[test]
-    fn device_is_deterministic(seed in 0u64..200, ops in prop::collection::vec((0u64..10_000, prop::bool::ANY), 1..100)) {
+/// Device behaviour is a pure function of (seed, command stream).
+#[test]
+fn device_is_deterministic() {
+    run_cases("device_is_deterministic", 32, |g| {
+        let seed = g.u64_in(0, 200);
+        let ops = g.vec_of(1, 100, |g| (g.u64_in(0, 10_000), g.bool()));
         let mut a = SsdDevice::new(SsdSpec::table1(), FirmwareProfile::production(), seed);
         let mut b = SsdDevice::new(SsdSpec::table1(), FirmwareProfile::production(), seed);
         let mut now = SimTime::ZERO;
@@ -76,8 +93,8 @@ proptest! {
             };
             let ca = a.submit(now, cmd);
             let cb = b.submit(now, cmd);
-            prop_assert_eq!(ca, cb);
+            assert_eq!(ca, cb);
             now = ca.completes_at;
         }
-    }
+    });
 }

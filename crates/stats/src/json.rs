@@ -1,0 +1,192 @@
+//! Minimal hand-rolled JSON values (no external dependencies).
+//!
+//! Experiment artifacts must be machine-readable and byte-identical
+//! across runs with the same seed, so this module renders a small JSON
+//! document model deterministically: object keys keep insertion order,
+//! floats use Rust's shortest-roundtrip formatting, and non-finite
+//! floats render as `null`.
+//!
+//! # Example
+//!
+//! ```
+//! use afa_stats::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::str("fig12")),
+//!     ("seed", Json::u64(42)),
+//!     ("ratio", Json::f64(2.5)),
+//! ]);
+//! assert_eq!(doc.to_string(), r#"{"name":"fig12","seed":42,"ratio":2.5}"#);
+//! ```
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered exactly).
+    U64(u64),
+    /// A double (shortest roundtrip; non-finite renders as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order for deterministic output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned-integer value.
+    pub fn u64(v: u64) -> Json {
+        Json::U64(v)
+    }
+
+    /// A float value.
+    pub fn f64(v: f64) -> Json {
+        Json::F64(v)
+    }
+
+    /// An array from anything yielding values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<'a>(pairs: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Appends a field to an object value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`Json::Obj`].
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_owned(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Looks up a field of an object value (`None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_into(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(n) => out.push_str(&n.to_string()),
+        Json::F64(f) => {
+            if f.is_finite() {
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => escape_into(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_into(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_into(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::u64(7).to_string(), "7");
+        assert_eq!(Json::f64(2.5).to_string(), "2.5");
+        assert_eq!(Json::f64(3.0).to_string(), "3");
+        assert_eq!(Json::f64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").to_string(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut doc = Json::obj([("z", Json::u64(1)), ("a", Json::u64(2))]);
+        doc.push("m", Json::arr([Json::Null, Json::Bool(false)]));
+        assert_eq!(doc.to_string(), r#"{"z":1,"a":2,"m":[null,false]}"#);
+        assert_eq!(doc.get("a"), Some(&Json::u64(2)));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let doc = Json::obj([
+            ("x", Json::f64(1.0 / 3.0)),
+            ("y", Json::arr((0..4).map(Json::u64))),
+        ]);
+        assert_eq!(doc.to_string(), doc.to_string());
+    }
+}

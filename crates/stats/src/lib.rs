@@ -12,7 +12,9 @@
 //!   (average, 2-nines … 6-nines, max) extracted from a histogram,
 //! * [`OnlineStats`] — Welford streaming mean/variance,
 //! * [`ProfileSummary`] — mean ± std of each metric across devices,
-//! * [`series`] — per-sample latency logs for the Fig. 10 scatter plot.
+//! * [`series`] — per-sample latency logs for the Fig. 10 scatter plot,
+//! * [`json`] — a minimal hand-rolled JSON document model so experiment
+//!   artifacts are machine-readable without external dependencies.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod histogram;
+pub mod json;
 mod online;
 mod percentile;
 pub mod series;
@@ -40,6 +43,7 @@ mod summary;
 pub mod windowed;
 
 pub use histogram::LatencyHistogram;
+pub use json::Json;
 pub use online::OnlineStats;
 pub use percentile::{LatencyProfile, NinesPoint};
 pub use summary::{MetricSummary, ProfileSummary};

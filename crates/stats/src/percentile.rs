@@ -64,6 +64,20 @@ impl NinesPoint {
         }
     }
 
+    /// A stable machine-friendly key for JSON/CSV artifacts ("avg",
+    /// "p99", …, "max").
+    pub fn key(self) -> &'static str {
+        match self {
+            NinesPoint::Average => "avg",
+            NinesPoint::Nines2 => "p99",
+            NinesPoint::Nines3 => "p99.9",
+            NinesPoint::Nines4 => "p99.99",
+            NinesPoint::Nines5 => "p99.999",
+            NinesPoint::Nines6 => "p99.9999",
+            NinesPoint::Max => "max",
+        }
+    }
+
     /// A short, stable label matching the paper's axis ("avg",
     /// "99%", …, "max").
     pub fn label(self) -> &'static str {
@@ -162,6 +176,17 @@ impl LatencyProfile {
             .map(|(&p, &v)| (p, v))
     }
 
+    /// Renders the profile as a JSON object: the sample count plus one
+    /// nanosecond value per metric keyed by [`NinesPoint::key`].
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut ns = Json::Obj(Vec::with_capacity(7));
+        for (point, value) in self.iter() {
+            ns.push(point.key(), Json::u64(value));
+        }
+        Json::obj([("samples", Json::u64(self.samples)), ("ns", ns)])
+    }
+
     /// Renders the profile as a single CSV row of microsecond values
     /// (columns in [`NinesPoint::ALL`] order).
     pub fn to_csv_row(&self) -> String {
@@ -244,6 +269,20 @@ mod tests {
         for (i, (pt, v)) in p.iter().enumerate() {
             assert_eq!(pt, NinesPoint::ALL[i]);
             assert_eq!(v, vals[i]);
+        }
+    }
+
+    #[test]
+    fn json_carries_samples_and_all_points() {
+        let p = LatencyProfile::from_values([1, 2, 3, 4, 5, 6, 7], 99);
+        let doc = p.to_json();
+        assert_eq!(doc.get("samples"), Some(&crate::json::Json::u64(99)));
+        let ns = doc.get("ns").expect("ns object");
+        for (i, point) in NinesPoint::ALL.iter().enumerate() {
+            assert_eq!(
+                ns.get(point.key()),
+                Some(&crate::json::Json::u64(i as u64 + 1))
+            );
         }
     }
 

@@ -24,6 +24,20 @@ pub struct MetricSummary {
     pub devices: u64,
 }
 
+impl MetricSummary {
+    /// Renders the summary as a JSON object (microsecond values).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("mean_us", Json::f64(self.mean_us)),
+            ("std_us", Json::f64(self.std_us)),
+            ("min_us", Json::f64(self.min_us)),
+            ("max_us", Json::f64(self.max_us)),
+            ("devices", Json::u64(self.devices)),
+        ])
+    }
+}
+
 /// Cross-device summary of latency profiles: one [`MetricSummary`] per
 /// [`NinesPoint`].
 ///
@@ -84,6 +98,17 @@ impl ProfileSummary {
             .iter()
             .zip(self.metrics.iter())
             .map(|(&p, &m)| (p, m))
+    }
+
+    /// Renders the summary as a JSON object keyed by
+    /// [`NinesPoint::key`], one [`MetricSummary`] object per metric.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut obj = Json::Obj(Vec::with_capacity(7));
+        for (point, m) in self.iter() {
+            obj.push(point.key(), m.to_json());
+        }
+        obj
     }
 
     /// Renders a fixed-width table like the paper's Fig. 12/14 charts:
@@ -156,6 +181,18 @@ mod tests {
         for point in NinesPoint::ALL {
             assert!(table.contains(point.label()), "missing {point}");
         }
+    }
+
+    #[test]
+    fn json_has_all_metric_keys() {
+        let s = ProfileSummary::from_profiles(&[profile(20_000), profile(40_000)]);
+        let doc = s.to_json();
+        for point in NinesPoint::ALL {
+            let m = doc.get(point.key()).expect("metric present");
+            assert!(m.get("mean_us").is_some());
+            assert!(m.get("devices").is_some());
+        }
+        assert_eq!(doc.to_string(), s.to_json().to_string());
     }
 
     #[test]

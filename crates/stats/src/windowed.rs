@@ -180,7 +180,11 @@ mod tests {
         let mut s = WindowedSeries::new(SimDuration::millis(10));
         let mut t = SimTime::ZERO;
         while t < t_ms(100) {
-            let v = if t >= t_ms(55) && t < t_ms(56) { 600_000 } else { 30_000 };
+            let v = if t >= t_ms(55) && t < t_ms(56) {
+                600_000
+            } else {
+                30_000
+            };
             s.record(t, v);
             t += SimDuration::micros(33);
         }

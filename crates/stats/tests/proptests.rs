@@ -1,12 +1,14 @@
-//! Property-based tests for the statistics substrate.
+//! Property-based tests for the statistics substrate, on the
+//! first-party [`afa_sim::check`] harness.
 
+use afa_sim::check::run_cases;
 use afa_stats::{LatencyHistogram, NinesPoint, OnlineStats, ProfileSummary};
-use proptest::prelude::*;
 
-proptest! {
-    /// Percentile queries are monotone in the percentile.
-    #[test]
-    fn percentiles_monotone(values in prop::collection::vec(1u64..10_000_000, 1..500)) {
+/// Percentile queries are monotone in the percentile.
+#[test]
+fn percentiles_monotone() {
+    run_cases("percentiles_monotone", 128, |g| {
+        let values = g.vec_u64(1, 500, 1, 10_000_000);
         let mut h = LatencyHistogram::new();
         for v in &values {
             h.record(*v);
@@ -14,40 +16,49 @@ proptest! {
         let mut last = 0u64;
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 99.99, 100.0] {
             let v = h.value_at_percentile(p);
-            prop_assert!(v >= last, "p{p}: {v} < {last}");
+            assert!(v >= last, "p{p}: {v} < {last}");
             last = v;
         }
-    }
+    });
+}
 
-    /// Reported percentile values stay within [min, max].
-    #[test]
-    fn percentiles_bounded(values in prop::collection::vec(1u64..u64::MAX / 4, 1..200),
-                           p in 0.0f64..100.0) {
+/// Reported percentile values stay within [min, max].
+#[test]
+fn percentiles_bounded() {
+    run_cases("percentiles_bounded", 128, |g| {
+        let values = g.vec_u64(1, 200, 1, u64::MAX / 4);
+        let p = g.f64_in(0.0, 100.0);
         let mut h = LatencyHistogram::new();
         for v in &values {
             h.record(*v);
         }
         let v = h.value_at_percentile(p);
-        prop_assert!(v >= h.min());
-        prop_assert!(v <= h.max());
-    }
+        assert!(v >= h.min());
+        assert!(v <= h.max());
+    });
+}
 
-    /// The histogram's relative recording error is bounded by the
-    /// sub-bucket resolution (1/128).
-    #[test]
-    fn relative_error_bounded(v in 1u64..1_000_000_000_000) {
+/// The histogram's relative recording error is bounded by the
+/// sub-bucket resolution (1/128).
+#[test]
+fn relative_error_bounded() {
+    run_cases("relative_error_bounded", 256, |g| {
+        let v = g.u64_in(1, 1_000_000_000_000);
         let mut h = LatencyHistogram::new();
         h.record(v);
         let reported = h.value_at_percentile(50.0);
-        prop_assert!(reported >= v);
+        assert!(reported >= v);
         let err = (reported - v) as f64 / v as f64;
-        prop_assert!(err <= 1.0 / 128.0 + 1e-9, "err {err} for {v}");
-    }
+        assert!(err <= 1.0 / 128.0 + 1e-9, "err {err} for {v}");
+    });
+}
 
-    /// Merging two histograms equals recording the concatenation.
-    #[test]
-    fn merge_equals_concat(a in prop::collection::vec(1u64..1_000_000, 0..200),
-                           b in prop::collection::vec(1u64..1_000_000, 0..200)) {
+/// Merging two histograms equals recording the concatenation.
+#[test]
+fn merge_equals_concat() {
+    run_cases("merge_equals_concat", 128, |g| {
+        let a = g.vec_u64(0, 200, 1, 1_000_000);
+        let b = g.vec_u64(0, 200, 1, 1_000_000);
         let mut ha = LatencyHistogram::new();
         let mut hb = LatencyHistogram::new();
         let mut hc = LatencyHistogram::new();
@@ -60,63 +71,81 @@ proptest! {
             hc.record(*v);
         }
         ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hc.count());
-        prop_assert_eq!(ha.min(), hc.min());
-        prop_assert_eq!(ha.max(), hc.max());
-        prop_assert!((ha.mean() - hc.mean()).abs() < 1e-6);
+        assert_eq!(ha.count(), hc.count());
+        assert_eq!(ha.min(), hc.min());
+        assert_eq!(ha.max(), hc.max());
+        assert!((ha.mean() - hc.mean()).abs() < 1e-6);
         for p in [50.0, 90.0, 99.0, 100.0] {
-            prop_assert_eq!(ha.value_at_percentile(p), hc.value_at_percentile(p));
+            assert_eq!(ha.value_at_percentile(p), hc.value_at_percentile(p));
         }
-    }
+    });
+}
 
-    /// Histogram mean/std agree with Welford within float tolerance.
-    #[test]
-    fn histogram_moments_match_welford(values in prop::collection::vec(1u64..100_000_000, 1..300)) {
+/// Histogram mean/std agree with Welford within float tolerance.
+#[test]
+fn histogram_moments_match_welford() {
+    run_cases("histogram_moments_match_welford", 128, |g| {
+        let values = g.vec_u64(1, 300, 1, 100_000_000);
         let mut h = LatencyHistogram::new();
         let mut w = OnlineStats::new();
         for v in &values {
             h.record(*v);
             w.push(*v as f64);
         }
-        prop_assert!((h.mean() - w.mean()).abs() / w.mean().max(1.0) < 1e-9);
-        prop_assert!((h.std_dev() - w.population_std_dev()).abs() < w.mean() * 1e-6 + 1e-6);
-    }
+        assert!((h.mean() - w.mean()).abs() / w.mean().max(1.0) < 1e-9);
+        assert!((h.std_dev() - w.population_std_dev()).abs() < w.mean() * 1e-6 + 1e-6);
+    });
+}
 
-    /// Welford merge equals single-pass.
-    #[test]
-    fn welford_merge_associative(a in prop::collection::vec(-1e6f64..1e6, 0..100),
-                                 b in prop::collection::vec(-1e6f64..1e6, 0..100)) {
+/// Welford merge equals single-pass.
+#[test]
+fn welford_merge_associative() {
+    run_cases("welford_merge_associative", 128, |g| {
+        let a = g.vec_of(0, 100, |g| g.f64_in(-1e6, 1e6));
+        let b = g.vec_of(0, 100, |g| g.f64_in(-1e6, 1e6));
         let whole: OnlineStats = a.iter().chain(b.iter()).copied().collect();
         let mut left: OnlineStats = a.iter().copied().collect();
         let right: OnlineStats = b.iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
+        assert_eq!(left.count(), whole.count());
         if whole.count() > 0 {
-            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
-            prop_assert!((left.population_variance() - whole.population_variance()).abs() < 1e-3);
+            assert!((left.mean() - whole.mean()).abs() < 1e-6);
+            assert!((left.population_variance() - whole.population_variance()).abs() < 1e-3);
         }
-    }
+    });
+}
 
-    /// Profiles extracted from any histogram are monotone across the
-    /// percentile points (the average may sit anywhere).
-    #[test]
-    fn profile_monotone(values in prop::collection::vec(1u64..50_000_000, 1..400)) {
+/// Profiles extracted from any histogram are monotone across the
+/// percentile points (the average may sit anywhere).
+#[test]
+fn profile_monotone() {
+    run_cases("profile_monotone", 128, |g| {
+        let values = g.vec_u64(1, 400, 1, 50_000_000);
         let mut h = LatencyHistogram::new();
         for v in &values {
             h.record(*v);
         }
         let p = h.profile();
-        let pts = [NinesPoint::Nines2, NinesPoint::Nines3, NinesPoint::Nines4,
-                   NinesPoint::Nines5, NinesPoint::Nines6, NinesPoint::Max];
+        let pts = [
+            NinesPoint::Nines2,
+            NinesPoint::Nines3,
+            NinesPoint::Nines4,
+            NinesPoint::Nines5,
+            NinesPoint::Nines6,
+            NinesPoint::Max,
+        ];
         for w in pts.windows(2) {
-            prop_assert!(p.get(w[0]) <= p.get(w[1]));
+            assert!(p.get(w[0]) <= p.get(w[1]));
         }
-    }
+    });
+}
 
-    /// Summary std is zero iff all devices identical, and mean is the
-    /// cross-device average.
-    #[test]
-    fn summary_mean_correct(bases in prop::collection::vec(1_000u64..1_000_000, 1..64)) {
+/// Summary std is zero iff all devices identical, and mean is the
+/// cross-device average.
+#[test]
+fn summary_mean_correct() {
+    run_cases("summary_mean_correct", 128, |g| {
+        let bases = g.vec_u64(1, 64, 1_000, 1_000_000);
         let profiles: Vec<_> = bases
             .iter()
             .map(|&b| afa_stats::LatencyProfile::from_values([b; 7], 100))
@@ -124,7 +153,7 @@ proptest! {
         let s = ProfileSummary::from_profiles(&profiles);
         let m = s.get(NinesPoint::Max);
         let expect = bases.iter().map(|&b| b as f64 / 1_000.0).sum::<f64>() / bases.len() as f64;
-        prop_assert!((m.mean_us - expect).abs() < 1e-6);
-        prop_assert_eq!(m.devices, bases.len() as u64);
-    }
+        assert!((m.mean_us - expect).abs() < 1e-6);
+        assert_eq!(m.devices, bases.len() as u64);
+    });
 }

@@ -1,79 +1,81 @@
-//! Property-based tests for the striped-volume layer.
+//! Property-based tests for the striped-volume layer, on the
+//! first-party [`afa_sim::check`] harness.
 
+use afa_sim::check::run_cases;
 use afa_sim::SimTime;
 use afa_volume::{RequestTracker, StripeConfig, StripedVolume};
-use proptest::prelude::*;
 
-proptest! {
-    /// The page mapping is injective and stays within bounds for any
-    /// width/unit combination.
-    #[test]
-    fn page_mapping_is_injective(width in 1usize..16,
-                                 unit_pages in 1u32..32,
-                                 pages in 100u64..2_000) {
-        let volume = StripedVolume::new(
-            (0..width).collect(),
-            StripeConfig::new(unit_pages * 4096),
-        );
+/// The page mapping is injective and stays within bounds for any
+/// width/unit combination.
+#[test]
+fn page_mapping_is_injective() {
+    run_cases("page_mapping_is_injective", 64, |g| {
+        let width = g.usize_in(1, 16);
+        let unit_pages = g.u32_in(1, 32);
+        let pages = g.u64_in(100, 2_000);
+        let volume = StripedVolume::new((0..width).collect(), StripeConfig::new(unit_pages * 4096));
         let mut seen = std::collections::HashSet::new();
         for p in 0..pages {
             let (member, member_page) = volume.map_page(p);
-            prop_assert!(member < width);
-            prop_assert!(seen.insert((member, member_page)), "collision at page {p}");
+            assert!(member < width);
+            assert!(seen.insert((member, member_page)), "collision at page {p}");
         }
-    }
+    });
+}
 
-    /// Splitting a request never loses or duplicates pages: the
-    /// sub-I/O page sets partition the request exactly.
-    #[test]
-    fn map_read_partitions_the_request(width in 1usize..16,
-                                       unit_pages in 1u32..16,
-                                       start in 0u64..10_000,
-                                       req_pages in 1u32..64) {
-        let volume = StripedVolume::new(
-            (0..width).collect(),
-            StripeConfig::new(unit_pages * 4096),
-        );
+/// Splitting a request never loses or duplicates pages: the sub-I/O
+/// page sets partition the request exactly.
+#[test]
+fn map_read_partitions_the_request() {
+    run_cases("map_read_partitions_the_request", 128, |g| {
+        let width = g.usize_in(1, 16);
+        let unit_pages = g.u32_in(1, 16);
+        let start = g.u64_in(0, 10_000);
+        let req_pages = g.u32_in(1, 64);
+        let volume = StripedVolume::new((0..width).collect(), StripeConfig::new(unit_pages * 4096));
         let subs = volume.map_read(start, req_pages * 4096);
         let mut covered = std::collections::HashSet::new();
         for sub in &subs {
-            prop_assert!(sub.member < width);
-            prop_assert_eq!(sub.bytes % 4096, 0);
+            assert!(sub.member < width);
+            assert_eq!(sub.bytes % 4096, 0);
             for i in 0..(sub.bytes / 4096) as u64 {
-                prop_assert!(
+                assert!(
                     covered.insert((sub.member, sub.lba + i)),
                     "duplicate member page"
                 );
             }
         }
-        prop_assert_eq!(covered.len() as u32, req_pages);
+        assert_eq!(covered.len() as u32, req_pages);
         // Every covered (member, page) must invert to a request page.
         for p in start..start + req_pages as u64 {
             let key = volume.map_page(p);
-            prop_assert!(covered.contains(&key), "page {p} lost");
+            assert!(covered.contains(&key), "page {p} lost");
         }
-    }
+    });
+}
 
-    /// A tracked request completes exactly on its last sub-I/O.
-    #[test]
-    fn tracker_counts_exactly(fanouts in prop::collection::vec(1u32..32, 1..50)) {
+/// A tracked request completes exactly on its last sub-I/O.
+#[test]
+fn tracker_counts_exactly() {
+    run_cases("tracker_counts_exactly", 64, |g| {
+        let fanouts = g.vec_of(1, 50, |g| g.u32_in(1, 32));
         let mut tracker = RequestTracker::new();
         let ids: Vec<(u64, u32)> = fanouts
             .iter()
             .enumerate()
             .map(|(i, &f)| (tracker.begin(i, SimTime::ZERO, f), f))
             .collect();
-        prop_assert_eq!(tracker.in_flight(), ids.len());
+        assert_eq!(tracker.in_flight(), ids.len());
         for (id, fanout) in ids {
             for k in 0..fanout {
                 let done = tracker.complete_sub(id);
                 if k + 1 == fanout {
-                    prop_assert!(done.is_some(), "must finish on last sub");
+                    assert!(done.is_some(), "must finish on last sub");
                 } else {
-                    prop_assert!(done.is_none(), "finished early at {k}/{fanout}");
+                    assert!(done.is_none(), "finished early at {k}/{fanout}");
                 }
             }
         }
-        prop_assert_eq!(tracker.in_flight(), 0);
-    }
+        assert_eq!(tracker.in_flight(), 0);
+    });
 }

@@ -1,18 +1,20 @@
-//! Property-based tests for the workload engine.
+//! Property-based tests for the workload engine, on the first-party
+//! [`afa_sim::check`] harness.
 
+use afa_sim::check::run_cases;
 use afa_sim::{SimDuration, SimRng, SimTime};
 use afa_workload::{AccessPattern, JobSpec, JobState, RwPattern};
-use proptest::prelude::*;
 
-proptest! {
-    /// Every generated operation stays inside the region and respects
-    /// block alignment, for any pattern and block size.
-    #[test]
-    fn patterns_stay_in_bounds(seed in 0u64..1_000,
-                               region in 64u64..100_000,
-                               bs_pages in 1u32..16,
-                               write_heavy in prop::bool::ANY) {
-        prop_assume!(region >= bs_pages as u64);
+/// Every generated operation stays inside the region and respects
+/// block alignment, for any pattern and block size.
+#[test]
+fn patterns_stay_in_bounds() {
+    run_cases("patterns_stay_in_bounds", 64, |g| {
+        let seed = g.u64_in(0, 1_000);
+        let bs_pages = g.u32_in(1, 16);
+        // The region must fit at least one block.
+        let region = g.u64_in(bs_pages as u64, 100_000);
+        let write_heavy = g.bool();
         let rw = if write_heavy {
             RwPattern::RandRw { read_pct: 30 }
         } else {
@@ -21,31 +23,34 @@ proptest! {
         let mut pattern = AccessPattern::new(rw, region, bs_pages * 4096, SimRng::from_seed(seed));
         for _ in 0..1_000 {
             let op = pattern.next_op();
-            prop_assert!(op.lba + bs_pages as u64 <= region);
-            prop_assert_eq!(op.lba % bs_pages as u64, 0);
+            assert!(op.lba + bs_pages as u64 <= region);
+            assert_eq!(op.lba % bs_pages as u64, 0);
         }
-    }
+    });
+}
 
-    /// Sequential patterns visit every aligned offset before wrapping.
-    #[test]
-    fn sequential_covers_region(region_units in 2u64..200) {
-        let mut pattern = AccessPattern::new(
-            RwPattern::SeqRead,
-            region_units,
-            4096,
-            SimRng::from_seed(1),
-        );
+/// Sequential patterns visit every aligned offset before wrapping.
+#[test]
+fn sequential_covers_region() {
+    run_cases("sequential_covers_region", 64, |g| {
+        let region_units = g.u64_in(2, 200);
+        let mut pattern =
+            AccessPattern::new(RwPattern::SeqRead, region_units, 4096, SimRng::from_seed(1));
         let mut seen = vec![false; region_units as usize];
         for _ in 0..region_units {
             seen[pattern.next_op().lba as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        assert!(seen.iter().all(|&s| s));
+    });
+}
 
-    /// Issue/complete bookkeeping never exceeds the queue depth and
-    /// conserves counts.
-    #[test]
-    fn job_state_conserves_counts(depth in 1u32..32, ops in 1u32..500) {
+/// Issue/complete bookkeeping never exceeds the queue depth and
+/// conserves counts.
+#[test]
+fn job_state_conserves_counts() {
+    run_cases("job_state_conserves_counts", 64, |g| {
+        let depth = g.u32_in(1, 32);
+        let ops = g.u32_in(1, 500);
         let spec = JobSpec::paper_default(0)
             .iodepth_n(depth)
             .runtime(SimDuration::secs(3_600))
@@ -57,16 +62,13 @@ proptest! {
             if job.can_issue(now) {
                 job.issue(now);
             }
-            prop_assert!(job.inflight() <= depth);
+            assert!(job.inflight() <= depth);
             if i % 3 == 0 && job.inflight() > 0 {
                 job.complete(30_000);
                 completed += 1;
             }
         }
-        prop_assert_eq!(job.report().completed(), completed);
-        prop_assert_eq!(
-            job.issued(),
-            completed + job.inflight() as u64
-        );
-    }
+        assert_eq!(job.report().completed(), completed);
+        assert_eq!(job.issued(), completed + job.inflight() as u64);
+    });
 }

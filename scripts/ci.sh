@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format, and smoke-test the CLI.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> afactl list smoke"
+listing="$(./target/release/afactl list)"
+count="$(printf '%s\n' "$listing" | tail -n +2 | wc -l)"
+if [ "$count" -lt 20 ]; then
+    echo "afactl list: expected at least 20 experiments, got $count" >&2
+    exit 1
+fi
+echo "afactl list: $count experiments registered"
+
+echo "CI OK"

@@ -1,6 +1,8 @@
 //! `afactl` — command-line driver for the AFA latency laboratory.
 //!
 //! ```text
+//! afactl list
+//! afactl exp <name> [--ssds N] [--seconds F] [--seed N] [--json] [--out DIR]
 //! afactl run     [--ssds N] [--stage S] [--seconds F] [--seed N] [--engine E]
 //! afactl ladder  [--ssds N] [--seconds F] [--seed N]
 //! afactl profile [--ssds N] [--seconds F] [--seed N] [--sigmas F]
@@ -8,12 +10,17 @@
 //! afactl jobfile <path> [--stage S] [--seed N]
 //! ```
 //!
+//! `list` prints the experiment registry; `exp` runs one registered
+//! experiment and prints its table plus run manifest (`--json` emits
+//! the machine-readable artifact on stdout instead; `--out DIR` writes
+//! `<name>.{txt,csv,json}` under `DIR`).
+//!
 //! Stages: `default`, `chrt`, `isolcpus`, `irq`, `exp-firmware`.
 //! Engines: `libaio`, `sync`, `polling`.
 
 use std::process::ExitCode;
 
-use afa::core::experiment::{root_cause, ExperimentScale};
+use afa::core::experiment::{self, root_cause, ExperimentScale};
 use afa::core::profiler::ParallelProfiler;
 use afa::core::{AfaConfig, AfaSystem, TuningStage};
 use afa::sim::SimDuration;
@@ -28,6 +35,8 @@ struct Options {
     seed: u64,
     engine: IoEngine,
     sigmas: f64,
+    json: bool,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -39,6 +48,8 @@ impl Default for Options {
             seed: 42,
             engine: IoEngine::Libaio,
             sigmas: 3.0,
+            json: false,
+            out: None,
         }
     }
 }
@@ -88,6 +99,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--sigmas" => {
                 opts.sigmas = value()?.parse().map_err(|e| format!("--sigmas: {e}"))?;
             }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value()?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -96,9 +109,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
 
 fn usage() {
     eprintln!(
-        "usage: afactl <run|ladder|profile|causes|jobfile <path>> [options]\n\
+        "usage: afactl <list|exp <name>|run|ladder|profile|causes|jobfile <path>> [options]\n\
          options: --ssds N --stage <default|chrt|isolcpus|irq|exp-firmware>\n\
-         \x20        --seconds F --seed N --engine <libaio|sync|polling> --sigmas F"
+         \x20        --seconds F --seed N --engine <libaio|sync|polling> --sigmas F\n\
+         \x20        --json --out DIR  (exp only)"
     );
 }
 
@@ -171,6 +185,61 @@ fn cmd_causes(opts: &Options) {
     println!("{}", root_cause(opts.stage, scale).to_table());
 }
 
+fn cmd_list() {
+    println!("{:<20} {:<12} description", "name", "stage");
+    for def in experiment::registry() {
+        println!(
+            "{:<20} {:<12} {}",
+            def.name,
+            def.stage.map_or("(multi)", afa::core::TuningStage::label),
+            def.description
+        );
+    }
+}
+
+fn cmd_exp(name: &str, opts: &Options) -> ExitCode {
+    let Some(def) = experiment::find(name) else {
+        eprintln!("afactl: unknown experiment '{name}' (see `afactl list`)");
+        return ExitCode::FAILURE;
+    };
+    let scale = ExperimentScale::new(
+        SimDuration::from_secs_f64(opts.seconds),
+        opts.ssds,
+        opts.seed,
+    );
+    let run = experiment::run_experiment(def, scale);
+    if opts.json {
+        println!("{}", run.to_json());
+    } else {
+        println!("{}", run.result.to_table());
+        println!("{}", run.manifest.to_table());
+    }
+    // Wall-clock goes to stderr so `--json` stdout stays a pure,
+    // reproducible artifact.
+    eprintln!("wall: {:.2}s", run.manifest.wall.as_secs_f64());
+    if let Some(out) = &opts.out {
+        let dir = std::path::Path::new(out);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("afactl: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let artifacts = [
+            ("txt", run.result.to_table()),
+            ("csv", run.result.to_csv()),
+            ("json", run.to_json().to_string()),
+        ];
+        for (ext, content) in artifacts {
+            let path = dir.join(format!("{name}.{ext}"));
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("afactl: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_jobfile(path: &str, opts: &Options) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -203,6 +272,27 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
+    if command == "list" {
+        cmd_list();
+        return ExitCode::SUCCESS;
+    }
+    // `exp` takes a positional experiment name before the flags.
+    if command == "exp" {
+        let Some(name) = args.get(1) else {
+            eprintln!("afactl: exp needs an experiment name (see `afactl list`)");
+            usage();
+            return ExitCode::FAILURE;
+        };
+        let opts = match parse(&args[2..]) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("afactl: {e}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        };
+        return cmd_exp(name, &opts);
+    }
     // `jobfile` takes a positional path before the flags.
     if command == "jobfile" {
         let Some(path) = args.get(1) else {

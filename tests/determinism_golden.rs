@@ -86,3 +86,20 @@ fn seeds_fan_out_independent_worlds() {
         "seeds should explore distinct tails: {values:?}"
     );
 }
+
+#[test]
+fn experiment_json_artifact_is_bit_stable() {
+    // `afactl exp <name> --json` promises byte-identical output for
+    // the same (experiment, scale): wall-clock is serialized as null
+    // and everything else is a pure function of the seed.
+    let def = afa::core::experiment::find("fig12").expect("fig12 registered");
+    let scale = afa::core::experiment::ExperimentScale::new(SimDuration::millis(50), 4, 42);
+    let artifact = || {
+        afa::core::experiment::run_experiment(def, scale)
+            .to_json()
+            .to_string()
+    };
+    let a = artifact();
+    assert_eq!(a, artifact(), "same-seed JSON artifacts differ");
+    assert!(a.contains("\"wall_ms\":null"), "wall-clock leaked: {a}");
+}

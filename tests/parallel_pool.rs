@@ -1,0 +1,75 @@
+//! Regression tests for the bounded experiment worker pool.
+//!
+//! Experiment sweeps used to spawn one OS thread per configuration;
+//! a 64-config sweep on a small machine would oversubscribe it badly.
+//! These tests pin the pool's contract: results come back in input
+//! order, bit-identical to sequential execution, and the pool never
+//! runs more configurations concurrently than
+//! `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use afa::core::experiment::pool;
+use afa::core::{AfaConfig, AfaSystem, TuningStage};
+use afa::sim::SimDuration;
+use afa::stats::NinesPoint;
+
+fn sweep_configs() -> Vec<AfaConfig> {
+    let stages = TuningStage::ALL;
+    (0..64usize)
+        .map(|i| {
+            AfaConfig::paper(stages[i % stages.len()])
+                .with_ssds(1 + i % 4)
+                .with_runtime(SimDuration::millis(10))
+                .with_seed(1_000 + i as u64)
+        })
+        .collect()
+}
+
+/// Fingerprint of one run: per-device (samples, max µs) pairs. The
+/// simulator is deterministic, so equal fingerprints mean equal runs.
+fn fingerprint(result: &afa::core::RunResult) -> Vec<(u64, f64)> {
+    result
+        .reports
+        .iter()
+        .map(|r| {
+            let p = r.profile();
+            (p.samples(), p.get_micros(NinesPoint::Max))
+        })
+        .collect()
+}
+
+#[test]
+fn sixty_four_config_sweep_is_ordered_and_bounded() {
+    let configs = sweep_configs();
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let results = pool::map_bounded(configs.clone(), |config| {
+        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+        peak.fetch_max(now, Ordering::SeqCst);
+        let result = AfaSystem::run(&config);
+        live.fetch_sub(1, Ordering::SeqCst);
+        result
+    });
+    assert_eq!(results.len(), configs.len());
+
+    let cap = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let observed = peak.load(Ordering::SeqCst);
+    assert!(
+        observed <= cap,
+        "pool ran {observed} configs concurrently, cap is {cap}"
+    );
+
+    // Input order: each slot must hold the run of *its* config, not
+    // whichever finished first. Spot-check against sequential runs.
+    for &i in &[0usize, 13, 37, 63] {
+        let expected = AfaSystem::run(&configs[i]);
+        assert_eq!(
+            fingerprint(&expected),
+            fingerprint(&results[i]),
+            "slot {i} does not match a sequential run of config {i}"
+        );
+    }
+}

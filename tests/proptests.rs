@@ -1,29 +1,37 @@
-//! Cross-crate property tests over the whole system.
+//! Cross-crate property tests over the whole system, on the
+//! first-party [`afa_sim::check`] harness.
+//!
+//! These runs simulate whole arrays and are comparatively heavy, so
+//! the suite is gated behind the `proptest` cargo feature:
+//!
+//! ```text
+//! cargo test --features proptest --test proptests
+//! ```
 
 use afa::core::{AfaConfig, AfaSystem, TuningStage};
+use afa::sim::check::run_cases;
 use afa::sim::SimDuration;
 use afa::stats::NinesPoint;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// For any seed and small device count, the system completes I/O
-    /// on every device, latencies are at least the physical floor
-    /// (device ~25 µs + fabric), and percentile profiles are monotone.
-    #[test]
-    fn runs_are_sane_for_any_seed(seed in 0u64..10_000, ssds in 1usize..6) {
+/// For any seed and small device count, the system completes I/O on
+/// every device, latencies are at least the physical floor (device
+/// ~25 µs + fabric), and percentile profiles are monotone.
+#[test]
+fn runs_are_sane_for_any_seed() {
+    run_cases("runs_are_sane_for_any_seed", 8, |g| {
+        let seed = g.u64_in(0, 10_000);
+        let ssds = g.usize_in(1, 6);
         let result = AfaSystem::run(
             &AfaConfig::paper(TuningStage::IrqAffinity)
                 .with_ssds(ssds)
                 .with_runtime(SimDuration::millis(40))
                 .with_seed(seed),
         );
-        prop_assert_eq!(result.reports.len(), ssds);
+        assert_eq!(result.reports.len(), ssds);
         for report in &result.reports {
-            prop_assert!(report.completed() > 300, "{} I/Os", report.completed());
+            assert!(report.completed() > 300, "{} I/Os", report.completed());
             let profile = report.profile();
-            prop_assert!(profile.get_micros(NinesPoint::Average) > 25.0);
+            assert!(profile.get_micros(NinesPoint::Average) > 25.0);
             let pts = [
                 NinesPoint::Nines2,
                 NinesPoint::Nines3,
@@ -33,15 +41,18 @@ proptest! {
                 NinesPoint::Max,
             ];
             for w in pts.windows(2) {
-                prop_assert!(profile.get(w[0]) <= profile.get(w[1]));
+                assert!(profile.get(w[0]) <= profile.get(w[1]));
             }
         }
-    }
+    });
+}
 
-    /// Tuning never makes the worst case worse than default for the
-    /// same seed (statistically certain at this scale).
-    #[test]
-    fn tuned_never_loses_to_default(seed in 0u64..1_000) {
+/// Tuning never makes the worst case worse than default for the same
+/// seed (statistically certain at this scale).
+#[test]
+fn tuned_never_loses_to_default() {
+    run_cases("tuned_never_loses_to_default", 8, |g| {
+        let seed = g.u64_in(0, 1_000);
         let default = AfaSystem::run(
             &AfaConfig::paper(TuningStage::Default)
                 .with_ssds(4)
@@ -61,6 +72,6 @@ proptest! {
                 .max()
                 .unwrap()
         };
-        prop_assert!(max(&tuned) <= max(&default));
-    }
+        assert!(max(&tuned) <= max(&default));
+    });
 }
