@@ -18,12 +18,8 @@ use afa_ssd::{FirmwareProfile, NvmeCommand, SsdDevice, SsdSpec};
 use afa_stats::LatencyHistogram;
 
 fn bench_histogram(harness: &mut Harness) {
+    afa_bench::micro::register_histogram_record(harness);
     let mut h = LatencyHistogram::new();
-    let mut x = 12345u64;
-    harness.bench("histogram_record", || {
-        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-        h.record(black_box(20_000 + (x >> 40)));
-    });
     for v in 0..1_000_000u64 {
         h.record(25_000 + v % 10_000);
     }
@@ -43,6 +39,9 @@ fn bench_event_queue(harness: &mut Harness) {
         q.push(SimTime::from_nanos(black_box(t)), t);
         black_box(q.pop());
     });
+    // Steady-state churn at fixed occupancy (shared with `desperf` so
+    // the trajectory file measures the identical workload).
+    afa_bench::micro::register_queue_churn(harness);
 }
 
 fn bench_rng(harness: &mut Harness) {

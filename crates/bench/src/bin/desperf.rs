@@ -1,0 +1,116 @@
+//! DES-throughput trajectory: appends one measurement entry to
+//! `BENCH_desperf.json` at the repo root.
+//!
+//! Each entry captures the substrate hot-path micro-benches
+//! (`queue_push_pop_1k`, `queue_push_pop_64k`, `histogram_record` —
+//! the exact same bodies `cargo bench --bench micro` runs) plus a
+//! fixed-scale fig06 end-to-end run (10 s × 64 SSDs, seed 42) with its
+//! wall-clock and events/sec. Because the scale is pinned, entries are
+//! comparable across commits: the file is the perf trajectory of the
+//! event queue and histogram over the repo's history.
+//!
+//! Usage:
+//!
+//! ```text
+//! AFA_BENCH_LABEL=timing-wheel cargo run --release -p afa-bench --bin desperf
+//! ```
+
+use std::time::Instant;
+
+use afa_bench::micro::{self, Harness};
+use afa_core::experiment::{self, Experiment, ExperimentScale};
+use afa_sim::SimDuration;
+use afa_stats::Json;
+
+/// The pinned end-to-end scale; changing it breaks trajectory
+/// comparability, so don't.
+fn trajectory_scale() -> ExperimentScale {
+    ExperimentScale::new(SimDuration::from_secs_f64(10.0), 64, 42)
+}
+
+fn median_ns(harness: &Harness, name: &str) -> f64 {
+    harness
+        .results()
+        .iter()
+        .find(|r| r.name == name)
+        .map_or(f64::NAN, |r| r.median_ns)
+}
+
+fn main() {
+    let label = std::env::var("AFA_BENCH_LABEL").unwrap_or_else(|_| "unlabeled".to_owned());
+
+    let mut harness = Harness::default();
+    micro::register_queue_churn(&mut harness);
+    micro::register_histogram_record(&mut harness);
+
+    let def = experiment::find("fig06").expect("fig06 registered");
+    let scale = trajectory_scale();
+    println!(
+        "\nfig06 end-to-end at {:.1}s x {} SSDs, seed {} ...",
+        scale.runtime.as_secs_f64(),
+        scale.ssds,
+        scale.seed
+    );
+    let events_before = afa_sim::metrics::events_processed_total();
+    let t0 = Instant::now();
+    let result = def.run(scale);
+    let wall = t0.elapsed().as_secs_f64();
+    let events = afa_sim::metrics::events_processed_total() - events_before;
+    let events_per_sec = events as f64 / wall.max(1e-9);
+    println!(
+        "fig06: {:.2}s wall, {} samples, {} events, {:.0} events/sec",
+        wall,
+        result.samples(),
+        events,
+        events_per_sec
+    );
+
+    let entry = Json::obj([
+        ("label", Json::str(&label)),
+        (
+            "queue_push_pop_1k_ns",
+            Json::f64(median_ns(&harness, "queue_push_pop_1k")),
+        ),
+        (
+            "queue_push_pop_64k_ns",
+            Json::f64(median_ns(&harness, "queue_push_pop_64k")),
+        ),
+        (
+            "histogram_record_ns",
+            Json::f64(median_ns(&harness, "histogram_record")),
+        ),
+        ("fig06_wall_s", Json::f64(wall)),
+        ("fig06_samples", Json::u64(result.samples())),
+        ("fig06_events", Json::u64(events)),
+        ("fig06_events_per_sec", Json::f64(events_per_sec)),
+    ]);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_desperf.json");
+    let rendered = append_entry(&std::fs::read_to_string(path).unwrap_or_default(), &entry);
+    match std::fs::write(path, &rendered) {
+        Ok(()) => println!("\nappended '{label}' entry to {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Appends `entry` to a JSON array document without a JSON parser:
+/// strip the closing bracket, add a comma if the array is non-empty,
+/// and re-close. An empty or missing document starts a fresh array.
+fn append_entry(existing: &str, entry: &Json) -> String {
+    let body = existing.trim_end();
+    let body = body.strip_suffix(']').unwrap_or("").trim_end();
+    let mut out = String::new();
+    if body.is_empty() || body == "[" {
+        out.push_str("[\n");
+    } else {
+        out.push_str(body);
+        out.push_str(",\n");
+    }
+    out.push_str("  ");
+    out.push_str(&entry.to_string());
+    out.push_str("\n]\n");
+    out
+}

@@ -290,6 +290,14 @@ pub struct RunManifest {
     /// Host wall-clock time of the run. Rendered in tables only —
     /// serialized as `null` so same-seed JSON is byte-identical.
     pub wall: Duration,
+    /// Simulation events processed while the experiment ran (delta of
+    /// the process-wide [`afa_sim::metrics`] counter, excluding the
+    /// attribution probe). Wall-dependent siblings (`events_per_sec`)
+    /// are table-only for the same reason `wall` is: the JSON artifact
+    /// must stay a pure function of `(experiment, scale)`.
+    pub events_processed: u64,
+    /// DES throughput (`events_processed / wall`). Table-only.
+    pub events_per_sec: f64,
     /// Per-cause latency budget from the attribution probe.
     pub budget: CauseBudget,
     /// Scale the attribution probe ran at (reduced from `scale` to
@@ -316,6 +324,10 @@ impl RunManifest {
         ));
         out.push_str(&format!("samples : {}\n", self.samples));
         out.push_str(&format!("wall    : {:.2}s\n", self.wall.as_secs_f64()));
+        out.push_str(&format!(
+            "events  : {} ({:.0} events/sec)\n",
+            self.events_processed, self.events_per_sec
+        ));
         out.push_str(&format!(
             "latency budget (probe: '{}' at {:.3}s x {} SSDs):\n",
             self.probe_stage.label(),
@@ -418,9 +430,17 @@ impl ExperimentRun {
 /// reduced scale, so the budget is cheap and reproducible even for
 /// experiments that don't attribute causes themselves.
 pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> ExperimentRun {
+    let events_before = afa_sim::metrics::events_processed_total();
     let t0 = Instant::now();
     let result = def.run(scale);
     let wall = t0.elapsed();
+    // Process-wide counter: the delta includes any simulations that ran
+    // concurrently (e.g. the pool runs experiments in parallel), so it
+    // is an honest throughput figure for this run only when the caller
+    // runs one experiment at a time — which is why it stays out of the
+    // byte-stable JSON and only appears in the human table.
+    let events_processed = afa_sim::metrics::events_processed_total() - events_before;
+    let events_per_sec = events_processed as f64 / wall.as_secs_f64().max(1e-9);
 
     let probe_runtime = if scale.runtime > SimDuration::millis(250) {
         SimDuration::millis(250)
@@ -446,6 +466,8 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
             stage: def.stage,
             samples,
             wall,
+            events_processed,
+            events_per_sec,
             budget,
             probe_scale,
             probe_stage,
@@ -511,5 +533,25 @@ mod tests {
         assert!(rendered.contains("\"experiment\":\"table2\""));
         assert!(!run.manifest.budget.is_empty(), "probe budget missing");
         assert!(run.manifest.to_table().contains("latency budget"));
+    }
+
+    #[test]
+    fn events_per_sec_is_table_only() {
+        // fig06 actually drives a simulation, so the event delta must
+        // be non-zero; the JSON schema must not grow a key for it.
+        let def = find("fig06").expect("fig06 registered");
+        let run = run_experiment(def, ExperimentScale::quick());
+        assert!(
+            run.manifest.events_processed > 0,
+            "no events counted for a simulation-backed experiment"
+        );
+        assert!(run.manifest.events_per_sec > 0.0);
+        let table = run.manifest.to_table();
+        assert!(table.contains("events/sec"), "{table}");
+        let rendered = run.manifest.to_json().to_string();
+        assert!(
+            !rendered.contains("events_per_sec") && !rendered.contains("events_processed"),
+            "throughput leaked into the byte-stable artifact: {rendered}"
+        );
     }
 }

@@ -16,6 +16,7 @@ use crate::time::{SimDuration, SimTime};
 pub struct Scheduler<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
+    clamped_past: &'a mut u64,
 }
 
 impl<'a, E> Scheduler<'a, E> {
@@ -31,12 +32,16 @@ impl<'a, E> Scheduler<'a, E> {
 
     /// Schedules `event` at the absolute instant `time`.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `time` is in the past; simulated time
-    /// only moves forward.
+    /// Simulated time only moves forward: a `time` in the past is
+    /// clamped to now (keeping the run well-ordered) and counted on
+    /// [`Simulation::clamped_past_schedules`], with a log line on the
+    /// first occurrence in debug builds — a non-zero counter means a
+    /// model bug that would otherwise hide as silently reordered
+    /// events.
     pub fn at(&mut self, time: SimTime, event: E) {
-        debug_assert!(time >= self.now, "scheduling into the past");
+        if time < self.now {
+            note_past_schedule(self.clamped_past, self.now, time);
+        }
         self.queue.push(time.max(self.now), event);
     }
 
@@ -45,6 +50,22 @@ impl<'a, E> Scheduler<'a, E> {
     pub fn immediately(&mut self, event: E) {
         self.queue.push(self.now, event);
     }
+}
+
+/// Bumps a past-schedule counter, logging the first offence in debug
+/// builds (release stays silent but counted).
+#[inline]
+fn note_past_schedule(counter: &mut u64, now: SimTime, requested: SimTime) {
+    #[cfg(debug_assertions)]
+    if *counter == 0 {
+        eprintln!(
+            "afa-sim: event scheduled {requested} with the clock at {now} — \
+             clamped to now; further past-schedules are counted silently"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (now, requested);
+    *counter += 1;
 }
 
 /// The mutable state of a simulation and its event semantics.
@@ -99,16 +120,29 @@ pub struct Simulation<W: World> {
     queue: EventQueue<W::Event>,
     now: SimTime,
     processed: u64,
+    /// Events already reported to [`crate::metrics`].
+    flushed: u64,
+    /// Past-time schedules clamped to the clock (see
+    /// [`Simulation::clamped_past_schedules`]).
+    clamped_past: u64,
 }
 
 impl<W: World> Simulation<W> {
     /// Creates a simulation at time zero with an empty queue.
     pub fn new(world: W) -> Self {
+        Self::with_capacity(world, 0)
+    }
+
+    /// Creates a simulation at time zero whose event queue is pre-sized
+    /// for roughly `capacity` concurrently pending events.
+    pub fn with_capacity(world: W, capacity: usize) -> Self {
         Simulation {
             world,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             processed: 0,
+            flushed: 0,
+            clamped_past: 0,
         }
     }
 
@@ -120,6 +154,21 @@ impl<W: World> Simulation<W> {
     /// Total number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Number of events that were scheduled at an instant already in
+    /// the past and clamped to the clock. Always 0 for a healthy
+    /// model: anything else means event ordering silently diverged
+    /// from what the world asked for.
+    pub fn clamped_past_schedules(&self) -> u64 {
+        self.clamped_past
+    }
+
+    /// Reports newly processed events to [`crate::metrics`] (batched so
+    /// [`Simulation::step`] never touches an atomic).
+    fn flush_metrics(&mut self) {
+        crate::metrics::add_events(self.processed - self.flushed);
+        self.flushed = self.processed;
     }
 
     /// Shared access to the world.
@@ -137,9 +186,12 @@ impl<W: World> Simulation<W> {
         self.world
     }
 
-    /// Schedules an event at an absolute time (must not be in the past).
+    /// Schedules an event at an absolute time. Past instants clamp to
+    /// the clock and count on [`Simulation::clamped_past_schedules`].
     pub fn schedule_at(&mut self, time: SimTime, event: W::Event) {
-        debug_assert!(time >= self.now, "scheduling into the past");
+        if time < self.now {
+            note_past_schedule(&mut self.clamped_past, self.now, time);
+        }
         self.queue.push(time.max(self.now), event);
     }
 
@@ -163,6 +215,7 @@ impl<W: World> Simulation<W> {
                 let mut sched = Scheduler {
                     now: time,
                     queue: &mut self.queue,
+                    clamped_past: &mut self.clamped_past,
                 };
                 self.world.handle(event, &mut sched);
                 StepOutcome::Advanced(time)
@@ -173,6 +226,7 @@ impl<W: World> Simulation<W> {
     /// Runs until no events remain.
     pub fn run_to_completion(&mut self) {
         while self.step() != StepOutcome::Idle {}
+        self.flush_metrics();
     }
 
     /// Runs until the clock passes `deadline` or no events remain.
@@ -180,14 +234,15 @@ impl<W: World> Simulation<W> {
     /// Events scheduled exactly at `deadline` are processed; the first
     /// event strictly after it is left pending.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
+        while let Some(t) = self.queue.next_time() {
             if t > deadline {
                 // Stopping early: the clock rests at the deadline.
                 self.now = self.now.max(deadline);
-                return;
+                break;
             }
             self.step();
         }
+        self.flush_metrics();
     }
 }
 
@@ -282,6 +337,67 @@ mod tests {
     fn idle_when_empty() {
         let mut sim = Simulation::new(Recorder::default());
         assert_eq!(sim.step(), StepOutcome::Idle);
+    }
+
+    #[test]
+    fn past_schedules_clamp_and_count() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_nanos(100), Ev::Mark(1));
+        assert_eq!(sim.step(), StepOutcome::Advanced(SimTime::from_nanos(100)));
+        assert_eq!(sim.clamped_past_schedules(), 0);
+        // The clock reads 100; scheduling at 40 is a model bug — the
+        // event fires now, and the counter records the clamp.
+        sim.schedule_at(SimTime::from_nanos(40), Ev::Mark(2));
+        assert_eq!(sim.clamped_past_schedules(), 1);
+        sim.run_to_completion();
+        assert_eq!(sim.world().seen, vec![(100, 1), (100, 2)]);
+    }
+
+    #[test]
+    fn scheduler_counts_past_schedules_from_handlers() {
+        #[derive(Debug, Default)]
+        struct PastScheduler {
+            fired: u32,
+        }
+        impl World for PastScheduler {
+            type Event = ();
+            fn handle(&mut self, _e: (), sched: &mut Scheduler<'_, ()>) {
+                self.fired += 1;
+                if self.fired == 1 {
+                    // Deliberately schedule into the past.
+                    sched.at(SimTime::ZERO, ());
+                }
+            }
+        }
+        let mut sim = Simulation::new(PastScheduler::default());
+        sim.schedule_at(SimTime::from_nanos(50), ());
+        sim.run_to_completion();
+        assert_eq!(sim.world().fired, 2);
+        assert_eq!(sim.clamped_past_schedules(), 1);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut sim = Simulation::with_capacity(Recorder::default(), 256);
+        sim.schedule_at(SimTime::from_nanos(10), Ev::Mark(1));
+        sim.schedule_at(SimTime::from_nanos(5), Ev::Mark(0));
+        sim.run_to_completion();
+        assert_eq!(sim.world().seen, vec![(5, 0), (10, 1)]);
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn runs_flush_the_global_event_counter() {
+        let before = crate::metrics::events_processed_total();
+        let mut sim = Simulation::new(Recorder::default());
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_nanos(i * 10), Ev::Mark(i as u32));
+        }
+        sim.run_until(SimTime::from_nanos(45));
+        sim.run_to_completion();
+        assert_eq!(sim.events_processed(), 10);
+        // ≥, not ==: other tests in the process also count.
+        assert!(crate::metrics::events_processed_total() >= before + 10);
     }
 
     #[test]

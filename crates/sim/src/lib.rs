@@ -5,8 +5,9 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulated
 //!   clock with ergonomic constructors ([`SimDuration::micros`], …),
-//! * [`EventQueue`] — a priority queue of timestamped events with
-//!   *stable* FIFO ordering among events scheduled for the same instant,
+//! * [`EventQueue`] — a hierarchical timing wheel of timestamped
+//!   events with *stable* FIFO ordering among events scheduled for the
+//!   same instant (amortized O(1) push/pop),
 //! * [`rng`] — deterministic, splittable random-number streams
 //!   (splitmix64 seeding + xoshiro256\*\* generation) so that every
 //!   experiment is exactly reproducible from a single master seed,
@@ -36,6 +37,7 @@
 
 pub mod check;
 mod driver;
+pub mod metrics;
 mod queue;
 pub mod rng;
 mod time;

@@ -1,34 +1,84 @@
 //! The timestamped event queue at the heart of the simulator.
+//!
+//! Implemented as a **hierarchical timing wheel** (calendar-queue
+//! family): 11 levels of 64 nanosecond-resolution buckets, where level
+//! `k` sorts events by bits `[6k, 6k+6)` of their absolute timestamp.
+//! A push lands in the bucket of the *highest* bit in which the event's
+//! time differs from the wheel's current origin — O(1). A pop drains
+//! the earliest level-0 bucket; when level 0 is exhausted, the first
+//! bucket of the lowest occupied level is *cascaded* (redistributed)
+//! into the levels below it. Every event descends at most once per
+//! level, so push and pop are amortized O(1) — versus the O(log n)
+//! comparator work of a binary heap — and per-level occupancy bitmaps
+//! make "find the next bucket" a single `trailing_zeros`.
+//!
+//! # Ordering contract
+//!
+//! Identical to the binary-heap implementation this replaced (kept
+//! below as a `#[cfg(test)]` reference): events pop in ascending time
+//! order, and events scheduled for the same instant pop in FIFO
+//! (insertion) order. The FIFO guarantee is structural rather than
+//! enforced by sequence numbers: same-time events always map to the
+//! same bucket, pushes append, and cascades preserve bucket order, so
+//! insertion order survives all the way to level 0 — this is what
+//! keeps whole-system runs bit-reproducible. Differential tests (unit
+//! and property) drive both implementations with interleaved
+//! push/pop sequences and require identical output.
+//!
+//! Timestamps may go backwards relative to the wheel origin (the
+//! generic API allows pushing a time earlier than the last pop); such
+//! events overflow into a small sequence-numbered binary heap and
+//! still pop in exact `(time, insertion)` order. The simulation driver
+//! never produces them — [`crate::Scheduler`] clamps to `now` — so the
+//! hot path pays only an empty-heap check.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
-/// A pending event: ordered by time, then by insertion sequence so that
-/// events scheduled for the same instant pop in FIFO order. Stable
-/// ordering is what makes whole-system runs bit-reproducible.
-struct Entry<E> {
-    time: SimTime,
+/// Bits of the timestamp consumed per wheel level.
+const LEVEL_BITS: u32 = 6;
+/// Buckets per level; `u64` occupancy bitmaps require exactly 64.
+const SLOTS: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Levels needed so every `u64` timestamp has a home: ⌈64 / 6⌉.
+const LEVELS: usize = (64 / LEVEL_BITS as usize) + 1;
+
+/// Wheel level for an event at `time` given the wheel origin `cur`:
+/// the level containing the most significant differing bit. `| 1`
+/// pins `time == cur` to level 0 without a branch.
+#[inline]
+fn level_of(time: u64, cur: u64) -> usize {
+    debug_assert!(time >= cur);
+    ((63 - ((time ^ cur) | 1).leading_zeros()) / LEVEL_BITS) as usize
+}
+
+/// An event pushed with a timestamp earlier than the wheel origin
+/// (impossible through the simulation driver, legal through the raw
+/// API): ordered by time, then insertion sequence, exactly like the
+/// old heap.
+struct PastEntry<E> {
+    time: u64,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for PastEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl<E> Eq for PastEntry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialOrd for PastEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for PastEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event wins.
         other
@@ -39,7 +89,8 @@ impl<E> Ord for Entry<E> {
 }
 
 /// A min-priority queue of `(SimTime, E)` pairs with stable FIFO
-/// ordering among equal timestamps.
+/// ordering among equal timestamps, built on a hierarchical timing
+/// wheel (amortized O(1) push/pop).
 ///
 /// # Example
 ///
@@ -53,73 +104,316 @@ impl<E> Ord for Entry<E> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, ['a', 'b', 'c']);
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    /// `LEVELS × SLOTS` buckets, flattened; bucket `level*SLOTS + slot`
+    /// holds events whose timestamp chunk at `level` equals `slot`.
+    wheel: Vec<Vec<(u64, E)>>,
+    /// Per-level bitmap of non-empty buckets.
+    occupied: [u64; LEVELS],
+    /// Wheel origin: all wheel-resident events have `time >= cur`.
+    cur: u64,
+    /// The drained current level-0 bucket; every entry is at
+    /// `ready_time`, popped front-first to preserve FIFO order.
+    ready: VecDeque<E>,
+    ready_time: u64,
+    /// Overflow for `time < cur` pushes (see module docs).
+    past: BinaryHeap<PastEntry<E>>,
+    past_seq: u64,
+    /// Reusable cascade buffer; bucket allocations rotate through it
+    /// so steady-state operation does not allocate.
+    scratch: Vec<(u64, E)>,
+    len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            wheel: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            cur: 0,
+            ready: VecDeque::new(),
+            ready_time: 0,
+            past: BinaryHeap::new(),
+            past_seq: 0,
+            scratch: Vec::new(),
+            len: 0,
         }
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
+    /// Creates an empty queue pre-sized for roughly `capacity` pending
+    /// events: the drain and cascade buffers are pre-allocated (bucket
+    /// storage itself grows on demand and is reused thereafter).
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
+            ready: VecDeque::with_capacity(capacity.min(1 << 20)),
+            scratch: Vec::with_capacity(capacity.min(1 << 20)),
+            ..Self::new()
         }
+    }
+
+    /// Places `(t, event)` in its wheel bucket. Requires `t >= cur`.
+    #[inline]
+    fn insert(&mut self, t: u64, event: E) {
+        let level = level_of(t, self.cur);
+        let slot = ((t >> (level as u32 * LEVEL_BITS)) & SLOT_MASK) as usize;
+        self.wheel[level * SLOTS + slot].push((t, event));
+        self.occupied[level] |= 1 << slot;
     }
 
     /// Schedules `event` at the absolute instant `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let t = time.as_nanos();
+        if self.len == 0 {
+            // Empty queue: re-anchor the wheel so `t` is the origin.
+            // Keeps single-outstanding-event churn entirely in level 0
+            // and lets arbitrary (even "past") times start fresh.
+            self.cur = t;
+        }
+        if t < self.cur {
+            let seq = self.past_seq;
+            self.past_seq += 1;
+            self.past.push(PastEntry {
+                time: t,
+                seq,
+                event,
+            });
+        } else {
+            self.insert(t, event);
+        }
+        self.len += 1;
+    }
+
+    /// Cascades buckets until level 0 is occupied. Requires at least
+    /// one wheel-resident event.
+    fn settle_wheel(&mut self) {
+        while self.occupied[0] == 0 {
+            // The first bucket of the lowest occupied level holds the
+            // globally earliest events: higher levels differ from the
+            // origin in more significant timestamp bits.
+            let level = (1..LEVELS)
+                .find(|&k| self.occupied[k] != 0)
+                .expect("settle_wheel called with an empty wheel");
+            let slot = self.occupied[level].trailing_zeros() as u64;
+            let shift = level as u32 * LEVEL_BITS;
+            // Advance the origin to the start of the bucket's span;
+            // everything below `shift` zeroes out.
+            let upper = u64::MAX.checked_shl(shift + LEVEL_BITS).unwrap_or(0);
+            self.cur = (self.cur & upper) | (slot << shift);
+            self.occupied[level] &= !(1 << slot);
+            // Swap the bucket against the reusable scratch buffer and
+            // redistribute; order-preserving, so FIFO ties survive.
+            let mut items = std::mem::replace(
+                &mut self.wheel[level * SLOTS + slot as usize],
+                std::mem::take(&mut self.scratch),
+            );
+            for (t, e) in items.drain(..) {
+                debug_assert!(level_of(t, self.cur) < level, "cascade must descend");
+                self.insert(t, e);
+            }
+            self.scratch = items;
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // Overflow events are strictly earlier than the origin, and
+        // ready events sit exactly at it, so the precedence is fixed.
+        if let Some(entry) = self.past.pop() {
+            return Some((SimTime::from_nanos(entry.time), entry.event));
+        }
+        if let Some(event) = self.ready.pop_front() {
+            return Some((SimTime::from_nanos(self.ready_time), event));
+        }
+        self.settle_wheel();
+        let slot = self.occupied[0].trailing_zeros() as u64;
+        let t = (self.cur & !SLOT_MASK) | slot;
+        debug_assert!(t >= self.cur);
+        self.cur = t;
+        self.ready_time = t;
+        self.occupied[0] &= !(1 << slot);
+        // A level-0 bucket spans exactly one nanosecond, so every
+        // entry shares the timestamp; drain preserves FIFO order and
+        // keeps the bucket's allocation for its next occupant.
+        let bucket = &mut self.wheel[slot as usize];
+        self.ready.extend(bucket.drain(..).map(|(bt, e)| {
+            debug_assert_eq!(bt, t);
+            e
+        }));
+        let event = self.ready.pop_front().expect("occupied level-0 bucket");
+        Some((SimTime::from_nanos(t), event))
     }
 
     /// Returns the timestamp of the earliest pending event.
+    ///
+    /// Non-mutating, so when the head of the queue is buried in a
+    /// not-yet-cascaded bucket this scans that bucket (O(bucket));
+    /// hot loops inside the crate use [`EventQueue::next_time`], which
+    /// settles the wheel and is amortized O(1).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(p) = self.past.peek() {
+            return Some(SimTime::from_nanos(p.time));
+        }
+        if !self.ready.is_empty() {
+            return Some(SimTime::from_nanos(self.ready_time));
+        }
+        for level in 0..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as u64;
+            if level == 0 {
+                return Some(SimTime::from_nanos((self.cur & !SLOT_MASK) | slot));
+            }
+            let t = self.wheel[level * SLOTS + slot as usize]
+                .iter()
+                .map(|&(t, _)| t)
+                .min()
+                .expect("bucket marked occupied");
+            return Some(SimTime::from_nanos(t));
+        }
+        unreachable!("non-zero len with no events stored")
+    }
+
+    /// Returns the timestamp of the earliest pending event, settling
+    /// the wheel so the subsequent [`EventQueue::pop`] is O(1). This is
+    /// the form the simulation driver's deadline loop uses.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(p) = self.past.peek() {
+            return Some(SimTime::from_nanos(p.time));
+        }
+        if !self.ready.is_empty() {
+            return Some(SimTime::from_nanos(self.ready_time));
+        }
+        self.settle_wheel();
+        let slot = self.occupied[0].trailing_zeros() as u64;
+        Some(SimTime::from_nanos((self.cur & !SLOT_MASK) | slot))
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Removes all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for bucket in &mut self.wheel {
+            bucket.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.ready.clear();
+        self.past.clear();
+        self.scratch.clear();
+        self.cur = 0;
+        self.ready_time = 0;
+        self.len = 0;
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len)
             .field("next_time", &self.peek_time())
             .finish()
     }
 }
 
+/// The binary-heap implementation the timing wheel replaced, retained
+/// verbatim as the ordering oracle for differential tests.
+#[cfg(test)]
+pub(crate) mod heap_reference {
+    use super::{Ordering, SimTime};
+    use std::collections::BinaryHeap;
+
+    struct Entry<E> {
+        time: SimTime,
+        seq: u64,
+        event: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+
+    impl<E> Eq for Entry<E> {}
+
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .time
+                .cmp(&self.time)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    /// `(time, insertion-seq)` min-queue on `std::collections::BinaryHeap`.
+    #[derive(Default)]
+    pub struct HeapEventQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> HeapEventQueue<E> {
+        pub fn new() -> Self {
+            HeapEventQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub fn push(&mut self, time: SimTime, event: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { time, seq, event });
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|e| (e.time, e.event))
+        }
+
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::heap_reference::HeapEventQueue;
     use super::*;
 
     fn t(n: u64) -> SimTime {
@@ -180,5 +474,122 @@ mod tests {
         assert_eq!(q.pop(), Some((t(20), "b")));
         assert_eq!(q.pop(), Some((t(30), "c")));
         assert_eq!(q.pop(), Some((t(40), "d")));
+    }
+
+    #[test]
+    fn far_future_times_cascade_correctly() {
+        let mut q = EventQueue::new();
+        // One event per wheel level, far beyond level 0's 64 ns span.
+        let times: Vec<u64> = (0..16).map(|i| 1u64 << (i * 4)).collect();
+        for (i, &n) in times.iter().enumerate() {
+            q.push(t(n), i);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        for &n in &sorted {
+            let (pt, _) = q.pop().expect("event");
+            assert_eq!(pt, t(n));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn huge_timestamps_have_a_home() {
+        let mut q = EventQueue::new();
+        q.push(t(u64::MAX), "max");
+        q.push(t(0), "zero");
+        q.push(t(u64::MAX - 1), "penultimate");
+        assert_eq!(q.pop(), Some((t(0), "zero")));
+        assert_eq!(q.pop(), Some((t(u64::MAX - 1), "penultimate")));
+        assert_eq!(q.pop(), Some((t(u64::MAX), "max")));
+    }
+
+    #[test]
+    fn past_time_pushes_still_order_correctly() {
+        let mut q = EventQueue::new();
+        q.push(t(1_000), "late");
+        assert_eq!(q.pop(), Some((t(1_000), "late")));
+        // The origin is now 1000; push events before it.
+        q.push(t(2_000), "d");
+        q.push(t(500), "b");
+        q.push(t(100), "a");
+        q.push(t(500), "c"); // same past time: FIFO after "b"
+        assert_eq!(q.pop(), Some((t(100), "a")));
+        assert_eq!(q.pop(), Some((t(500), "b")));
+        assert_eq!(q.pop(), Some((t(500), "c")));
+        assert_eq!(q.pop(), Some((t(2_000), "d")));
+    }
+
+    #[test]
+    fn next_time_matches_peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        let mut x = 9u64;
+        for i in 0..500u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            q.push(t((x >> 32) % 1_000_000), i);
+        }
+        while !q.is_empty() {
+            let peeked = q.peek_time();
+            assert_eq!(q.next_time(), peeked);
+            let (popped, _) = q.pop().expect("non-empty");
+            assert_eq!(Some(popped), peeked);
+        }
+    }
+
+    /// The differential ordering test the timing wheel's correctness
+    /// rests on: long random interleavings of pushes and pops must
+    /// agree, value-for-value, with the retained binary heap.
+    #[test]
+    fn differential_against_heap_reference() {
+        // Simple xorshift* so the test is self-contained.
+        let mut state = 0x853C_49E6_748F_EA9Bu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..20u64 {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut clock = trial * 1_000; // varied starting origin
+            let mut id = 0u64;
+            for _ in 0..4_000 {
+                let r = rng();
+                if r % 100 < 60 || wheel.is_empty() {
+                    // Mixed horizons: mostly near-future, occasionally
+                    // far-future (exercises high levels) or same-tick.
+                    let gap = match r % 10 {
+                        0 => 0,
+                        1..=6 => (r >> 8) % 50_000,
+                        7 | 8 => (r >> 8) % 5_000_000,
+                        _ => (r >> 8) % 10_000_000_000,
+                    };
+                    wheel.push(t(clock + gap), id);
+                    heap.push(t(clock + gap), id);
+                    id += 1;
+                } else {
+                    assert_eq!(wheel.peek_time(), heap.peek_time(), "trial {trial}");
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "trial {trial}");
+                    if let Some((pt, _)) = a {
+                        // Keep pushes causal, like the driver does.
+                        clock = clock.max(pt.as_nanos());
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len());
+            }
+            // Drain both completely.
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "drain, trial {trial}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

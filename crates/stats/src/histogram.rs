@@ -58,23 +58,25 @@ impl LatencyHistogram {
     }
 
     /// Index of the bucket holding `value`.
+    ///
+    /// Branchless on the hot path: OR-ing in `SUB_BUCKET_COUNT - 1`
+    /// pins the most-significant bit of small values at
+    /// `SUB_BUCKET_BITS - 1`, so the level computes to 0 and the index
+    /// collapses to the value itself — one shift/add formula covers
+    /// both the exact (< 256) and log-linear regimes, and the only
+    /// remaining branch is the never-taken saturation guard.
     #[inline]
     fn index_for(value: u64) -> usize {
-        if value < SUB_BUCKET_COUNT {
-            return value as usize;
-        }
-        // Highest bit at or above SUB_BUCKET_BITS determines the level.
-        let level = (63 - value.leading_zeros()) as usize - (SUB_BUCKET_BITS as usize - 1);
+        let msb = 63 - (value | (SUB_BUCKET_COUNT - 1)).leading_zeros();
+        let level = (msb + 1 - SUB_BUCKET_BITS) as usize;
         if level > LEVELS {
             // Values beyond the covered range saturate into the last
             // bucket; exact max tracking keeps p100 correct regardless.
             return BUCKETS - 1;
         }
-        let shifted = value >> level;
-        debug_assert!((SUB_BUCKET_HALF..SUB_BUCKET_COUNT).contains(&shifted));
-        (SUB_BUCKET_COUNT as usize)
-            + (level - 1) * (SUB_BUCKET_HALF as usize)
-            + (shifted - SUB_BUCKET_HALF) as usize
+        let idx = level * SUB_BUCKET_HALF as usize + (value >> level) as usize;
+        debug_assert!(idx < BUCKETS);
+        idx
     }
 
     /// Highest value representable by bucket `index` (the reported
@@ -385,6 +387,40 @@ mod tests {
         }
         let sum: u64 = h.iter_buckets().map(|(_, c)| c).sum();
         assert_eq!(sum, h.count());
+    }
+
+    #[test]
+    fn branchless_index_matches_branchy_reference() {
+        // The original two-regime implementation, retained as the
+        // specification the branchless formula must reproduce.
+        fn reference(value: u64) -> usize {
+            if value < SUB_BUCKET_COUNT {
+                return value as usize;
+            }
+            let level = (63 - value.leading_zeros()) as usize - (SUB_BUCKET_BITS as usize - 1);
+            if level > LEVELS {
+                return BUCKETS - 1;
+            }
+            let shifted = value >> level;
+            (SUB_BUCKET_COUNT as usize)
+                + (level - 1) * (SUB_BUCKET_HALF as usize)
+                + (shifted - SUB_BUCKET_HALF) as usize
+        }
+        for v in 0..4096u64 {
+            assert_eq!(LatencyHistogram::index_for(v), reference(v), "v={v}");
+        }
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Cover all magnitudes, not just full-width values.
+            let v = x >> (x % 64);
+            assert_eq!(LatencyHistogram::index_for(v), reference(v), "v={v}");
+        }
+        for v in [u64::MAX, u64::MAX / 2, 1 << 56, (1 << 56) - 1] {
+            assert_eq!(LatencyHistogram::index_for(v), reference(v), "v={v}");
+        }
     }
 
     #[test]

@@ -22,4 +22,23 @@ if [ "$count" -lt 20 ]; then
 fi
 echo "afactl list: $count experiments registered"
 
+echo "==> golden artifact byte-compare (scaled fig06/fig12/fig13)"
+# Doubles as the experiment smoke test: regenerates three figure
+# artifacts at a reduced scale and byte-compares them against the
+# committed fixtures. Any change in event ordering, RNG streams, model
+# behaviour or JSON schema shows up here as a diff.
+golden_tmp="$(mktemp -d)"
+trap 'rm -rf "$golden_tmp"' EXIT
+for fig in fig06 fig12 fig13; do
+    ./target/release/afactl exp "$fig" --seconds 0.25 --ssds 8 --seed 42 \
+        --json > "$golden_tmp/$fig.json"
+    if ! cmp -s "tests/golden/$fig.json" "$golden_tmp/$fig.json"; then
+        echo "golden mismatch: $fig artifact differs from tests/golden/$fig.json" >&2
+        echo "(if the change is intentional, regenerate the fixture with:" >&2
+        echo "  ./target/release/afactl exp $fig --seconds 0.25 --ssds 8 --seed 42 --json > tests/golden/$fig.json)" >&2
+        exit 1
+    fi
+    echo "golden OK: $fig"
+done
+
 echo "CI OK"

@@ -8,9 +8,12 @@
 //! cargo test --features proptest --test proptests
 //! ```
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use afa::core::{AfaConfig, AfaSystem, TuningStage};
 use afa::sim::check::run_cases;
-use afa::sim::SimDuration;
+use afa::sim::{EventQueue, SimDuration, SimTime};
 use afa::stats::NinesPoint;
 
 /// For any seed and small device count, the system completes I/O on
@@ -42,6 +45,92 @@ fn runs_are_sane_for_any_seed() {
             ];
             for w in pts.windows(2) {
                 assert!(profile.get(w[0]) <= profile.get(w[1]));
+            }
+        }
+    });
+}
+
+/// The binary-heap event queue the timing wheel replaced, kept here as
+/// the ordering specification: pop order is `(time, insertion seq)`.
+struct ReferenceHeap<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    events: Vec<Option<E>>,
+    seq: u64,
+}
+
+impl<E> ReferenceHeap<E> {
+    fn new() -> Self {
+        ReferenceHeap {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, event: E) {
+        let slot = self.events.len() as u64;
+        self.events.push(Some(event));
+        self.heap.push(Reverse((time.as_nanos(), self.seq, slot)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((nanos, _, slot)) = self.heap.pop()?;
+        let event = self.events[slot as usize].take().expect("slot filled once");
+        Some((SimTime::from_nanos(nanos), event))
+    }
+}
+
+/// The timing wheel pops events in exactly the `(time, insertion seq)`
+/// order of the binary heap it replaced, for any interleaving of
+/// pushes and pops and any mix of near/far/past timestamps. This is
+/// the contract that keeps every registry artifact byte-identical
+/// across the queue swap.
+#[test]
+fn timing_wheel_matches_reference_heap() {
+    run_cases("timing_wheel_matches_reference_heap", 32, |g| {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: ReferenceHeap<u64> = ReferenceHeap::new();
+        // Mix of event-time horizons: dense same-instant bursts,
+        // device-latency gaps, and far-future housekeeping timers.
+        let horizon = [0u64, 1, 1_000, 50_000, 5_000_000, 10_000_000_000][g.usize_in(0, 5)];
+        let ops = g.usize_in(10, 600);
+        let mut clock = 0u64; // latest popped time, to generate past pushes
+        let mut id = 0u64;
+        for _ in 0..ops {
+            if g.bool() || wheel.is_empty() {
+                let base = if g.u64_in(0, 9) == 0 {
+                    // Occasionally push at/behind the popped frontier,
+                    // which only the raw queue API can do.
+                    clock.saturating_sub(g.u64_in(0, 1_000))
+                } else {
+                    clock + g.u64_in(0, horizon.max(1))
+                };
+                wheel.push(SimTime::from_nanos(base), id);
+                heap.push(SimTime::from_nanos(base), id);
+                id += 1;
+            } else {
+                let got = wheel.pop();
+                let want = heap.pop();
+                assert_eq!(
+                    got.map(|(t, e)| (t.as_nanos(), e)),
+                    want.map(|(t, e)| (t.as_nanos(), e)),
+                );
+                if let Some((t, _)) = got {
+                    clock = clock.max(t.as_nanos());
+                }
+            }
+        }
+        // Drain: remaining contents must agree exactly, in order.
+        loop {
+            let got = wheel.pop();
+            let want = heap.pop();
+            assert_eq!(
+                got.map(|(t, e)| (t.as_nanos(), e)),
+                want.map(|(t, e)| (t.as_nanos(), e)),
+            );
+            if got.is_none() {
+                break;
             }
         }
     });
