@@ -82,7 +82,7 @@ fn bench_scheduler(harness: &mut Harness) {
         let cpu = CpuId(4 + (d % 32) as u16);
         let (start, _) = host.wake_io_task(cpu, out.wake_ready, SchedPolicy::chrt_fifo_99());
         let end = host.charge_cpu(cpu, start, SimDuration::nanos(1_300));
-        now = now + SimDuration::nanos(520);
+        now += SimDuration::nanos(520);
         black_box(end);
     });
 }

@@ -15,9 +15,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let cmp = fig12(scale);
     println!("{}", cmp.to_table());
-    for stage in [TuningStage::ExperimentalFirmware] {
-        let fig = run_stage(stage, scale);
-        println!("{}", fig.to_table());
-    }
+    let fig = run_stage(TuningStage::ExperimentalFirmware, scale);
+    println!("{}", fig.to_table());
     println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

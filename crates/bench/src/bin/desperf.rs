@@ -14,6 +14,11 @@
 //! ```text
 //! AFA_BENCH_LABEL=timing-wheel cargo run --release -p afa-bench --bin desperf
 //! ```
+//!
+//! `desperf --check` is the CI regression gate: it skips the
+//! micro-benches, re-measures the pinned fig06 run, and exits non-zero
+//! if events/sec fell more than 10% below the most recent committed
+//! entry (nothing is appended).
 
 use std::time::Instant;
 
@@ -37,7 +42,35 @@ fn median_ns(harness: &Harness, name: &str) -> f64 {
 }
 
 fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
     let label = std::env::var("AFA_BENCH_LABEL").unwrap_or_else(|_| "unlabeled".to_owned());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_desperf.json");
+
+    if check_only {
+        let baseline = match last_events_per_sec(&std::fs::read_to_string(path).unwrap_or_default())
+        {
+            Some(b) => b,
+            None => {
+                eprintln!("--check: no committed entry in {path}; run desperf once first");
+                std::process::exit(1);
+            }
+        };
+        let measured = run_trajectory_fig06();
+        let floor = 0.9 * baseline;
+        if measured < floor {
+            eprintln!(
+                "desperf regression: {measured:.0} events/sec is more than 10% below \
+                 the committed baseline {baseline:.0} (floor {floor:.0})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "desperf OK: {measured:.0} events/sec vs baseline {baseline:.0} \
+             ({:+.1}%)",
+            100.0 * (measured / baseline - 1.0)
+        );
+        return;
+    }
 
     let mut harness = Harness::default();
     micro::register_queue_churn(&mut harness);
@@ -85,7 +118,6 @@ fn main() {
         ("fig06_events_per_sec", Json::f64(events_per_sec)),
     ]);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_desperf.json");
     let rendered = append_entry(&std::fs::read_to_string(path).unwrap_or_default(), &entry);
     match std::fs::write(path, &rendered) {
         Ok(()) => println!("\nappended '{label}' entry to {path}"),
@@ -94,6 +126,43 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Runs the pinned-scale fig06 trajectory once and returns events/sec.
+fn run_trajectory_fig06() -> f64 {
+    let def = experiment::find("fig06").expect("fig06 registered");
+    let scale = trajectory_scale();
+    println!(
+        "fig06 end-to-end at {:.1}s x {} SSDs, seed {} ...",
+        scale.runtime.as_secs_f64(),
+        scale.ssds,
+        scale.seed
+    );
+    let events_before = afa_sim::metrics::events_processed_total();
+    let t0 = Instant::now();
+    let result = def.run(scale);
+    let wall = t0.elapsed().as_secs_f64();
+    let events = afa_sim::metrics::events_processed_total() - events_before;
+    let events_per_sec = events as f64 / wall.max(1e-9);
+    println!(
+        "fig06: {:.2}s wall, {} samples, {} events, {:.0} events/sec",
+        wall,
+        result.samples(),
+        events,
+        events_per_sec
+    );
+    events_per_sec
+}
+
+/// Extracts the last entry's `fig06_events_per_sec` from the
+/// trajectory document — same no-parser discipline as [`append_entry`]:
+/// find the final occurrence of the key and read the number after it.
+fn last_events_per_sec(existing: &str) -> Option<f64> {
+    let key = "\"fig06_events_per_sec\":";
+    let at = existing.rfind(key)? + key.len();
+    let rest = &existing[at..];
+    let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 /// Appends `entry` to a JSON array document without a JSON parser:

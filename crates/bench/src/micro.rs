@@ -109,7 +109,7 @@ impl Harness {
         let n = per_op.len();
         let mean = per_op.iter().sum::<f64>() / n as f64;
         let var = per_op.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-        let median = if n % 2 == 0 {
+        let median = if n.is_multiple_of(2) {
             (per_op[n / 2 - 1] + per_op[n / 2]) / 2.0
         } else {
             per_op[n / 2]

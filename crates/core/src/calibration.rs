@@ -108,6 +108,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberately guards the const table
     fn paper_reference_is_self_consistent() {
         assert!(PAPER.standalone_read_us < PAPER.clustered_read_us);
         assert!(PAPER.chrt_max_us < PAPER.default_max_us);

@@ -1,0 +1,212 @@
+//! Run configuration: everything needed to run one experiment.
+
+use afa_host::BackgroundConfig;
+use afa_sim::SimDuration;
+use afa_workload::{IoEngine, JobSpec, RwPattern};
+
+use crate::geometry::CpuSsdGeometry;
+use crate::tuning::{Tuning, TuningStage};
+
+/// NVMe interrupt-coalescing parameters (the standard mitigation for
+/// the §I "interrupt storm" concern): the device holds completions
+/// until `max_batch` have accumulated or `timeout` has passed since
+/// the first, then raises a single MSI for the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IrqCoalescing {
+    /// Fire as soon as this many completions are pending.
+    pub max_batch: u32,
+    /// Fire this long after the first pending completion.
+    pub timeout: SimDuration,
+}
+
+/// Everything needed to run one experiment.
+#[derive(Clone, Debug)]
+pub struct AfaConfig {
+    /// CPU↔SSD mapping.
+    pub geometry: CpuSsdGeometry,
+    /// Tuning stage (kernel config + fio class + firmware).
+    pub tuning: Tuning,
+    /// Background daemon workload.
+    pub background: BackgroundConfig,
+    /// Per-job run time.
+    pub runtime: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Enable per-sample latency logs on every job (Fig. 10).
+    pub log_latency: bool,
+    /// Completion model.
+    pub engine: IoEngine,
+    /// I/O mix (the paper uses 4 KiB random reads).
+    pub rw: RwPattern,
+    /// Block size in bytes (the paper uses 4 KiB).
+    pub block_size: u32,
+    /// Queue depth per job (the paper uses 1).
+    pub iodepth: u32,
+    /// Firmware override (the housekeeping-protocol ablation sweeps
+    /// custom SMART policies); `None` uses the tuning stage's
+    /// firmware.
+    pub firmware_override: Option<afa_ssd::FirmwareProfile>,
+    /// Timer-tick rate override in Hz (tick ablation).
+    pub tick_override: Option<u32>,
+    /// Idle-policy override (C-state ablation).
+    pub idle_override: Option<afa_host::IdlePolicy>,
+    /// Per-job issue-rate cap (fio's `rate_iops`); `None` = unpaced.
+    pub rate_iops: Option<u64>,
+    /// Override of the kernel's `rcu_nocbs` set (RCU ablation).
+    pub rcu_override: Option<afa_host::CpuSet>,
+    /// Wholesale kernel-config replacement (future-work prototypes).
+    pub kernel_override: Option<afa_host::KernelConfig>,
+    /// NVMe interrupt coalescing; `None` = one MSI per completion
+    /// (the paper's devices).
+    pub irq_coalescing: Option<IrqCoalescing>,
+    /// Explicit job list (e.g. from [`afa_workload::parse_jobfile`]);
+    /// replaces the per-device jobs the config would otherwise build.
+    /// Each spec must target a distinct device; unpinned jobs get the
+    /// paper's Fig. 5 CPU for their device.
+    pub jobs_override: Option<Vec<JobSpec>>,
+    /// Record blktrace-style stage timestamps for the first N I/Os
+    /// (0 = off); results land in [`RunResult::traces`](crate::RunResult::traces).
+    pub trace_ios: usize,
+    /// Attribute every nanosecond of completion latency to a cause
+    /// (the simulated LTTng analysis of §IV-B/§IV-D); results land in
+    /// [`RunResult::causes`](crate::RunResult::causes).
+    pub attribute_causes: bool,
+    /// Capture the settled [`IoLedger`](crate::io_path::IoLedger) of
+    /// the first N completed I/Os (0 = off); results land in
+    /// [`RunResult::ledgers`](crate::RunResult::ledgers).
+    pub ledger_log: usize,
+    /// Socket the AFA's PCIe uplink attaches to (the paper's CPU2 =
+    /// socket 1, §III-A). fio threads on the other socket pay a
+    /// cross-socket (NUMA) penalty on the completion path.
+    pub afa_socket: u16,
+}
+
+impl AfaConfig {
+    /// The paper's §III setup at a given tuning stage: 64 SSDs, the
+    /// Fig. 5 geometry, CentOS-7-like background noise, 120 s runs.
+    pub fn paper(stage: TuningStage) -> Self {
+        AfaConfig {
+            geometry: CpuSsdGeometry::paper(64),
+            tuning: Tuning::new(stage),
+            background: BackgroundConfig::centos7_desktop(),
+            runtime: SimDuration::secs(120),
+            seed: 42,
+            log_latency: false,
+            engine: IoEngine::Libaio,
+            rw: RwPattern::RandRead,
+            block_size: 4096,
+            iodepth: 1,
+            firmware_override: None,
+            tick_override: None,
+            idle_override: None,
+            rate_iops: None,
+            rcu_override: None,
+            kernel_override: None,
+            irq_coalescing: None,
+            jobs_override: None,
+            trace_ios: 0,
+            attribute_causes: false,
+            ledger_log: 0,
+            afa_socket: 1,
+        }
+    }
+
+    /// Caps each job's issue rate (fio's `rate_iops`).
+    pub fn with_rate_iops(mut self, iops: u64) -> Self {
+        self.rate_iops = Some(iops);
+        self
+    }
+
+    /// Records blktrace-style stage timestamps for the first `n` I/Os.
+    pub fn with_io_tracing(mut self, n: usize) -> Self {
+        self.trace_ios = n;
+        self
+    }
+
+    /// Captures the settled per-I/O ledgers of the first `n`
+    /// completed I/Os.
+    pub fn with_ledger_log(mut self, n: usize) -> Self {
+        self.ledger_log = n;
+        self
+    }
+
+    /// Enables NVMe interrupt coalescing on every device.
+    pub fn with_irq_coalescing(mut self, coalescing: IrqCoalescing) -> Self {
+        self.irq_coalescing = Some(coalescing);
+        self
+    }
+
+    /// Runs an explicit job list (e.g. a parsed fio jobfile) instead
+    /// of the config-generated per-device jobs. The geometry is
+    /// derived from the jobs' `cpus_allowed` pinning.
+    ///
+    /// # Panics
+    ///
+    /// [`AfaSystem::run`](crate::AfaSystem::run) panics if two jobs
+    /// target the same device or a job addresses a device beyond 64.
+    pub fn with_jobs(mut self, jobs: Vec<JobSpec>) -> Self {
+        self.jobs_override = Some(jobs);
+        self
+    }
+
+    /// Enables per-cause latency attribution.
+    pub fn with_cause_attribution(mut self, enable: bool) -> Self {
+        self.attribute_causes = enable;
+        self
+    }
+
+    /// Replaces the geometry with the paper mapping over `n` SSDs.
+    pub fn with_ssds(mut self, n: usize) -> Self {
+        self.geometry = CpuSsdGeometry::paper(n);
+        self
+    }
+
+    /// Sets the per-job run time.
+    pub fn with_runtime(mut self, runtime: SimDuration) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets an explicit geometry (Table II rows).
+    pub fn with_geometry(mut self, geometry: CpuSsdGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Sets the background workload.
+    pub fn with_background(mut self, background: BackgroundConfig) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Enables per-sample latency logging.
+    pub fn with_logging(mut self, log: bool) -> Self {
+        self.log_latency = log;
+        self
+    }
+
+    /// Sets the completion model.
+    pub fn with_engine(mut self, engine: IoEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Installs custom firmware on every device (housekeeping
+    /// ablations).
+    pub fn with_firmware(mut self, firmware: afa_ssd::FirmwareProfile) -> Self {
+        self.firmware_override = Some(firmware);
+        self
+    }
+
+    /// Sets the I/O mix.
+    pub fn with_rw(mut self, rw: RwPattern) -> Self {
+        self.rw = rw;
+        self
+    }
+}

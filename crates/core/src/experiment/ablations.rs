@@ -11,9 +11,9 @@ use afa_ssd::{FirmwareProfile, NvmeCommand, SmartPolicy, SsdDevice, SsdSpec};
 use afa_stats::{Json, LatencyHistogram, NinesPoint};
 use afa_workload::IoEngine;
 
+use crate::config::AfaConfig;
 use crate::experiment::registry::ExperimentResult;
 use crate::experiment::{run_parallel, ExperimentScale};
-use crate::system::AfaConfig;
 use crate::tuning::TuningStage;
 
 /// One ablation's sweep: `(setting, mean µs, p99999 µs, max µs)` rows.
@@ -282,7 +282,7 @@ pub fn ablate_poll(scale: ExperimentScale) -> AblationResult {
 /// coalescer is the only moving part; rows show latency plus measured
 /// interrupts per I/O.
 pub fn ablate_coalescing(scale: ExperimentScale) -> AblationResult {
-    use crate::system::IrqCoalescing;
+    use crate::config::IrqCoalescing;
     let settings: Vec<(String, Option<IrqCoalescing>)> = vec![
         ("off (1 MSI / completion)".to_owned(), None),
         (

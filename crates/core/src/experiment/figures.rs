@@ -4,10 +4,11 @@ use afa_sim::SimDuration;
 use afa_stats::series::{median_spike_gap, LogPoint};
 use afa_stats::{Json, LatencyProfile, NinesPoint, OnlineStats, ProfileSummary};
 
+use crate::config::AfaConfig;
 use crate::experiment::registry::ExperimentResult;
 use crate::experiment::{run_parallel, ExperimentScale};
 use crate::geometry::Table2Row;
-use crate::system::{AfaConfig, AfaSystem, RunResult};
+use crate::system::{AfaSystem, RunResult};
 use crate::tuning::TuningStage;
 
 /// Per-device latency distributions for one configuration — the data

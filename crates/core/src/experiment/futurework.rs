@@ -12,9 +12,9 @@
 use afa_host::KernelConfig;
 use afa_stats::{Json, NinesPoint};
 
+use crate::config::AfaConfig;
 use crate::experiment::registry::ExperimentResult;
 use crate::experiment::{run_parallel, ExperimentScale};
-use crate::system::AfaConfig;
 use crate::tuning::TuningStage;
 
 /// One compared kernel.

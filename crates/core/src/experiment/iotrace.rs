@@ -4,9 +4,10 @@
 use afa_stats::Json;
 
 use crate::blktrace::IoTrace;
+use crate::config::AfaConfig;
 use crate::experiment::registry::ExperimentResult;
 use crate::experiment::ExperimentScale;
-use crate::system::{AfaConfig, AfaSystem};
+use crate::system::AfaSystem;
 use crate::tuning::TuningStage;
 
 /// How many I/Os the trace window keeps.

@@ -27,8 +27,9 @@ use afa_sim::trace::{Cause, CauseBudget};
 use afa_sim::SimDuration;
 use afa_stats::Json;
 
+use crate::config::AfaConfig;
 use crate::experiment::{self, ExperimentScale};
-use crate::system::{AfaConfig, AfaSystem};
+use crate::system::AfaSystem;
 use crate::tuning::TuningStage;
 
 /// Uniform interface over every experiment's result object.
@@ -298,6 +299,13 @@ pub struct RunManifest {
     pub events_processed: u64,
     /// DES throughput (`events_processed / wall`). Table-only.
     pub events_per_sec: f64,
+    /// Past-time schedules clamped to the clock while the experiment
+    /// (and its attribution probe) ran — delta of the process-wide
+    /// [`afa_sim::metrics::clamped_past_total`] counter. Always 0 for
+    /// a healthy model, so unlike the throughput counters it *is*
+    /// serialized: a non-zero value in an artifact is a red flag worth
+    /// failing CI over.
+    pub clamped_past_schedules: u64,
     /// Per-cause latency budget from the attribution probe.
     pub budget: CauseBudget,
     /// Scale the attribution probe ran at (reduced from `scale` to
@@ -327,6 +335,10 @@ impl RunManifest {
         out.push_str(&format!(
             "events  : {} ({:.0} events/sec)\n",
             self.events_processed, self.events_per_sec
+        ));
+        out.push_str(&format!(
+            "clamped : {} past-time schedules\n",
+            self.clamped_past_schedules
         ));
         out.push_str(&format!(
             "latency budget (probe: '{}' at {:.3}s x {} SSDs):\n",
@@ -375,6 +387,10 @@ impl RunManifest {
             ),
             ("stage", stage_json(self.stage)),
             ("samples", Json::u64(self.samples)),
+            (
+                "clamped_past_schedules",
+                Json::u64(self.clamped_past_schedules),
+            ),
             ("wall_ms", Json::Null),
             (
                 "budget",
@@ -431,6 +447,7 @@ impl ExperimentRun {
 /// experiments that don't attribute causes themselves.
 pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> ExperimentRun {
     let events_before = afa_sim::metrics::events_processed_total();
+    let clamped_before = afa_sim::metrics::clamped_past_total();
     let t0 = Instant::now();
     let result = def.run(scale);
     let wall = t0.elapsed();
@@ -457,6 +474,12 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
             .with_cause_attribution(true),
     );
     let budget = probe.causes.expect("attribution enabled").budget();
+    // Measured after the probe so a past-time schedule anywhere in the
+    // run (experiment or probe) taints the artifact. Deterministic —
+    // and expected to be exactly 0 — for a single experiment at a
+    // time; the parallel pool may attribute a sibling's clamps here,
+    // which is fine for a tripwire.
+    let clamped_past_schedules = afa_sim::metrics::clamped_past_total() - clamped_before;
 
     let samples = result.samples();
     ExperimentRun {
@@ -468,6 +491,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
             wall,
             events_processed,
             events_per_sec,
+            clamped_past_schedules,
             budget,
             probe_scale,
             probe_stage,
@@ -533,6 +557,22 @@ mod tests {
         assert!(rendered.contains("\"experiment\":\"table2\""));
         assert!(!run.manifest.budget.is_empty(), "probe budget missing");
         assert!(run.manifest.to_table().contains("latency budget"));
+    }
+
+    #[test]
+    fn clamped_schedules_are_zero_and_serialized() {
+        let def = find("fig06").expect("fig06 registered");
+        let run = run_experiment(def, ExperimentScale::quick());
+        assert_eq!(
+            run.manifest.clamped_past_schedules, 0,
+            "model scheduled into the past"
+        );
+        let rendered = run.manifest.to_json().to_string();
+        assert!(
+            rendered.contains("\"clamped_past_schedules\":0"),
+            "{rendered}"
+        );
+        assert!(run.manifest.to_table().contains("clamped : 0"));
     }
 
     #[test]

@@ -10,9 +10,10 @@
 use afa_sim::trace::Cause;
 use afa_stats::Json;
 
+use crate::config::AfaConfig;
 use crate::experiment::registry::{cause_rows_json, ExperimentResult};
 use crate::experiment::{pool, ExperimentScale};
-use crate::system::{AfaConfig, AfaSystem};
+use crate::system::AfaSystem;
 use crate::tuning::TuningStage;
 
 /// Per-cause latency budget of one configuration.

@@ -11,9 +11,10 @@ use afa_sim::SimDuration;
 use afa_stats::Json;
 use afa_workload::RwPattern;
 
+use crate::config::AfaConfig;
 use crate::experiment::registry::ExperimentResult;
 use crate::experiment::ExperimentScale;
-use crate::system::{AfaConfig, AfaSystem};
+use crate::system::AfaSystem;
 use crate::tuning::TuningStage;
 
 /// Result of the saturation check.

@@ -258,7 +258,7 @@ mod tests {
         for row in Table2Row::ALL {
             let runs = row.run_geometries();
             assert_eq!(runs.len(), row.runs());
-            let mut seen = vec![false; 64];
+            let mut seen = [false; 64];
             for (ssds, geometry) in &runs {
                 assert_eq!(ssds.len(), row.threads_per_run());
                 assert_eq!(geometry.ssds(), row.threads_per_run());

@@ -1,0 +1,85 @@
+//! Stage 7 — complete: the thread reaps the completion and the
+//! ledger's derived views are flushed.
+//!
+//! Reaping runs inline on the woken (or spinning) thread. Once the
+//! reap instant is known, [`IoPathWorld::finish_io`] settles the
+//! ledger and derives every instrumentation view from it in one place:
+//! the run-wide cause budget, the blktrace stage trace, the optional
+//! ledger log, and the job's latency sample.
+
+use afa_host::{CpuId, HostModel};
+use afa_sim::trace::Cause;
+use afa_sim::{SimDuration, SimTime};
+
+use crate::blktrace::IoStage;
+
+use super::{CompletedIo, IoLedger, IoPathWorld};
+
+/// CPU cost of the completion path (reap + io_getevents return).
+pub(crate) const COMPLETE_COST: SimDuration = SimDuration::nanos(1_300);
+
+/// Reaps a completion on a woken thread: charges `work` from
+/// `run_start` and credits the executed slice.
+pub(crate) fn reap(
+    host: &mut HostModel,
+    cpu: CpuId,
+    run_start: SimTime,
+    work: SimDuration,
+    ledger: &mut IoLedger,
+) -> SimTime {
+    let done = host.charge_cpu(cpu, run_start, work);
+    ledger.credit(Cause::CpuWork, done.saturating_since(run_start));
+    ledger.stamp(IoStage::Reaped, done);
+    done
+}
+
+/// Reaps a completion on a polling thread: the thread spun on the CQ
+/// from `issued_at` to `now`, then pays the reap cost. The whole spin
+/// is CPU work (it deliberately overlaps the device/fabric time — the
+/// price polling pays for skipping the interrupt path).
+pub(crate) fn poll_reap(
+    host: &mut HostModel,
+    cpu: CpuId,
+    issued_at: SimTime,
+    now: SimTime,
+    work: SimDuration,
+    ledger: &mut IoLedger,
+) -> SimTime {
+    let spin = now.saturating_since(issued_at);
+    let spin_end = host.charge_cpu(cpu, issued_at, spin);
+    let done = host.charge_cpu(cpu, spin_end, work);
+    ledger.credit(Cause::CpuWork, done.saturating_since(issued_at));
+    ledger.stamp(IoStage::Reaped, done);
+    done
+}
+
+impl IoPathWorld {
+    /// Retires one I/O: settles its ledger and derives every
+    /// instrumentation view from it — cause budget, blktrace stamps,
+    /// ledger log — then records the job's latency sample.
+    pub(crate) fn finish_io(
+        &mut self,
+        job: usize,
+        issued_at: SimTime,
+        done: SimTime,
+        mut ledger: IoLedger,
+    ) {
+        ledger.settle();
+        if let Some(causes) = &mut self.causes {
+            ledger.flush_causes(causes);
+        }
+        if let Some(tracer) = &mut self.tracer {
+            ledger.flush_trace(tracer);
+        }
+        if let Some(log) = &mut self.ledger_log {
+            log.push(CompletedIo {
+                job,
+                device: self.jobs[job].spec().device(),
+                issued_at,
+                reaped_at: done,
+                ledger,
+            });
+        }
+        self.jobs[job].complete(done.saturating_since(issued_at).as_nanos());
+    }
+}

@@ -1,0 +1,35 @@
+//! Stage 3 — device: NVMe command service inside the SSD.
+//!
+//! Builds the command from the job's issued op and submits it to the
+//! device's reservation model, which returns the full device-side
+//! breakdown in one call (controller + flash service, queueing behind
+//! earlier commands, SMART housekeeping stalls). Each slice accrues to
+//! its own cause on the ledger.
+
+use afa_sim::trace::Cause;
+use afa_sim::SimTime;
+use afa_ssd::{NvmeCommand, SsdDevice};
+use afa_workload::Op;
+
+use super::IoLedger;
+
+/// Submits `op` to `device` at `at_device` (command arrival); returns
+/// when the device posts the completion.
+pub(crate) fn serve(
+    device: &mut SsdDevice,
+    at_device: SimTime,
+    op: Op,
+    bytes: u32,
+    ledger: &mut IoLedger,
+) -> SimTime {
+    let cmd = if op.is_write {
+        NvmeCommand::write(op.lba, bytes)
+    } else {
+        NvmeCommand::read(op.lba, bytes)
+    };
+    let info = device.submit(at_device, cmd);
+    ledger.accrue(Cause::DeviceService, info.service);
+    ledger.accrue(Cause::DeviceQueueing, info.queue_wait);
+    ledger.accrue(Cause::Housekeeping, info.housekeeping_stall);
+    info.completes_at
+}

@@ -1,0 +1,55 @@
+//! Stage 2/4 — fabric: the PCIe switch-tree legs of the I/O.
+//!
+//! Downstream (stage 2): the NVMe command crosses the fabric to the
+//! device after the doorbell ring. Upstream (stage 4): the 4 KiB data,
+//! CQE and MSI cross back once the device posts the completion. Both
+//! legs accrue to [`Cause::Fabric`] on the ledger — two open legs that
+//! settle into the single fabric attribution the I/O ends up with.
+
+use afa_pcie::PcieFabric;
+use afa_sim::trace::Cause;
+use afa_sim::{SimDuration, SimTime};
+
+use crate::blktrace::IoStage;
+
+use super::IoLedger;
+
+/// Extra completion-path latency when the fio thread's socket differs
+/// from the socket owning the AFA's PCIe uplink (remote-node DMA +
+/// cross-interconnect MSI).
+pub(crate) const NUMA_CROSS_SOCKET: SimDuration = SimDuration::nanos(900);
+
+/// Reserves the downstream command transfer from the doorbell ring;
+/// returns when the command is visible to the device.
+pub(crate) fn downstream(
+    fabric: &mut PcieFabric,
+    device: usize,
+    submit_end: SimTime,
+    ledger: &mut IoLedger,
+) -> SimTime {
+    let at_device = fabric.submit_command(device, submit_end);
+    ledger.accrue(Cause::Fabric, at_device.saturating_since(submit_end));
+    ledger.stamp(IoStage::Dispatch, at_device);
+    at_device
+}
+
+/// Reserves the upstream data + completion transfer at the instant the
+/// device posts it (shared links are FIFO resources, so this must run
+/// in global time order); returns when the interrupt reaches the host.
+/// `cross_socket` adds the NUMA penalty for fio threads living on the
+/// socket the AFA's uplink does not attach to.
+pub(crate) fn upstream(
+    fabric: &mut PcieFabric,
+    device: usize,
+    now: SimTime,
+    bytes: u64,
+    cross_socket: bool,
+    ledger: &mut IoLedger,
+) -> SimTime {
+    let mut at_host = fabric.deliver_completion(device, now, bytes);
+    if cross_socket {
+        at_host += NUMA_CROSS_SOCKET;
+    }
+    ledger.accrue(Cause::Fabric, at_host.saturating_since(now));
+    at_host
+}

@@ -1,0 +1,31 @@
+//! Stage 5 — irq: MSI-X delivery, handler execution and the remote
+//! IPI when the vector's effective CPU is not the submitter's.
+//!
+//! The handler slice and the remote-completion slice are both closed
+//! amounts, so they credit the ledger directly.
+
+use afa_host::{HostModel, IrqOutcome};
+use afa_sim::trace::Cause;
+use afa_sim::SimTime;
+
+use crate::blktrace::IoStage;
+
+use super::IoLedger;
+
+/// Delivers the completion interrupt for `device` at `now`; returns
+/// the routing outcome (handler end, wake-ready instant).
+pub(crate) fn deliver(
+    host: &mut HostModel,
+    device: usize,
+    now: SimTime,
+    ledger: &mut IoLedger,
+) -> IrqOutcome {
+    let irq = host.deliver_irq(device, now);
+    ledger.credit(Cause::IrqHandling, irq.handler_done.saturating_since(now));
+    ledger.credit(
+        Cause::RemoteCompletion,
+        irq.wake_ready.saturating_since(irq.handler_done),
+    );
+    ledger.stamp(IoStage::IrqHandled, irq.handler_done);
+    irq
+}

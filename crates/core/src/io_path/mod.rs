@@ -1,0 +1,422 @@
+//! The staged I/O path: one module per slice of an I/O's life, glued
+//! by a thin event conductor, instrumented through one [`IoLedger`].
+//!
+//! ```text
+//!  submit ──▶ fabric(down) ──▶ device ──▶ fabric(up) ──▶ irq ──▶ wake ──▶ complete
+//!  (inline)    ╰── DeviceDone event ──╯   ╰───── Completion event ─────╯  (inline)
+//!     │             │                │         │           │       │         │
+//!     ╰──────┬──────┴────────────────┴────┬────┴───────────┴───┬───╯         │
+//!            ▼                            ▼                    ▼             ▼
+//!        IoLedger ···· accrue/credit per stage ····▶ settle ─▶ derived views
+//!                                                    (causes, blktrace, log)
+//! ```
+//!
+//! Matching §III of the paper:
+//!
+//! 1. [`submit`] — the fio thread (on its pinned CPU) pays the submit
+//!    syscall cost and rings the doorbell,
+//! 2. [`fabric`] (downstream) — the command crosses the switch tree,
+//! 3. [`device`] — the SSD serves the read (controller + flash +
+//!    possible SMART stall),
+//! 4. [`fabric`] (upstream) — data + CQE + MSI cross back,
+//! 5. [`irq`] — the host routes the interrupt, runs the handler, IPIs
+//!    the submitter's CPU if remote,
+//! 6. [`wake`] — the scheduler runs the fio thread again (CFS
+//!    tick-granularity preemption, RT immediate preemption, C-state
+//!    exit, …),
+//! 7. [`complete`] — the thread reaps, the ledger settles, the views
+//!    derive, and the next I/O issues.
+//!
+//! Stages 1–3 and 7 execute inline (the thread holds the CPU); the
+//! device completion and the host-side interrupt are the only
+//! simulation events, so a run costs ~2 events per I/O plus
+//! background-workload arrivals. Splitting the completion into two
+//! events is not an optimization but a correctness requirement: shared
+//! fabric links are FIFO resources, so they must be reserved in global
+//! time order — a device stalled in a SMART window must not
+//! retroactively occupy the uplink for everyone else.
+//!
+//! Every stage writes its timing contribution into the I/O's
+//! [`IoLedger`] (a fixed-size per-[`Cause`](afa_sim::trace::Cause)
+//! table parked in an indexed slab, so events stay small and the hot
+//! path never allocates). Cause attribution, blktrace stage records
+//! and the optional ledger log are all derived from the settled ledger
+//! in one place ([`IoPathWorld::finish_io`]) — adding a stage (an
+//! io_uring engine, a multi-hop fabric) means writing one module that
+//! takes `&mut IoLedger`, not synchronizing three instrumentation
+//! paths.
+
+mod complete;
+mod device;
+mod fabric;
+mod irq;
+mod ledger;
+mod submit;
+mod wake;
+
+pub use ledger::{CompletedIo, IoLedger, LedgerLog};
+
+use complete::COMPLETE_COST;
+
+use afa_host::HostModel;
+use afa_pcie::PcieFabric;
+use afa_sim::{Scheduler, SimTime, World};
+use afa_ssd::SsdDevice;
+use afa_workload::{IoEngine, JobState};
+
+use crate::blktrace::IoStage;
+use crate::config::IrqCoalescing;
+use crate::geometry::CpuSsdGeometry;
+
+/// Slab handle for an I/O's in-flight [`IoLedger`] (see
+/// [`IoPathWorld::ledger_slab`]).
+pub(crate) type LedgerId = u32;
+
+/// Simulation events. Kept small (32 bytes): the queue copies events
+/// through its wheel buckets on every push/cascade/pop, so the cold
+/// per-I/O ledger lives in an indexed slab on the world
+/// ([`IoPathWorld::ledger_slab`]) and events carry only a [`LedgerId`].
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// Job's thread is running and ready to issue.
+    Issue { job: usize },
+    /// The device posts the completion; the upstream fabric transfer
+    /// is reserved *now* so shared-link FIFOs are used in global time
+    /// order (a stalled device must not block other devices' data).
+    DeviceDone {
+        job: usize,
+        issued_at: SimTime,
+        ledger: LedgerId,
+    },
+    /// The completion interrupt reaches the host.
+    Completion {
+        job: usize,
+        issued_at: SimTime,
+        ledger: LedgerId,
+    },
+    /// A coalesced MSI fires for the device's pending completions.
+    Msi { device: usize },
+    /// Background workload arrival.
+    BgArrival,
+}
+
+/// A completion whose data has arrived but whose MSI is being held by
+/// the coalescer.
+#[derive(Clone, Copy, Debug)]
+struct PendingCqe {
+    job: usize,
+    issued_at: SimTime,
+    ledger: LedgerId,
+}
+
+/// The whole-array world: jobs × host × fabric × devices, driven by
+/// [`Event`]s through the staged I/O path.
+pub(crate) struct IoPathWorld {
+    pub(crate) host: HostModel,
+    pub(crate) fabric: PcieFabric,
+    pub(crate) devices: Vec<SsdDevice>,
+    pub(crate) jobs: Vec<JobState>,
+    pub(crate) causes: Option<afa_sim::trace::CauseAccumulator>,
+    pub(crate) tracer: Option<crate::blktrace::TraceRecorder>,
+    pub(crate) ledger_log: Option<LedgerLog>,
+    geometry: CpuSsdGeometry,
+    horizon: SimTime,
+    afa_socket: u16,
+    /// Per-job earliest next issue instant (fio's `rate_iops` pacing).
+    next_allowed: Vec<SimTime>,
+    coalescing: Option<IrqCoalescing>,
+    /// Per-device completions awaiting a coalesced MSI.
+    pending_cq: Vec<Vec<PendingCqe>>,
+    /// Reusable buffer the MSI handler swaps a device's pending queue
+    /// into, so reaping a batch never allocates.
+    cq_scratch: Vec<PendingCqe>,
+    /// In-flight [`IoLedger`]s, indexed by [`LedgerId`]; entries
+    /// recycle through `ledger_free`, so after warm-up the per-I/O
+    /// path allocates nothing.
+    ledger_slab: Vec<IoLedger>,
+    ledger_free: Vec<LedgerId>,
+}
+
+impl IoPathWorld {
+    /// Assembles a world from its parts (see `AfaSystem::run` for the
+    /// construction of each).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        host: HostModel,
+        fabric: PcieFabric,
+        devices: Vec<SsdDevice>,
+        jobs: Vec<JobState>,
+        geometry: CpuSsdGeometry,
+        horizon: SimTime,
+        afa_socket: u16,
+        causes: Option<afa_sim::trace::CauseAccumulator>,
+        tracer: Option<crate::blktrace::TraceRecorder>,
+        ledger_log: Option<LedgerLog>,
+        coalescing: Option<IrqCoalescing>,
+    ) -> Self {
+        let n = devices.len();
+        IoPathWorld {
+            host,
+            fabric,
+            devices,
+            jobs,
+            geometry,
+            horizon,
+            afa_socket,
+            causes,
+            tracer,
+            ledger_log,
+            next_allowed: vec![SimTime::ZERO; n],
+            coalescing,
+            pending_cq: vec![Vec::new(); n],
+            cq_scratch: Vec::new(),
+            ledger_slab: Vec::with_capacity(2 * n),
+            ledger_free: Vec::with_capacity(2 * n),
+        }
+    }
+
+    /// Parks an in-flight ledger in the slab until its completion path
+    /// reclaims it.
+    fn alloc_ledger(&mut self, ledger: IoLedger) -> LedgerId {
+        match self.ledger_free.pop() {
+            Some(id) => {
+                self.ledger_slab[id as usize] = ledger;
+                id
+            }
+            None => {
+                self.ledger_slab.push(ledger);
+                (self.ledger_slab.len() - 1) as LedgerId
+            }
+        }
+    }
+
+    /// Reads back and releases a parked [`IoLedger`].
+    fn free_ledger(&mut self, id: LedgerId) -> IoLedger {
+        self.ledger_free.push(id);
+        self.ledger_slab[id as usize]
+    }
+
+    /// Issues as many operations as the queue depth allows, starting
+    /// with the thread running on its CPU at `now`. Each issue runs
+    /// stages 1–3 inline and schedules the [`Event::DeviceDone`] that
+    /// resumes the path.
+    fn issue_burst(&mut self, job: usize, mut now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let cpu = self.geometry.cpu_of_ssd(self.jobs[job].spec().device());
+        let issue_gap = self.jobs[job].spec().min_issue_gap();
+        while self.jobs[job].can_issue(now) {
+            // fio's rate_iops pacing: defer the issue if the job is
+            // ahead of its rate budget.
+            if now < self.next_allowed[job] {
+                sched.at(self.next_allowed[job], Event::Issue { job });
+                return;
+            }
+            if !issue_gap.is_zero() {
+                self.next_allowed[job] = now + issue_gap;
+            }
+            let device = self.jobs[job].spec().device();
+            let bytes = self.jobs[job].spec().block_size();
+            let op = self.jobs[job].issue(now);
+            let mut ledger = IoLedger::begin(now);
+            let submit_end = submit::run(&mut self.host, cpu, now, &mut ledger);
+            let at_device = fabric::downstream(&mut self.fabric, device, submit_end, &mut ledger);
+            let completes_at =
+                device::serve(&mut self.devices[device], at_device, op, bytes, &mut ledger);
+            if let Some(tracer) = &mut self.tracer {
+                ledger.set_trace(tracer.begin(device, op.lba, now));
+            }
+            let ledger = self.alloc_ledger(ledger);
+            sched.at(
+                completes_at,
+                Event::DeviceDone {
+                    job,
+                    issued_at: submit_end,
+                    ledger,
+                },
+            );
+            match self.jobs[job].spec().engine() {
+                IoEngine::Libaio | IoEngine::Sync => {
+                    now = submit_end;
+                }
+                IoEngine::Polling => {
+                    // The thread spins on the CQ until the DeviceDone/
+                    // Completion chain reaps it; stop issuing here.
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The device posted a completion: run the upstream fabric leg
+    /// (reserving shared links *now*) and schedule the host-side
+    /// interrupt — immediately, or held by the MSI coalescer.
+    fn on_device_done(
+        &mut self,
+        job: usize,
+        issued_at: SimTime,
+        ledger: LedgerId,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let now = sched.now();
+        let device = self.jobs[job].spec().device();
+        let cpu = self.geometry.cpu_of_ssd(device);
+        let bytes = self.jobs[job].spec().block_size() as u64;
+        let cross_socket = self.host.topology().socket_of(cpu) != self.afa_socket;
+        let entry = &mut self.ledger_slab[ledger as usize];
+        entry.stamp(IoStage::DeviceComplete, now);
+        let at_host = fabric::upstream(&mut self.fabric, device, now, bytes, cross_socket, entry);
+        let coalesce = self
+            .coalescing
+            .filter(|_| !matches!(self.jobs[job].spec().engine(), IoEngine::Polling));
+        match coalesce {
+            None => sched.at(
+                at_host,
+                Event::Completion {
+                    job,
+                    issued_at,
+                    ledger,
+                },
+            ),
+            Some(c) => {
+                // Hold the CQE; the MSI fires on batch-full or timeout
+                // from the first pending completion.
+                let pending = &mut self.pending_cq[device];
+                pending.push(PendingCqe {
+                    job,
+                    issued_at,
+                    ledger,
+                });
+                if pending.len() as u32 >= c.max_batch {
+                    sched.at(at_host, Event::Msi { device });
+                } else if pending.len() == 1 {
+                    sched.at(at_host + c.timeout, Event::Msi { device });
+                }
+            }
+        }
+    }
+
+    /// A coalesced MSI: one interrupt and one wake-up reap the whole
+    /// pending batch. The shared IRQ + wake slices credit the first
+    /// entry's ledger (that I/O is the one whose critical path they
+    /// sit on); each entry then pays its own reap slice.
+    fn on_msi(&mut self, device: usize, sched: &mut Scheduler<'_, Event>) {
+        // Swap the pending queue against the reusable scratch buffer
+        // (instead of `mem::take`, which would allocate a fresh Vec on
+        // every MSI) — nothing below pushes to this device's queue.
+        debug_assert!(self.cq_scratch.is_empty());
+        std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
+        let Some(&first) = self.cq_scratch.first() else {
+            // A stale timeout after a batch-full fire; both Vecs are
+            // empty, so the swap was a no-op worth undoing for tidiness.
+            std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
+            return;
+        };
+        let now = sched.now();
+        let job = first.job;
+        let cpu = self.geometry.cpu_of_ssd(device);
+        let policy = self.jobs[job].spec().policy();
+        let first_ledger = &mut self.ledger_slab[first.ledger as usize];
+        let irq = irq::deliver(&mut self.host, device, now, first_ledger);
+        let run_start = wake::run(&mut self.host, cpu, irq.wake_ready, policy, first_ledger);
+        let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
+        let mut t = run_start;
+        for i in 0..self.cq_scratch.len() {
+            let entry = self.cq_scratch[i];
+            let mut ledger = self.free_ledger(entry.ledger);
+            // Later batch entries share the first I/O's handler
+            // instant (one MSI served them all).
+            ledger.stamp(IoStage::IrqHandled, irq.handler_done);
+            t = complete::reap(&mut self.host, cpu, t, work, &mut ledger);
+            self.finish_io(entry.job, entry.issued_at, t, ledger);
+        }
+        self.cq_scratch.clear();
+        debug_assert!(self.pending_cq[device].is_empty());
+        std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
+        self.issue_burst(job, t, sched);
+    }
+
+    /// The completion interrupt reached the host: run stages 5–7 for
+    /// the interrupt engines, or reap directly for polling, then issue
+    /// the next I/O (the thread holds the CPU after reaping).
+    fn on_completion(
+        &mut self,
+        job: usize,
+        issued_at: SimTime,
+        ledger: LedgerId,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let mut ledger = self.free_ledger(ledger);
+        let now = sched.now();
+        let device = self.jobs[job].spec().device();
+        let cpu = self.geometry.cpu_of_ssd(device);
+        let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
+
+        let done = match self.jobs[job].spec().engine() {
+            IoEngine::Libaio | IoEngine::Sync => {
+                let irq = irq::deliver(&mut self.host, device, now, &mut ledger);
+                let policy = self.jobs[job].spec().policy();
+                let run_start = wake::run(&mut self.host, cpu, irq.wake_ready, policy, &mut ledger);
+                complete::reap(&mut self.host, cpu, run_start, work, &mut ledger)
+            }
+            IoEngine::Polling => {
+                // The thread spun from issue to now; reap directly.
+                complete::poll_reap(&mut self.host, cpu, issued_at, now, work, &mut ledger)
+            }
+        };
+        self.finish_io(job, issued_at, done, ledger);
+        self.issue_burst(job, done, sched);
+    }
+}
+
+impl World for IoPathWorld {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, sched: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::Issue { job } => {
+                let now = sched.now();
+                self.issue_burst(job, now, sched);
+            }
+            Event::DeviceDone {
+                job,
+                issued_at,
+                ledger,
+            } => {
+                self.on_device_done(job, issued_at, ledger, sched);
+            }
+            Event::Completion {
+                job,
+                issued_at,
+                ledger,
+            } => {
+                self.on_completion(job, issued_at, ledger, sched);
+            }
+            Event::Msi { device } => {
+                self.on_msi(device, sched);
+            }
+            Event::BgArrival => {
+                let now = sched.now();
+                self.host.spawn_background(now);
+                let next = self.host.next_background_arrival(now);
+                if next < self.horizon {
+                    sched.at(next, Event::BgArrival);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_stay_small() {
+        // The queue copies events through wheel buckets; the cold
+        // IoLedger payload must stay in the slab, not the event.
+        assert!(
+            std::mem::size_of::<Event>() <= 32,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Stage 1 — submit: the io_submit syscall, SQE build and doorbell
+//! ring on the job's pinned CPU.
+//!
+//! Runs inline (the thread holds the CPU); the returned instant is the
+//! doorbell ring, which is also where the I/O's measured latency clock
+//! starts (`issued_at`). The syscall cost is therefore credited to the
+//! ledger as *pre-issue* CPU work.
+
+use afa_host::{CpuId, HostModel};
+use afa_sim::trace::Cause;
+use afa_sim::{SimDuration, SimTime};
+
+use super::IoLedger;
+
+/// CPU cost of the submit path (io_submit syscall + SQE build +
+/// doorbell write).
+pub(crate) const SUBMIT_COST: SimDuration = SimDuration::nanos(1_800);
+
+/// Charges the submit cost on `cpu` starting at `now`; returns the
+/// doorbell-ring instant.
+pub(crate) fn run(
+    host: &mut HostModel,
+    cpu: CpuId,
+    now: SimTime,
+    ledger: &mut IoLedger,
+) -> SimTime {
+    let submit_end = host.charge_cpu(cpu, now, SUBMIT_COST);
+    ledger.credit(Cause::CpuWork, SUBMIT_COST);
+    ledger.note_pre_issue(SUBMIT_COST);
+    submit_end
+}

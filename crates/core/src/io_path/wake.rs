@@ -1,0 +1,34 @@
+//! Stage 6 — wake: the scheduler runs the fio thread again.
+//!
+//! This is the crux of the paper's §IV analysis: CFS tick-granularity
+//! preemption vs. SCHED_FIFO, non-preemptible kernel sections, C-state
+//! exits and context-switch costs. The host returns an exact breakdown
+//! of the wake-to-run delay; each slice credits its cause.
+
+use afa_host::{CpuId, HostModel, SchedPolicy};
+use afa_sim::trace::Cause;
+use afa_sim::SimTime;
+
+use super::IoLedger;
+
+/// Wakes the job's I/O task on `cpu` (ready at `wake_ready`, under
+/// `policy`); returns when the thread actually starts running.
+pub(crate) fn run(
+    host: &mut HostModel,
+    cpu: CpuId,
+    wake_ready: SimTime,
+    policy: SchedPolicy,
+    ledger: &mut IoLedger,
+) -> SimTime {
+    let (run_start, breakdown) = host.wake_io_task(cpu, wake_ready, policy);
+    ledger.credit(
+        Cause::SchedulerDelay,
+        breakdown.np_wait
+            + breakdown.cfs_preempt_wait
+            + breakdown.local_queue_wait
+            + breakdown.softirq_wait,
+    );
+    ledger.credit(Cause::CStateExit, breakdown.cstate_exit);
+    ledger.credit(Cause::ContextSwitch, breakdown.fixed_costs);
+    run_start
+}

@@ -38,12 +38,15 @@
 
 pub mod blktrace;
 pub mod calibration;
+mod config;
 pub mod experiment;
 mod geometry;
+pub mod io_path;
 pub mod profiler;
 mod system;
 mod tuning;
 
+pub use config::{AfaConfig, IrqCoalescing};
 pub use geometry::{CpuSsdGeometry, Table2Row};
-pub use system::{AfaConfig, AfaSystem, IrqCoalescing, RunResult};
+pub use system::{AfaSystem, RunResult};
 pub use tuning::{Tuning, TuningStage};

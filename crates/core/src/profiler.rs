@@ -11,7 +11,8 @@
 use afa_sim::SimDuration;
 use afa_stats::{LatencyProfile, NinesPoint};
 
-use crate::system::{AfaConfig, AfaSystem};
+use crate::config::AfaConfig;
+use crate::system::AfaSystem;
 use crate::tuning::TuningStage;
 
 /// One device's profiling verdict.

@@ -1,239 +1,22 @@
-//! The whole-array simulation: jobs × host × fabric × devices.
+//! System assembly: builds the host, fabric, devices and jobs from an
+//! [`AfaConfig`] and drives the staged I/O path
+//! ([`crate::io_path`]) to completion.
 //!
-//! One I/O's life, matching §III of the paper:
-//!
-//! 1. the fio thread (running on its pinned CPU) pays the submit
-//!    syscall cost, then rings the device's doorbell — the command
-//!    crosses the fabric downstream,
-//! 2. the device serves the read (controller + flash + possible SMART
-//!    stall), and the data + completion + MSI-X cross the fabric
-//!    upstream,
-//! 3. the host routes the interrupt to the vector's effective CPU,
-//!    runs the handler, IPIs the submitter's CPU if remote,
-//! 4. the scheduler wakes the fio thread (CFS tick-granularity
-//!    preemption, RT immediate preemption, C-state exit, …),
-//! 5. the thread pays the completion/reap cost, records the latency,
-//!    and issues the next I/O.
-//!
-//! Steps 1 and 5 execute inline (the thread holds the CPU); the device
-//! completion and the host-side interrupt are the only simulation
-//! events, so a run costs ~2 events per I/O plus background-workload
-//! arrivals. Splitting the completion into two events is not an
-//! optimization but a correctness requirement: shared fabric links are
-//! FIFO resources, so they must be reserved in global time order — a
-//! device stalled in a SMART window must not retroactively occupy the
-//! uplink for everyone else.
+//! The lifecycle of one I/O — submit syscall, fabric legs, device
+//! service, interrupt, scheduler wake-up, reap — lives in the
+//! [`crate::io_path`] stage modules; this module only resolves the
+//! geometry, wires the parts together, runs the simulation and
+//! collects the results.
 
-use afa_host::{BackgroundConfig, CpuTopology, HostModel};
+use afa_host::{CpuTopology, HostModel};
 use afa_pcie::{FabricStats, PcieFabric};
-use afa_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
-use afa_ssd::{DeviceStats, FtlStats, NvmeCommand, SsdDevice, SsdSpec};
-use afa_workload::{IoEngine, JobReport, JobSpec, JobState, RwPattern};
+use afa_sim::{SimDuration, SimRng, SimTime, Simulation};
+use afa_ssd::{DeviceStats, FtlStats, SsdDevice, SsdSpec};
+use afa_workload::{JobReport, JobSpec, JobState};
 
+use crate::config::AfaConfig;
 use crate::geometry::CpuSsdGeometry;
-use crate::tuning::{Tuning, TuningStage};
-
-/// CPU cost of the submit path (io_submit syscall + SQE build +
-/// doorbell write).
-const SUBMIT_COST: SimDuration = SimDuration::nanos(1_800);
-/// CPU cost of the completion path (reap + io_getevents return).
-const COMPLETE_COST: SimDuration = SimDuration::nanos(1_300);
-/// Extra completion-path latency when the fio thread's socket differs
-/// from the socket owning the AFA's PCIe uplink (remote-node DMA +
-/// cross-interconnect MSI).
-const NUMA_CROSS_SOCKET: SimDuration = SimDuration::nanos(900);
-
-/// NVMe interrupt-coalescing parameters (the standard mitigation for
-/// the §I "interrupt storm" concern): the device holds completions
-/// until `max_batch` have accumulated or `timeout` has passed since
-/// the first, then raises a single MSI for the batch.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct IrqCoalescing {
-    /// Fire as soon as this many completions are pending.
-    pub max_batch: u32,
-    /// Fire this long after the first pending completion.
-    pub timeout: SimDuration,
-}
-
-/// Everything needed to run one experiment.
-#[derive(Clone, Debug)]
-pub struct AfaConfig {
-    /// CPU↔SSD mapping.
-    pub geometry: CpuSsdGeometry,
-    /// Tuning stage (kernel config + fio class + firmware).
-    pub tuning: Tuning,
-    /// Background daemon workload.
-    pub background: BackgroundConfig,
-    /// Per-job run time.
-    pub runtime: SimDuration,
-    /// Master seed.
-    pub seed: u64,
-    /// Enable per-sample latency logs on every job (Fig. 10).
-    pub log_latency: bool,
-    /// Completion model.
-    pub engine: IoEngine,
-    /// I/O mix (the paper uses 4 KiB random reads).
-    pub rw: RwPattern,
-    /// Block size in bytes (the paper uses 4 KiB).
-    pub block_size: u32,
-    /// Queue depth per job (the paper uses 1).
-    pub iodepth: u32,
-    /// Firmware override (the housekeeping-protocol ablation sweeps
-    /// custom SMART policies); `None` uses the tuning stage's
-    /// firmware.
-    pub firmware_override: Option<afa_ssd::FirmwareProfile>,
-    /// Timer-tick rate override in Hz (tick ablation).
-    pub tick_override: Option<u32>,
-    /// Idle-policy override (C-state ablation).
-    pub idle_override: Option<afa_host::IdlePolicy>,
-    /// Per-job issue-rate cap (fio's `rate_iops`); `None` = unpaced.
-    pub rate_iops: Option<u64>,
-    /// Override of the kernel's `rcu_nocbs` set (RCU ablation).
-    pub rcu_override: Option<afa_host::CpuSet>,
-    /// Wholesale kernel-config replacement (future-work prototypes).
-    pub kernel_override: Option<afa_host::KernelConfig>,
-    /// NVMe interrupt coalescing; `None` = one MSI per completion
-    /// (the paper's devices).
-    pub irq_coalescing: Option<IrqCoalescing>,
-    /// Explicit job list (e.g. from [`afa_workload::parse_jobfile`]);
-    /// replaces the per-device jobs the config would otherwise build.
-    /// Each spec must target a distinct device; unpinned jobs get the
-    /// paper's Fig. 5 CPU for their device.
-    pub jobs_override: Option<Vec<JobSpec>>,
-    /// Record blktrace-style stage timestamps for the first N I/Os
-    /// (0 = off); results land in [`RunResult::traces`].
-    pub trace_ios: usize,
-    /// Attribute every nanosecond of completion latency to a cause
-    /// (the simulated LTTng analysis of §IV-B/§IV-D); results land in
-    /// [`RunResult::causes`].
-    pub attribute_causes: bool,
-    /// Socket the AFA's PCIe uplink attaches to (the paper's CPU2 =
-    /// socket 1, §III-A). fio threads on the other socket pay a
-    /// cross-socket (NUMA) penalty on the completion path.
-    pub afa_socket: u16,
-}
-
-impl AfaConfig {
-    /// The paper's §III setup at a given tuning stage: 64 SSDs, the
-    /// Fig. 5 geometry, CentOS-7-like background noise, 120 s runs.
-    pub fn paper(stage: TuningStage) -> Self {
-        AfaConfig {
-            geometry: CpuSsdGeometry::paper(64),
-            tuning: Tuning::new(stage),
-            background: BackgroundConfig::centos7_desktop(),
-            runtime: SimDuration::secs(120),
-            seed: 42,
-            log_latency: false,
-            engine: IoEngine::Libaio,
-            rw: RwPattern::RandRead,
-            block_size: 4096,
-            iodepth: 1,
-            firmware_override: None,
-            tick_override: None,
-            idle_override: None,
-            rate_iops: None,
-            rcu_override: None,
-            kernel_override: None,
-            irq_coalescing: None,
-            jobs_override: None,
-            trace_ios: 0,
-            attribute_causes: false,
-            afa_socket: 1,
-        }
-    }
-
-    /// Caps each job's issue rate (fio's `rate_iops`).
-    pub fn with_rate_iops(mut self, iops: u64) -> Self {
-        self.rate_iops = Some(iops);
-        self
-    }
-
-    /// Records blktrace-style stage timestamps for the first `n` I/Os.
-    pub fn with_io_tracing(mut self, n: usize) -> Self {
-        self.trace_ios = n;
-        self
-    }
-
-    /// Enables NVMe interrupt coalescing on every device.
-    pub fn with_irq_coalescing(mut self, coalescing: IrqCoalescing) -> Self {
-        self.irq_coalescing = Some(coalescing);
-        self
-    }
-
-    /// Runs an explicit job list (e.g. a parsed fio jobfile) instead
-    /// of the config-generated per-device jobs. The geometry is
-    /// derived from the jobs' `cpus_allowed` pinning.
-    ///
-    /// # Panics
-    ///
-    /// [`AfaSystem::run`] panics if two jobs target the same device or
-    /// a job addresses a device beyond 64.
-    pub fn with_jobs(mut self, jobs: Vec<JobSpec>) -> Self {
-        self.jobs_override = Some(jobs);
-        self
-    }
-
-    /// Enables per-cause latency attribution.
-    pub fn with_cause_attribution(mut self, enable: bool) -> Self {
-        self.attribute_causes = enable;
-        self
-    }
-
-    /// Replaces the geometry with the paper mapping over `n` SSDs.
-    pub fn with_ssds(mut self, n: usize) -> Self {
-        self.geometry = CpuSsdGeometry::paper(n);
-        self
-    }
-
-    /// Sets the per-job run time.
-    pub fn with_runtime(mut self, runtime: SimDuration) -> Self {
-        self.runtime = runtime;
-        self
-    }
-
-    /// Sets the master seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets an explicit geometry (Table II rows).
-    pub fn with_geometry(mut self, geometry: CpuSsdGeometry) -> Self {
-        self.geometry = geometry;
-        self
-    }
-
-    /// Sets the background workload.
-    pub fn with_background(mut self, background: BackgroundConfig) -> Self {
-        self.background = background;
-        self
-    }
-
-    /// Enables per-sample latency logging.
-    pub fn with_logging(mut self, log: bool) -> Self {
-        self.log_latency = log;
-        self
-    }
-
-    /// Sets the completion model.
-    pub fn with_engine(mut self, engine: IoEngine) -> Self {
-        self.engine = engine;
-        self
-    }
-
-    /// Installs custom firmware on every device (housekeeping
-    /// ablations).
-    pub fn with_firmware(mut self, firmware: afa_ssd::FirmwareProfile) -> Self {
-        self.firmware_override = Some(firmware);
-        self
-    }
-
-    /// Sets the I/O mix.
-    pub fn with_rw(mut self, rw: RwPattern) -> Self {
-        self.rw = rw;
-        self
-    }
-}
+use crate::io_path::{Event, IoPathWorld, LedgerLog};
 
 /// The outcome of one run.
 #[derive(Debug)]
@@ -246,6 +29,9 @@ pub struct RunResult {
     /// blktrace-style stage traces, when [`AfaConfig::trace_ios`] was
     /// non-zero.
     pub traces: Option<crate::blktrace::TraceRecorder>,
+    /// Settled per-I/O ledgers, when [`AfaConfig::ledger_log`] was
+    /// non-zero.
+    pub ledgers: Option<LedgerLog>,
     /// Simulated time at which the last completion landed.
     pub elapsed: SimTime,
     /// Simulation events processed by the run (≈ 2–3 per I/O).
@@ -393,26 +179,21 @@ impl AfaSystem {
             .map(JobState::deadline)
             .fold(SimTime::ZERO, SimTime::max)
             + SimDuration::millis(50);
-        let world = SysWorld {
+        let world = IoPathWorld::new(
             host,
             fabric,
             devices,
             jobs,
             geometry,
             horizon,
-            afa_socket: config.afa_socket,
-            causes: config
+            config.afa_socket,
+            config
                 .attribute_causes
                 .then(afa_sim::trace::CauseAccumulator::new),
-            tracer: (config.trace_ios > 0)
-                .then(|| crate::blktrace::TraceRecorder::new(config.trace_ios)),
-            next_allowed: vec![SimTime::ZERO; n],
-            coalescing: config.irq_coalescing,
-            pending_cq: vec![Vec::new(); n],
-            cq_scratch: Vec::new(),
-            meta_slab: Vec::with_capacity(2 * n),
-            meta_free: Vec::with_capacity(2 * n),
-        };
+            (config.trace_ios > 0).then(|| crate::blktrace::TraceRecorder::new(config.trace_ios)),
+            (config.ledger_log > 0).then(|| LedgerLog::new(config.ledger_log)),
+            config.irq_coalescing,
+        );
         // Pre-size the queue: each job keeps ~2 events in flight
         // (device completion + host interrupt), plus background
         // arrivals and coalescing timers — 4 × jobs covers the lot
@@ -444,6 +225,7 @@ impl AfaSystem {
             reports: world.jobs.into_iter().map(JobState::into_report).collect(),
             causes: world.causes,
             traces: world.tracer,
+            ledgers: world.ledger_log,
             elapsed,
             events_processed,
             clamped_past_schedules,
@@ -451,604 +233,5 @@ impl AfaSystem {
             fabric_stats,
             device_stats,
         }
-    }
-}
-
-/// Slab handle for an I/O's [`DeviceMeta`] (see [`SysWorld::meta_slab`]).
-type MetaId = u32;
-
-/// Simulation events. Kept small (32 bytes): the queue copies events
-/// through its wheel buckets on every push/cascade/pop, so the cold
-/// per-I/O latency breakdown lives in an indexed slab on the world
-/// ([`SysWorld::meta_slab`]) and events carry only its [`MetaId`].
-#[derive(Debug)]
-enum Event {
-    /// Job's thread is running and ready to issue.
-    Issue { job: usize },
-    /// The device posts the completion; the upstream fabric transfer
-    /// is reserved *now* so shared-link FIFOs are used in global time
-    /// order (a stalled device must not block other devices' data).
-    DeviceDone {
-        job: usize,
-        issued_at: SimTime,
-        meta: MetaId,
-    },
-    /// The completion interrupt reaches the host.
-    Completion {
-        job: usize,
-        issued_at: SimTime,
-        meta: MetaId,
-        fabric_up_from: SimTime,
-    },
-    /// A coalesced MSI fires for the device's pending completions.
-    Msi { device: usize },
-    /// Background workload arrival.
-    BgArrival,
-}
-
-/// Device-side latency breakdown carried along the completion path
-/// for cause attribution.
-#[derive(Clone, Copy, Debug)]
-struct DeviceMeta {
-    service: SimDuration,
-    queue_wait: SimDuration,
-    housekeeping: SimDuration,
-    fabric_down: SimDuration,
-    /// Trace id when this I/O is inside the blktrace window.
-    trace_id: Option<usize>,
-}
-
-struct SysWorld {
-    host: HostModel,
-    fabric: PcieFabric,
-    devices: Vec<SsdDevice>,
-    jobs: Vec<JobState>,
-    geometry: CpuSsdGeometry,
-    horizon: SimTime,
-    afa_socket: u16,
-    causes: Option<afa_sim::trace::CauseAccumulator>,
-    tracer: Option<crate::blktrace::TraceRecorder>,
-    /// Per-job earliest next issue instant (fio's `rate_iops` pacing).
-    next_allowed: Vec<SimTime>,
-    coalescing: Option<IrqCoalescing>,
-    /// Per-device completions awaiting a coalesced MSI.
-    pending_cq: Vec<Vec<PendingCqe>>,
-    /// Reusable buffer the MSI handler swaps a device's pending queue
-    /// into, so reaping a batch never allocates.
-    cq_scratch: Vec<PendingCqe>,
-    /// In-flight [`DeviceMeta`] payloads, indexed by [`MetaId`];
-    /// entries recycle through `meta_free`, so after warm-up the
-    /// per-I/O path allocates nothing.
-    meta_slab: Vec<DeviceMeta>,
-    meta_free: Vec<MetaId>,
-}
-
-/// A completion whose data has arrived but whose MSI is being held by
-/// the coalescer.
-#[derive(Clone, Copy, Debug)]
-struct PendingCqe {
-    job: usize,
-    issued_at: SimTime,
-    meta: MetaId,
-}
-
-impl SysWorld {
-    /// Parks `meta` in the slab until its completion path reclaims it.
-    fn alloc_meta(&mut self, meta: DeviceMeta) -> MetaId {
-        match self.meta_free.pop() {
-            Some(id) => {
-                self.meta_slab[id as usize] = meta;
-                id
-            }
-            None => {
-                self.meta_slab.push(meta);
-                (self.meta_slab.len() - 1) as MetaId
-            }
-        }
-    }
-
-    /// Reads back and releases a parked [`DeviceMeta`].
-    fn free_meta(&mut self, id: MetaId) -> DeviceMeta {
-        self.meta_free.push(id);
-        self.meta_slab[id as usize]
-    }
-
-    fn attribute(
-        &mut self,
-        now: SimTime,
-        job: usize,
-        cause: afa_sim::trace::Cause,
-        d: SimDuration,
-    ) {
-        if let Some(acc) = &mut self.causes {
-            if !d.is_zero() {
-                use afa_sim::trace::TraceSink;
-                acc.record(now, job as u64, cause, d);
-            }
-        }
-    }
-}
-
-impl SysWorld {
-    /// Issues as many operations as the queue depth allows, starting
-    /// with the thread running on its CPU at `now`. Returns the time
-    /// the thread goes to sleep (or finishes polling).
-    fn issue_burst(&mut self, job: usize, mut now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        let cpu = self.geometry.cpu_of_ssd(self.jobs[job].spec().device());
-        let issue_gap = self.jobs[job].spec().min_issue_gap();
-        while self.jobs[job].can_issue(now) {
-            // fio's rate_iops pacing: defer the issue if the job is
-            // ahead of its rate budget.
-            if now < self.next_allowed[job] {
-                sched.at(self.next_allowed[job], Event::Issue { job });
-                return;
-            }
-            if !issue_gap.is_zero() {
-                self.next_allowed[job] = now + issue_gap;
-            }
-            let device = self.jobs[job].spec().device();
-            let bytes = self.jobs[job].spec().block_size();
-            let op = self.jobs[job].issue(now);
-            let submit_end = self.host.charge_cpu(cpu, now, SUBMIT_COST);
-            let cmd = if op.is_write {
-                NvmeCommand::write(op.lba, bytes)
-            } else {
-                NvmeCommand::read(op.lba, bytes)
-            };
-            let at_device = self.fabric.submit_command(device, submit_end);
-            let info = self.devices[device].submit(at_device, cmd);
-            let trace_id = self.tracer.as_mut().and_then(|tracer| {
-                let id = tracer.begin(device, op.lba, now)?;
-                tracer.stamp(id, crate::blktrace::IoStage::Dispatch, at_device);
-                Some(id)
-            });
-            let meta = self.alloc_meta(DeviceMeta {
-                service: info.service,
-                queue_wait: info.queue_wait,
-                housekeeping: info.housekeeping_stall,
-                fabric_down: at_device.saturating_since(submit_end),
-                trace_id,
-            });
-            self.attribute(submit_end, job, afa_sim::trace::Cause::CpuWork, SUBMIT_COST);
-            // The upstream transfer is reserved when the completion
-            // actually happens (the DeviceDone event), so a device
-            // stalled in a SMART window cannot retroactively occupy
-            // the shared uplink for everyone else.
-            sched.at(
-                info.completes_at,
-                Event::DeviceDone {
-                    job,
-                    issued_at: submit_end,
-                    meta,
-                },
-            );
-            match self.jobs[job].spec().engine() {
-                IoEngine::Libaio | IoEngine::Sync => {
-                    now = submit_end;
-                }
-                IoEngine::Polling => {
-                    // The thread spins on the CQ until the DeviceDone/
-                    // Completion chain reaps it; stop issuing here.
-                    return;
-                }
-            }
-        }
-    }
-
-    /// The device posted a completion: move the data + CQE + MSI
-    /// across the fabric (reserving shared links *now*).
-    fn on_device_done(
-        &mut self,
-        job: usize,
-        issued_at: SimTime,
-        meta: MetaId,
-        sched: &mut Scheduler<'_, Event>,
-    ) {
-        let now = sched.now();
-        let device = self.jobs[job].spec().device();
-        let cpu = self.geometry.cpu_of_ssd(device);
-        let bytes = self.jobs[job].spec().block_size() as u64;
-        let trace_id = self.meta_slab[meta as usize].trace_id;
-        if let (Some(tracer), Some(id)) = (&mut self.tracer, trace_id) {
-            tracer.stamp(id, crate::blktrace::IoStage::DeviceComplete, now);
-        }
-        let mut at_host = self.fabric.deliver_completion(device, now, bytes);
-        // NUMA: when the fio thread's socket is not the socket the
-        // AFA's uplink attaches to (CPU2 = socket 1 in the paper), the
-        // DMA lands in remote memory and the MSI crosses the
-        // interconnect.
-        if self.host.topology().socket_of(cpu) != self.afa_socket {
-            at_host += NUMA_CROSS_SOCKET;
-        }
-        let coalesce = self
-            .coalescing
-            .filter(|_| !matches!(self.jobs[job].spec().engine(), IoEngine::Polling));
-        match coalesce {
-            None => sched.at(
-                at_host,
-                Event::Completion {
-                    job,
-                    issued_at,
-                    meta,
-                    fabric_up_from: now,
-                },
-            ),
-            Some(c) => {
-                // Hold the CQE; the MSI fires on batch-full or timeout
-                // from the first pending completion.
-                let pending = &mut self.pending_cq[device];
-                pending.push(PendingCqe {
-                    job,
-                    issued_at,
-                    meta,
-                });
-                if pending.len() as u32 >= c.max_batch {
-                    sched.at(at_host, Event::Msi { device });
-                } else if pending.len() == 1 {
-                    sched.at(at_host + c.timeout, Event::Msi { device });
-                }
-            }
-        }
-    }
-
-    /// A coalesced MSI: one interrupt and one wake-up reap the whole
-    /// pending batch.
-    fn on_msi(&mut self, device: usize, sched: &mut Scheduler<'_, Event>) {
-        // Swap the pending queue against the reusable scratch buffer
-        // (instead of `mem::take`, which would allocate a fresh Vec on
-        // every MSI) — nothing below pushes to this device's queue.
-        debug_assert!(self.cq_scratch.is_empty());
-        std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
-        let Some(&first) = self.cq_scratch.first() else {
-            // A stale timeout after a batch-full fire; both Vecs are
-            // empty, so the swap was a no-op worth undoing for tidiness.
-            std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
-            return;
-        };
-        let now = sched.now();
-        let job = first.job;
-        let cpu = self.geometry.cpu_of_ssd(device);
-        let irq = self.host.deliver_irq(device, now);
-        let (run_start, _) =
-            self.host
-                .wake_io_task(cpu, irq.wake_ready, self.jobs[job].spec().policy());
-        let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
-        let mut t = run_start;
-        for i in 0..self.cq_scratch.len() {
-            let entry = self.cq_scratch[i];
-            t = self.host.charge_cpu(cpu, t, work);
-            self.jobs[entry.job].complete(t.saturating_since(entry.issued_at).as_nanos());
-            let device_meta = self.free_meta(entry.meta);
-            if let (Some(tracer), Some(id)) = (&mut self.tracer, device_meta.trace_id) {
-                tracer.stamp(id, crate::blktrace::IoStage::IrqHandled, irq.handler_done);
-                tracer.stamp(id, crate::blktrace::IoStage::Reaped, t);
-            }
-        }
-        self.cq_scratch.clear();
-        debug_assert!(self.pending_cq[device].is_empty());
-        std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
-        self.issue_burst(job, t, sched);
-    }
-
-    fn on_completion(
-        &mut self,
-        job: usize,
-        issued_at: SimTime,
-        meta: MetaId,
-        fabric_up_from: SimTime,
-        sched: &mut Scheduler<'_, Event>,
-    ) {
-        let device_meta = self.free_meta(meta);
-        let now = sched.now();
-        let device = self.jobs[job].spec().device();
-        let cpu = self.geometry.cpu_of_ssd(device);
-        let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
-
-        let done = match self.jobs[job].spec().engine() {
-            IoEngine::Libaio | IoEngine::Sync => {
-                let irq = self.host.deliver_irq(device, now);
-                let (run_start, breakdown) =
-                    self.host
-                        .wake_io_task(cpu, irq.wake_ready, self.jobs[job].spec().policy());
-                let done = self.host.charge_cpu(cpu, run_start, work);
-                if let (Some(tracer), Some(id)) = (&mut self.tracer, device_meta.trace_id) {
-                    tracer.stamp(id, crate::blktrace::IoStage::IrqHandled, irq.handler_done);
-                    tracer.stamp(id, crate::blktrace::IoStage::Reaped, done);
-                }
-                if self.causes.is_some() {
-                    use afa_sim::trace::Cause;
-                    self.attribute(
-                        now,
-                        job,
-                        Cause::IrqHandling,
-                        irq.handler_done.saturating_since(now),
-                    );
-                    self.attribute(
-                        now,
-                        job,
-                        Cause::RemoteCompletion,
-                        irq.wake_ready.saturating_since(irq.handler_done),
-                    );
-                    let waits = breakdown.np_wait
-                        + breakdown.cfs_preempt_wait
-                        + breakdown.local_queue_wait
-                        + breakdown.softirq_wait;
-                    self.attribute(run_start, job, Cause::SchedulerDelay, waits);
-                    self.attribute(run_start, job, Cause::CStateExit, breakdown.cstate_exit);
-                    self.attribute(run_start, job, Cause::ContextSwitch, breakdown.fixed_costs);
-                    self.attribute(done, job, Cause::CpuWork, done.saturating_since(run_start));
-                }
-                done
-            }
-            IoEngine::Polling => {
-                // The thread spun from issue to now; reap directly.
-                let spin = now.saturating_since(issued_at);
-                let spin_end = self.host.charge_cpu(cpu, issued_at, spin);
-                let done = self.host.charge_cpu(cpu, spin_end, work);
-                if let (Some(tracer), Some(id)) = (&mut self.tracer, device_meta.trace_id) {
-                    tracer.stamp(id, crate::blktrace::IoStage::Reaped, done);
-                }
-                self.attribute(
-                    done,
-                    job,
-                    afa_sim::trace::Cause::CpuWork,
-                    done.saturating_since(issued_at),
-                );
-                done
-            }
-        };
-
-        if self.causes.is_some() {
-            use afa_sim::trace::Cause;
-            let fabric = device_meta.fabric_down + now.saturating_since(fabric_up_from);
-            self.attribute(now, job, Cause::Fabric, fabric);
-            self.attribute(now, job, Cause::DeviceService, device_meta.service);
-            self.attribute(now, job, Cause::DeviceQueueing, device_meta.queue_wait);
-            self.attribute(now, job, Cause::Housekeeping, device_meta.housekeeping);
-        }
-
-        self.jobs[job].complete(done.saturating_since(issued_at).as_nanos());
-        // The thread holds the CPU after reaping: issue the next I/O.
-        self.issue_burst(job, done, sched);
-    }
-}
-
-impl World for SysWorld {
-    type Event = Event;
-
-    fn handle(&mut self, event: Event, sched: &mut Scheduler<'_, Event>) {
-        match event {
-            Event::Issue { job } => {
-                let now = sched.now();
-                self.issue_burst(job, now, sched);
-            }
-            Event::DeviceDone {
-                job,
-                issued_at,
-                meta,
-            } => {
-                self.on_device_done(job, issued_at, meta, sched);
-            }
-            Event::Completion {
-                job,
-                issued_at,
-                meta,
-                fabric_up_from,
-            } => {
-                self.on_completion(job, issued_at, meta, fabric_up_from, sched);
-            }
-            Event::Msi { device } => {
-                self.on_msi(device, sched);
-            }
-            Event::BgArrival => {
-                let now = sched.now();
-                self.host.spawn_background(now);
-                let next = self.host.next_background_arrival(now);
-                if next < self.horizon {
-                    sched.at(next, Event::BgArrival);
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use afa_stats::NinesPoint;
-
-    fn quick(stage: TuningStage, ssds: usize, ms: u64) -> RunResult {
-        let config = AfaConfig::paper(stage)
-            .with_ssds(ssds)
-            .with_runtime(SimDuration::millis(ms))
-            .with_seed(7);
-        AfaSystem::run(&config)
-    }
-
-    #[test]
-    fn every_device_completes_io() {
-        let r = quick(TuningStage::IrqAffinity, 8, 50);
-        assert_eq!(r.reports.len(), 8);
-        for report in &r.reports {
-            assert!(report.completed() > 500, "only {} I/Os", report.completed());
-        }
-    }
-
-    #[test]
-    fn tuned_mean_latency_is_about_30us() {
-        let r = quick(TuningStage::ExperimentalFirmware, 4, 100);
-        for report in &r.reports {
-            let mean = report.histogram().mean() / 1_000.0;
-            assert!((28.0..40.0).contains(&mean), "mean {mean} us");
-        }
-    }
-
-    #[test]
-    fn qd1_iops_matches_latency() {
-        let r = quick(TuningStage::ExperimentalFirmware, 2, 100);
-        for report in &r.reports {
-            let iops = report.completed() as f64 / 0.1;
-            // ~1 / 33 µs ≈ 30 K IOPS.
-            assert!((22_000.0..36_000.0).contains(&iops), "IOPS {iops}");
-        }
-    }
-
-    #[test]
-    fn default_config_has_fatter_tail_than_tuned() {
-        let default = quick(TuningStage::Default, 8, 400);
-        let tuned = quick(TuningStage::IrqAffinity, 8, 400);
-        let max_default: u64 = default
-            .reports
-            .iter()
-            .map(|r| r.profile().get(NinesPoint::Max))
-            .max()
-            .unwrap();
-        let max_tuned: u64 = tuned
-            .reports
-            .iter()
-            .map(|r| r.profile().get(NinesPoint::Max))
-            .max()
-            .unwrap();
-        assert!(
-            max_default > max_tuned,
-            "default max {max_default} <= tuned max {max_tuned}"
-        );
-    }
-
-    #[test]
-    fn polling_engine_completes_without_interrupts() {
-        let config = AfaConfig::paper(TuningStage::IrqAffinity)
-            .with_ssds(2)
-            .with_runtime(SimDuration::millis(50))
-            .with_engine(IoEngine::Polling);
-        let r = AfaSystem::run(&config);
-        assert_eq!(r.host.stats().irqs, 0, "polling must not interrupt");
-        for report in &r.reports {
-            assert!(report.completed() > 500);
-            // Polling shaves the interrupt + wake-up off the latency.
-            let mean = report.histogram().mean() / 1_000.0;
-            assert!(mean < 34.0, "polling mean {mean} us");
-        }
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let a = quick(TuningStage::Chrt, 4, 50);
-        let b = quick(TuningStage::Chrt, 4, 50);
-        for (ra, rb) in a.reports.iter().zip(&b.reports) {
-            assert_eq!(ra.completed(), rb.completed());
-            assert_eq!(ra.histogram().max(), rb.histogram().max());
-            assert_eq!(ra.histogram().mean(), rb.histogram().mean());
-        }
-    }
-
-    #[test]
-    fn logging_enables_latency_logs() {
-        let config = AfaConfig::paper(TuningStage::IrqAffinity)
-            .with_ssds(2)
-            .with_runtime(SimDuration::millis(20))
-            .with_logging(true);
-        let r = AfaSystem::run(&config);
-        for report in &r.reports {
-            let log = report.latency_log().expect("log enabled");
-            assert!(log.samples_seen() > 100);
-        }
-    }
-
-    #[test]
-    fn coalescing_reduces_interrupt_rate_at_depth() {
-        let mut deep = AfaConfig::paper(TuningStage::ExperimentalFirmware)
-            .with_ssds(2)
-            .with_runtime(SimDuration::millis(80))
-            .with_seed(21);
-        deep.iodepth = 4;
-        let uncoalesced = AfaSystem::run(&deep);
-        let mut coalesced_cfg = deep.clone();
-        coalesced_cfg.irq_coalescing = Some(IrqCoalescing {
-            max_batch: 4,
-            timeout: SimDuration::micros(100),
-        });
-        let coalesced = AfaSystem::run(&coalesced_cfg);
-
-        let ios = |r: &RunResult| r.reports.iter().map(|rep| rep.completed()).sum::<u64>();
-        let rate = |r: &RunResult| r.host.stats().irqs as f64 / ios(r).max(1) as f64;
-        assert!(
-            (rate(&uncoalesced) - 1.0).abs() < 0.01,
-            "{}",
-            rate(&uncoalesced)
-        );
-        assert!(
-            rate(&coalesced) < 0.6,
-            "coalescing should batch MSIs: {:.2} irq/io",
-            rate(&coalesced)
-        );
-        assert!(ios(&coalesced) > 1_000, "batched path must still flow");
-    }
-
-    #[test]
-    fn coalescing_timeout_adds_qd1_latency() {
-        let base = AfaConfig::paper(TuningStage::ExperimentalFirmware)
-            .with_ssds(1)
-            .with_runtime(SimDuration::millis(60))
-            .with_seed(22);
-        let plain = AfaSystem::run(&base);
-        let coalesced = AfaSystem::run(&base.clone().with_irq_coalescing(IrqCoalescing {
-            max_batch: 4,
-            timeout: SimDuration::micros(100),
-        }));
-        let mean = |r: &RunResult| r.reports[0].histogram().mean() / 1e3;
-        // At QD1 a batch never fills, so every I/O eats the timeout.
-        assert!(
-            mean(&coalesced) > mean(&plain) + 80.0,
-            "QD1 coalescing penalty missing: {:.1} vs {:.1}",
-            mean(&coalesced),
-            mean(&plain)
-        );
-    }
-
-    #[test]
-    fn rate_cap_paces_issues() {
-        let config = AfaConfig::paper(TuningStage::ExperimentalFirmware)
-            .with_ssds(2)
-            .with_runtime(SimDuration::millis(100))
-            .with_rate_iops(5_000);
-        let r = AfaSystem::run(&config);
-        for report in &r.reports {
-            let iops = report.completed() as f64 / 0.1;
-            assert!(
-                (4_000.0..5_400.0).contains(&iops),
-                "rate-capped IOPS {iops}"
-            );
-        }
-    }
-
-    #[test]
-    fn events_stay_small_and_are_counted() {
-        // The queue copies events through wheel buckets; the cold
-        // DeviceMeta payload must stay in the slab, not the event.
-        assert!(
-            std::mem::size_of::<Event>() <= 32,
-            "Event grew to {} bytes",
-            std::mem::size_of::<Event>()
-        );
-        let r = quick(TuningStage::IrqAffinity, 2, 50);
-        let ios: u64 = r.reports.iter().map(|rep| rep.completed()).sum();
-        // ~2 events per I/O (DeviceDone + Completion) plus issues and
-        // background arrivals.
-        assert!(
-            r.events_processed > 2 * ios,
-            "{} events for {} I/Os",
-            r.events_processed,
-            ios
-        );
-        assert_eq!(r.clamped_past_schedules, 0, "model scheduled into the past");
-    }
-
-    #[test]
-    fn fabric_accounting_is_consistent() {
-        let r = quick(TuningStage::IrqAffinity, 4, 50);
-        let total_ios: u64 = r.reports.iter().map(|rep| rep.completed()).sum();
-        assert!(r.fabric_stats.interrupts >= total_ios);
-        assert_eq!(r.fabric_stats.device_bytes, r.fabric_stats.uplink_bytes);
     }
 }

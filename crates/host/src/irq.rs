@@ -144,11 +144,11 @@ mod tests {
             cpus(40),
             SimRng::from_seed(1),
         );
-        for d in 0..64 {
+        for (d, &cpu) in designated.iter().enumerate() {
             for s in 0..5u64 {
                 let t = SimTime::ZERO + SimDuration::secs(s * 20);
                 let route = table.route(d, t);
-                assert_eq!(route.vector_cpu, designated[d]);
+                assert_eq!(route.vector_cpu, cpu);
                 assert!(!route.remote);
                 assert!(!route.polluted);
             }

@@ -889,9 +889,9 @@ mod tests {
         );
         let designated: Vec<CpuId> = (0..64u16).map(|d| CpuId(4 + d % 32)).collect();
         h.init_vectors(designated.clone(), 23);
-        for d in 0..64 {
+        for (d, &cpu) in designated.iter().enumerate() {
             let out = h.deliver_irq(d, t_us(d as u64 * 10));
-            assert_eq!(out.delivery.vector_cpu, designated[d]);
+            assert_eq!(out.delivery.vector_cpu, cpu);
             assert!(!out.delivery.remote);
             assert_eq!(out.wake_ready, out.handler_done);
         }

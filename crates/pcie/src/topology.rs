@@ -175,8 +175,7 @@ impl PcieFabric {
         // host → spine → leaf → device, one hop delay per switch.
         let t = self.uplink_down[a.spine as usize].reserve(now, COMMAND_BYTES);
         let t = self.leaf_down[li].reserve(t + self.hop_latency, COMMAND_BYTES);
-        let t = self.device_down[device].reserve(t + self.hop_latency, COMMAND_BYTES);
-        t
+        self.device_down[device].reserve(t + self.hop_latency, COMMAND_BYTES)
     }
 
     /// Carries read data (`bytes`), the CQE and the MSI-X interrupt

@@ -39,7 +39,7 @@ fn per_device_fifo_ordering() {
         let mut clock = SimTime::ZERO;
         let mut last_arrival = SimTime::ZERO;
         for gap in gaps {
-            clock = clock + afa_sim::SimDuration::nanos(gap);
+            clock += afa_sim::SimDuration::nanos(gap);
             let arrival = fabric.deliver_completion(2, clock, 4096);
             assert!(
                 arrival >= last_arrival,

@@ -125,6 +125,8 @@ pub struct Simulation<W: World> {
     /// Past-time schedules clamped to the clock (see
     /// [`Simulation::clamped_past_schedules`]).
     clamped_past: u64,
+    /// Clamped schedules already reported to [`crate::metrics`].
+    flushed_clamped: u64,
 }
 
 impl<W: World> Simulation<W> {
@@ -143,6 +145,7 @@ impl<W: World> Simulation<W> {
             processed: 0,
             flushed: 0,
             clamped_past: 0,
+            flushed_clamped: 0,
         }
     }
 
@@ -169,6 +172,8 @@ impl<W: World> Simulation<W> {
     fn flush_metrics(&mut self) {
         crate::metrics::add_events(self.processed - self.flushed);
         self.flushed = self.processed;
+        crate::metrics::add_clamped_past(self.clamped_past - self.flushed_clamped);
+        self.flushed_clamped = self.clamped_past;
     }
 
     /// Shared access to the world.

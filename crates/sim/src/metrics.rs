@@ -15,6 +15,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+static CLAMPED_PAST: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` processed events to the process-wide total.
 pub fn add_events(n: u64) {
@@ -28,6 +29,21 @@ pub fn events_processed_total() -> u64 {
     EVENTS_PROCESSED.load(Ordering::Relaxed)
 }
 
+/// Adds `n` past-time schedules that were clamped to the clock (see
+/// [`Simulation::clamped_past_schedules`](crate::Simulation::clamped_past_schedules)).
+pub fn add_clamped_past(n: u64) {
+    if n > 0 {
+        CLAMPED_PAST.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Total past-time schedules clamped by this process so far. A healthy
+/// model never schedules into the past, so harnesses snapshot this
+/// around a run and fail loudly on a non-zero delta.
+pub fn clamped_past_total() -> u64 {
+    CLAMPED_PAST.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,5 +55,14 @@ mod tests {
         assert!(events_processed_total() >= before);
         add_events(17);
         assert!(events_processed_total() >= before + 17);
+    }
+
+    #[test]
+    fn clamped_adds_accumulate() {
+        let before = clamped_past_total();
+        add_clamped_past(0);
+        assert!(clamped_past_total() >= before);
+        add_clamped_past(3);
+        assert!(clamped_past_total() >= before + 3);
     }
 }

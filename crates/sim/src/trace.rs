@@ -48,6 +48,10 @@ pub enum Cause {
 }
 
 impl Cause {
+    /// Number of cause variants; sizes fixed per-cause tables such as
+    /// the I/O ledger's `[SimDuration; Cause::COUNT]`.
+    pub const COUNT: usize = Self::ALL.len();
+
     /// All cause variants, in display order.
     pub const ALL: [Cause; 13] = [
         Cause::CpuWork,
@@ -64,6 +68,12 @@ impl Cause {
         Cause::GarbageCollection,
         Cause::Other,
     ];
+
+    /// The variant's position in [`Cause::ALL`] (declaration order) —
+    /// the index used by fixed per-cause tables.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// A short, stable label for reports.
     pub fn label(self) -> &'static str {
@@ -155,6 +165,18 @@ impl CauseAccumulator {
         self.totals
             .iter()
             .map(move |(&c, &d)| (c, d, self.count(c)))
+    }
+
+    /// Adds a pre-aggregated contribution: `total` latency over
+    /// `events` attribution events. This is how settled per-I/O
+    /// ledgers fold into the run-wide budget — equivalent to `events`
+    /// individual [`TraceSink::record`] calls summing to `total`.
+    pub fn add(&mut self, cause: Cause, total: SimDuration, events: u64) {
+        if events == 0 && total.is_zero() {
+            return;
+        }
+        *self.totals.entry(cause).or_insert(SimDuration::ZERO) += total;
+        *self.counts.entry(cause).or_insert(0) += events;
     }
 
     /// Folds another accumulator's attributions into this one (used to
@@ -253,6 +275,28 @@ mod tests {
         acc.record(SimTime::ZERO, 0, Cause::CpuWork, SimDuration::micros(1));
         let items: Vec<_> = acc.iter().collect();
         assert_eq!(items, vec![(Cause::CpuWork, SimDuration::micros(1), 1)]);
+    }
+
+    #[test]
+    fn indices_match_declaration_order() {
+        assert_eq!(Cause::COUNT, Cause::ALL.len());
+        for (i, cause) in Cause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i, "{cause} out of order");
+        }
+    }
+
+    #[test]
+    fn add_is_equivalent_to_individual_records() {
+        let mut by_record = CauseAccumulator::new();
+        by_record.record(SimTime::ZERO, 0, Cause::Fabric, SimDuration::micros(2));
+        by_record.record(SimTime::ZERO, 1, Cause::Fabric, SimDuration::micros(3));
+        let mut by_add = CauseAccumulator::new();
+        by_add.add(Cause::Fabric, SimDuration::micros(5), 2);
+        by_add.add(Cause::CpuWork, SimDuration::ZERO, 0); // no-op
+        assert_eq!(
+            by_record.iter().collect::<Vec<_>>(),
+            by_add.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

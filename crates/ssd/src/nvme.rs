@@ -46,7 +46,7 @@ impl NvmeCommand {
     /// Panics if `bytes` is zero or not a multiple of 4096.
     pub fn read(lba: u64, bytes: u32) -> Self {
         assert!(
-            bytes > 0 && bytes % LBA_BYTES == 0,
+            bytes > 0 && bytes.is_multiple_of(LBA_BYTES),
             "bytes must be a positive multiple of 4096"
         );
         NvmeCommand {
@@ -63,7 +63,7 @@ impl NvmeCommand {
     /// Panics if `bytes` is zero or not a multiple of 4096.
     pub fn write(lba: u64, bytes: u32) -> Self {
         assert!(
-            bytes > 0 && bytes % LBA_BYTES == 0,
+            bytes > 0 && bytes.is_multiple_of(LBA_BYTES),
             "bytes must be a positive multiple of 4096"
         );
         NvmeCommand {

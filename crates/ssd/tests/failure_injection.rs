@@ -106,7 +106,7 @@ fn degraded_dma_caps_sequential_throughput() {
     let mut degraded = SsdSpec::table1();
     degraded.timing.dma_read_mbps = 400; // a Gen1-x1-class bottleneck
     let mut dev = SsdDevice::new(degraded, FirmwareProfile::experimental(), 5);
-    let mut inflight = vec![SimTime::ZERO; 8];
+    let mut inflight = [SimTime::ZERO; 8];
     let mut bytes = 0u64;
     let horizon = SimTime::ZERO + SimDuration::millis(100);
     let mut lba = 0;

@@ -17,7 +17,7 @@ fn completions_after_submission() {
         for lba in lbas {
             let info = dev.submit(now, NvmeCommand::read(lba, 4096));
             assert!(info.completes_at > now);
-            now = now + SimDuration::micros(1);
+            now += SimDuration::micros(1);
         }
     });
 }

@@ -37,15 +37,6 @@ impl OnlineStats {
         }
     }
 
-    /// Creates an accumulator from an iterator of samples.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        let mut s = Self::new();
-        for x in iter {
-            s.push(x);
-        }
-        s
-    }
-
     /// Adds one sample.
     pub fn push(&mut self, x: f64) {
         self.count += 1;
@@ -153,7 +144,9 @@ impl Extend<f64> for OnlineStats {
 
 impl FromIterator<f64> for OnlineStats {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Self::from_iter(iter)
+        let mut s = Self::new();
+        s.extend(iter);
+        s
     }
 }
 

@@ -72,7 +72,7 @@ impl LatencyLog {
     pub fn push(&mut self, latency_ns: u64) {
         let index = self.seen;
         self.seen += 1;
-        if latency_ns >= self.spike_threshold_ns || index % self.keep_every == 0 {
+        if latency_ns >= self.spike_threshold_ns || index.is_multiple_of(self.keep_every) {
             self.points.push(LogPoint { index, latency_ns });
         }
     }

@@ -78,7 +78,7 @@ impl WindowedSeries {
             },
             max: self.max,
         });
-        self.current_start = self.current_start + self.width;
+        self.current_start += self.width;
         self.sum = 0.0;
         self.count = 0;
         self.max = 0;

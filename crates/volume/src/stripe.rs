@@ -14,7 +14,7 @@ impl StripeConfig {
     /// Panics unless the unit is a positive multiple of 4096.
     pub fn new(unit_bytes: u32) -> Self {
         assert!(
-            unit_bytes > 0 && unit_bytes % 4096 == 0,
+            unit_bytes > 0 && unit_bytes.is_multiple_of(4096),
             "stripe unit must be a positive multiple of 4096"
         );
         StripeConfig { unit_bytes }
@@ -109,7 +109,7 @@ impl StripedVolume {
     /// Panics unless `bytes` is a positive multiple of 4096.
     pub fn map_read(&self, volume_page: u64, bytes: u32) -> Vec<SubIo> {
         assert!(
-            bytes > 0 && bytes % 4096 == 0,
+            bytes > 0 && bytes.is_multiple_of(4096),
             "request must be a positive multiple of 4096"
         );
         let pages = (bytes / 4096) as u64;

@@ -86,7 +86,7 @@ impl JobSpec {
     /// Panics if not a positive multiple of 4096.
     pub fn block_size_bytes(&mut self, bs: u32) -> &mut Self {
         assert!(
-            bs > 0 && bs % 4096 == 0,
+            bs > 0 && bs.is_multiple_of(4096),
             "block size must be a positive multiple of 4096"
         );
         self.block_size = bs;

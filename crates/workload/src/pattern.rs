@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn random_covers_the_region() {
         let mut p = AccessPattern::new(RwPattern::RandRead, 64, 4096, rng());
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for _ in 0..10_000 {
             seen[p.next_op().lba as usize] = true;
         }

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, test, format, and smoke-test the CLI.
+# Offline CI gate: build, lint, test, format, and smoke-test the CLI.
 # Run from the repository root: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -22,14 +25,14 @@ if [ "$count" -lt 20 ]; then
 fi
 echo "afactl list: $count experiments registered"
 
-echo "==> golden artifact byte-compare (scaled fig06/fig12/fig13)"
-# Doubles as the experiment smoke test: regenerates three figure
+echo "==> golden artifact byte-compare (scaled fig06/fig07/fig09/fig12/fig13)"
+# Doubles as the experiment smoke test: regenerates the figure
 # artifacts at a reduced scale and byte-compares them against the
 # committed fixtures. Any change in event ordering, RNG streams, model
 # behaviour or JSON schema shows up here as a diff.
 golden_tmp="$(mktemp -d)"
 trap 'rm -rf "$golden_tmp"' EXIT
-for fig in fig06 fig12 fig13; do
+for fig in fig06 fig07 fig09 fig12 fig13; do
     ./target/release/afactl exp "$fig" --seconds 0.25 --ssds 8 --seed 42 \
         --json > "$golden_tmp/$fig.json"
     if ! cmp -s "tests/golden/$fig.json" "$golden_tmp/$fig.json"; then
@@ -38,7 +41,19 @@ for fig in fig06 fig12 fig13; do
         echo "  ./target/release/afactl exp $fig --seconds 0.25 --ssds 8 --seed 42 --json > tests/golden/$fig.json)" >&2
         exit 1
     fi
+    # A healthy model never schedules into the past; the manifest
+    # serializes the clamp counter precisely so CI can refuse drift.
+    if ! grep -q '"clamped_past_schedules":0' "$golden_tmp/$fig.json"; then
+        echo "clamped past-time schedules in $fig run:" >&2
+        grep -o '"clamped_past_schedules":[0-9]*' "$golden_tmp/$fig.json" >&2
+        exit 1
+    fi
     echo "golden OK: $fig"
 done
+
+echo "==> desperf regression check (pinned-scale fig06 events/sec)"
+# Fails if DES throughput fell more than 10% below the most recent
+# committed BENCH_desperf.json entry.
+./target/release/desperf --check
 
 echo "CI OK"

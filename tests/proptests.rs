@@ -136,6 +136,52 @@ fn timing_wheel_matches_reference_heap() {
     });
 }
 
+/// Every completed I/O's ledger is exactly conservative: summed over
+/// causes, the post-issue contributions equal the measured completion
+/// latency to the nanosecond — for any tuning stage, seed and device
+/// count. This is the invariant that lets cause attribution, the
+/// blktrace stage records and the per-cause budget all be derived
+/// views of one [`afa::core::io_path::IoLedger`] instead of three
+/// separately-maintained instrumentation paths.
+///
+/// Interrupt-driven engines only: a polling reap overlaps the device
+/// service window it spins through, so its CPU-work credit
+/// intentionally double-counts against wall-clock latency.
+#[test]
+fn ledger_sums_to_completion_latency() {
+    run_cases("ledger_sums_to_completion_latency", 12, |g| {
+        let stage = [
+            TuningStage::Default,
+            TuningStage::Chrt,
+            TuningStage::Isolcpus,
+            TuningStage::IrqAffinity,
+            TuningStage::ExperimentalFirmware,
+        ][g.usize_in(0, 4)];
+        let seed = g.u64_in(0, 10_000);
+        let ssds = g.usize_in(1, 6);
+        let result = AfaSystem::run(
+            &AfaConfig::paper(stage)
+                .with_ssds(ssds)
+                .with_runtime(SimDuration::millis(40))
+                .with_seed(seed)
+                .with_ledger_log(512),
+        );
+        let log = result.ledgers.expect("ledger log enabled");
+        assert!(!log.entries().is_empty());
+        for io in log.entries() {
+            let ledger = &io.ledger;
+            assert_eq!(
+                ledger.total() - ledger.pre_issue(),
+                io.latency(),
+                "device {} I/O issued at {:?}: per-cause sums drifted from \
+                 the measured latency",
+                io.device,
+                io.issued_at,
+            );
+        }
+    });
+}
+
 /// Tuning never makes the worst case worse than default for the same
 /// seed (statistically certain at this scale).
 #[test]
