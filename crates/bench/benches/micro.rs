@@ -87,6 +87,13 @@ fn bench_scheduler(harness: &mut Harness) {
     });
 }
 
+fn bench_frontend(harness: &mut Harness) {
+    // Full 64-wide request bookkeeping (stripe map + book + 64 sub
+    // completions) — the per-request frontend cost in the tail-at-scale
+    // experiments.
+    afa_bench::micro::register_frontend_fanout(harness);
+}
+
 fn main() {
     let mut harness = Harness::from_args();
     bench_histogram(&mut harness);
@@ -94,5 +101,6 @@ fn main() {
     bench_rng(&mut harness);
     bench_device(&mut harness);
     bench_scheduler(&mut harness);
+    bench_frontend(&mut harness);
     harness.report();
 }

@@ -2,12 +2,15 @@
 //! `BENCH_desperf.json` at the repo root.
 //!
 //! Each entry captures the substrate hot-path micro-benches
-//! (`queue_push_pop_1k`, `queue_push_pop_64k`, `histogram_record` —
-//! the exact same bodies `cargo bench --bench micro` runs) plus a
-//! fixed-scale fig06 end-to-end run (10 s × 64 SSDs, seed 42) with its
-//! wall-clock and events/sec. Because the scale is pinned, entries are
-//! comparable across commits: the file is the perf trajectory of the
-//! event queue and histogram over the repo's history.
+//! (`queue_push_pop_1k`, `queue_push_pop_64k`, `histogram_record`,
+//! `frontend_fanout_64` — the exact same bodies
+//! `cargo bench --bench micro` runs) plus two pinned end-to-end runs:
+//! fig06 (10 s × 64 SSDs, seed 42) and the request-serving
+//! tailscale-fanout sweep (0.5 s × 16 SSDs, seed 42), each with its
+//! wall-clock and events/sec. Because the scales are pinned, entries
+//! are comparable across commits: the file is the perf trajectory of
+//! the event queue, histogram, and serving layer over the repo's
+//! history.
 //!
 //! Usage:
 //!
@@ -31,6 +34,13 @@ use afa_stats::Json;
 /// comparability, so don't.
 fn trajectory_scale() -> ExperimentScale {
     ExperimentScale::new(SimDuration::from_secs_f64(10.0), 64, 42)
+}
+
+/// The pinned request-serving scale (tailscale-fanout: 5 stages × a
+/// width sweep per entry); same comparability rule as
+/// [`trajectory_scale`].
+fn frontend_scale() -> ExperimentScale {
+    ExperimentScale::new(SimDuration::from_secs_f64(0.5), 16, 42)
 }
 
 fn median_ns(harness: &Harness, name: &str) -> f64 {
@@ -75,6 +85,7 @@ fn main() {
     let mut harness = Harness::default();
     micro::register_queue_churn(&mut harness);
     micro::register_histogram_record(&mut harness);
+    micro::register_frontend_fanout(&mut harness);
 
     let def = experiment::find("fig06").expect("fig06 registered");
     let scale = trajectory_scale();
@@ -98,6 +109,28 @@ fn main() {
         events_per_sec
     );
 
+    let fe_def = experiment::find("tailscale-fanout").expect("tailscale-fanout registered");
+    let fe_scale = frontend_scale();
+    println!(
+        "\ntailscale-fanout end-to-end at {:.1}s x {} SSDs, seed {} ...",
+        fe_scale.runtime.as_secs_f64(),
+        fe_scale.ssds,
+        fe_scale.seed
+    );
+    let fe_events_before = afa_sim::metrics::events_processed_total();
+    let fe_t0 = Instant::now();
+    let fe_result = fe_def.run(fe_scale);
+    let fe_wall = fe_t0.elapsed().as_secs_f64();
+    let fe_events = afa_sim::metrics::events_processed_total() - fe_events_before;
+    let fe_events_per_sec = fe_events as f64 / fe_wall.max(1e-9);
+    println!(
+        "tailscale-fanout: {:.2}s wall, {} samples, {} events, {:.0} events/sec",
+        fe_wall,
+        fe_result.samples(),
+        fe_events,
+        fe_events_per_sec
+    );
+
     let entry = Json::obj([
         ("label", Json::str(&label)),
         (
@@ -112,10 +145,18 @@ fn main() {
             "histogram_record_ns",
             Json::f64(median_ns(&harness, "histogram_record")),
         ),
+        (
+            "frontend_fanout_64_ns",
+            Json::f64(median_ns(&harness, "frontend_fanout_64")),
+        ),
         ("fig06_wall_s", Json::f64(wall)),
         ("fig06_samples", Json::u64(result.samples())),
         ("fig06_events", Json::u64(events)),
         ("fig06_events_per_sec", Json::f64(events_per_sec)),
+        ("frontend_wall_s", Json::f64(fe_wall)),
+        ("frontend_samples", Json::u64(fe_result.samples())),
+        ("frontend_events", Json::u64(fe_events)),
+        ("frontend_events_per_sec", Json::f64(fe_events_per_sec)),
     ]);
 
     let rendered = append_entry(&std::fs::read_to_string(path).unwrap_or_default(), &entry);

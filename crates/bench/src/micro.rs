@@ -209,6 +209,35 @@ pub fn register_histogram_record(harness: &mut Harness) {
     });
 }
 
+/// Registers the request-serving hot-path bench (`frontend_fanout_64`)
+/// on `harness`: one full 64-wide request per iteration — stripe
+/// mapping into 64 sub-I/Os, [`afa_frontend::RequestBook`] open, and
+/// all 64 sub completions. This is the per-request bookkeeping cost
+/// the `tailscale-fanout` / `tailscale-hedge` experiments pay on top
+/// of the device/host substrate.
+pub fn register_frontend_fanout(harness: &mut Harness) {
+    use afa_frontend::RequestBook;
+    use afa_sim::SimTime;
+    use afa_volume::{StripeConfig, StripedVolume};
+
+    let volume = StripedVolume::new((0..64).collect(), StripeConfig::new(4096));
+    let mut book = RequestBook::new();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut now = 0u64;
+    harness.bench("frontend_fanout_64", || {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let page = (x >> 33) % 4_000_000;
+        let subs = volume.map_read(page, 64 * 4096);
+        now += 1_000;
+        let arrived = SimTime::from_nanos(now);
+        let id = book.begin(0, arrived, SimTime::from_nanos(now + 200), &subs);
+        for sub in 0..subs.len() {
+            now += 10;
+            std::hint::black_box(book.complete_sub(id, sub, SimTime::from_nanos(now), false));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

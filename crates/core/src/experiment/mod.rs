@@ -12,6 +12,7 @@
 mod ablations;
 mod characterize;
 mod figures;
+mod frontend;
 mod futurework;
 mod iotrace;
 mod multihost;
@@ -32,6 +33,9 @@ pub use characterize::{qd_sweep, QdPoint, QdSweepResult};
 pub use figures::{
     fig10, fig11, fig12, fig13, fig13_and_14, fig14, fig6, fig7, fig8, fig9, render_fig14,
     run_stage, Fig10Scatter, Fig12Comparison, Fig13Results, Fig14Result, FigureDistributions,
+};
+pub use frontend::{
+    tailscale_fanout, tailscale_hedge, FrontendServeResult, ServeCell, TenantReport,
 };
 pub use futurework::{future_schedulers, FutureWorkResult, FutureWorkRow};
 pub use iotrace::{io_trace, IoTraceResult};

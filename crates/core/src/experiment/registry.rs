@@ -23,6 +23,7 @@
 use std::time::Duration;
 use std::time::Instant;
 
+use afa_sim::metrics::FrontendCounters;
 use afa_sim::trace::{Cause, CauseBudget};
 use afa_sim::SimDuration;
 use afa_stats::Json;
@@ -98,7 +99,7 @@ impl Experiment for ExperimentDef {
     }
 }
 
-static REGISTRY: [ExperimentDef; 27] = [
+static REGISTRY: [ExperimentDef; 29] = [
     ExperimentDef {
         name: "fig06",
         description: "Fig. 6: per-SSD latency distributions, default configuration",
@@ -230,6 +231,18 @@ static REGISTRY: [ExperimentDef; 27] = [
         runner: |s| Box::new(experiment::tail_at_scale(s)),
     },
     ExperimentDef {
+        name: "tailscale-fanout",
+        description: "Tail at scale, request level: open-loop serving, fan-out sweep per stage",
+        stage: None,
+        runner: |s| Box::new(experiment::tailscale_fanout(s)),
+    },
+    ExperimentDef {
+        name: "tailscale-hedge",
+        description: "Tail at scale, request level: hedged reads on/off, mixed load, tuned kernel",
+        stage: Some(TuningStage::IrqAffinity),
+        runner: |s| Box::new(experiment::tailscale_hedge(s)),
+    },
+    ExperimentDef {
         name: "saturation",
         description: "Uplink saturation: sequential vs. QD1 random throughput",
         stage: Some(TuningStage::IrqAffinity),
@@ -306,6 +319,12 @@ pub struct RunManifest {
     /// serialized: a non-zero value in an artifact is a red flag worth
     /// failing CI over.
     pub clamped_past_schedules: u64,
+    /// Frontend serving-layer counters flushed while the experiment
+    /// ran (delta of the process-wide [`afa_sim::metrics`] totals).
+    /// All-zero for experiments that never touch the serving layer —
+    /// and then omitted from the JSON artifact, so pre-frontend
+    /// goldens stay byte-identical.
+    pub frontend: FrontendCounters,
     /// Per-cause latency budget from the attribution probe.
     pub budget: CauseBudget,
     /// Scale the attribution probe ran at (reduced from `scale` to
@@ -340,6 +359,15 @@ impl RunManifest {
             "clamped : {} past-time schedules\n",
             self.clamped_past_schedules
         ));
+        if self.frontend.any() {
+            out.push_str(&format!(
+                "frontend: {} admitted, {} shed, {} hedges fired, {} won\n",
+                self.frontend.requests_admitted,
+                self.frontend.requests_shed,
+                self.frontend.hedges_fired,
+                self.frontend.hedges_won
+            ));
+        }
         out.push_str(&format!(
             "latency budget (probe: '{}' at {:.3}s x {} SSDs):\n",
             self.probe_stage.label(),
@@ -365,6 +393,27 @@ impl RunManifest {
     /// is the one non-deterministic field, and the JSON artifact must
     /// be byte-identical across same-seed runs.
     pub fn to_json(&self) -> Json {
+        let mut doc = self.base_json();
+        // Conditional so experiments that never touch the serving
+        // layer keep their pre-frontend byte-identical artifacts.
+        if self.frontend.any() {
+            doc.push(
+                "frontend",
+                Json::obj([
+                    (
+                        "requests_admitted",
+                        Json::u64(self.frontend.requests_admitted),
+                    ),
+                    ("requests_shed", Json::u64(self.frontend.requests_shed)),
+                    ("hedges_fired", Json::u64(self.frontend.hedges_fired)),
+                    ("hedges_won", Json::u64(self.frontend.hedges_won)),
+                ]),
+            );
+        }
+        doc
+    }
+
+    fn base_json(&self) -> Json {
         let causes = Json::arr(self.budget.rows().iter().map(|&(cause, total, events)| {
             Json::obj([
                 ("cause", Json::str(cause.label())),
@@ -448,6 +497,7 @@ impl ExperimentRun {
 pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> ExperimentRun {
     let events_before = afa_sim::metrics::events_processed_total();
     let clamped_before = afa_sim::metrics::clamped_past_total();
+    let frontend_before = afa_sim::metrics::frontend_totals();
     let t0 = Instant::now();
     let result = def.run(scale);
     let wall = t0.elapsed();
@@ -480,6 +530,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
     // time; the parallel pool may attribute a sibling's clamps here,
     // which is fine for a tripwire.
     let clamped_past_schedules = afa_sim::metrics::clamped_past_total() - clamped_before;
+    let frontend = afa_sim::metrics::frontend_totals().since(&frontend_before);
 
     let samples = result.samples();
     ExperimentRun {
@@ -492,6 +543,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
             events_processed,
             events_per_sec,
             clamped_past_schedules,
+            frontend,
             budget,
             probe_scale,
             probe_stage,
@@ -573,6 +625,23 @@ mod tests {
             "{rendered}"
         );
         assert!(run.manifest.to_table().contains("clamped : 0"));
+    }
+
+    #[test]
+    fn frontend_counters_reach_the_manifest() {
+        let def = find("tailscale-hedge").expect("tailscale-hedge registered");
+        let run = run_experiment(def, ExperimentScale::new(SimDuration::millis(60), 4, 11));
+        assert!(
+            run.manifest.frontend.any(),
+            "serving layer must flush counters"
+        );
+        assert!(run.manifest.frontend.requests_admitted > 0);
+        let rendered = run.manifest.to_json().to_string();
+        assert!(
+            rendered.contains("\"frontend\":{\"requests_admitted\":"),
+            "{rendered}"
+        );
+        assert!(run.manifest.to_table().contains("frontend: "));
     }
 
     #[test]

@@ -146,8 +146,8 @@ impl AfaSystem {
             Some(specs) => specs.clone(),
             None => (0..n)
                 .map(|d| {
-                    let mut spec = JobSpec::paper_default(d);
-                    spec.rw(config.rw)
+                    let mut spec = JobSpec::paper_default(d)
+                        .rw(config.rw)
                         .block_size_bytes(config.block_size)
                         .iodepth_n(config.iodepth)
                         .runtime(config.runtime)
@@ -156,9 +156,9 @@ impl AfaSystem {
                         .ioengine(config.engine)
                         .log_latency(config.log_latency);
                     if let Some(iops) = config.rate_iops {
-                        spec.rate_iops_cap(iops);
+                        spec = spec.rate_iops_cap(iops);
                     }
-                    spec.clone()
+                    spec
                 })
                 .collect(),
         };

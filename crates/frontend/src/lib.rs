@@ -1,0 +1,46 @@
+//! Client-request serving layer for the AFA reproduction.
+//!
+//! §I of the paper motivates the whole study at exactly this layer:
+//! "one request from a client is divided into multiple I/Os, which are
+//! then distributed to many SSDs in parallel as in RAID. In such a
+//! setting, long tail latency of the slowest SSD would decide system's
+//! overall responsiveness." The per-SSD experiments stop at fio jobs;
+//! this crate is the NVMe-oF-target-like tier above `afa-volume` that
+//! actually serves client requests, so the tail-at-scale effect can be
+//! measured at the request level:
+//!
+//! * [`ArrivalGen`] — open-loop arrival generators (Poisson, bursty
+//!   Markov-modulated on/off, fixed-rate) over the
+//!   [`ArrivalProcess`](afa_workload::ArrivalProcess) vocabulary,
+//! * [`TenantSpec`] — per-tenant traffic contract: arrival process,
+//!   token-bucket rate limit, bounded admission queue, dequeue weight,
+//!   and an SLO target,
+//! * [`TokenBucket`] / [`AdmissionQueue`] / [`WeightedScheduler`] —
+//!   the admission/QoS path: lazy-refill rate limiting, shed-on-overflow
+//!   accounting, weighted deficit round-robin dequeue,
+//! * [`RequestBook`] / [`HedgePolicy`] — striped fan-out bookkeeping
+//!   over [`afa_volume::RequestTracker`] with first-completion-wins
+//!   hedged reads, plus the per-request cause ledger
+//!   ([`RequestLedger`]),
+//! * [`SloTarget`] / [`SloTracker`] / [`SloReport`] — per-tenant online
+//!   p50/p99/p99.9/6-nines accounting against configured targets.
+//!
+//! The whole-system serving experiments (`tailscale-fanout`,
+//! `tailscale-hedge`) live in `afa-core::experiment`; this crate holds
+//! the deterministic mechanisms, all seeded from `afa_sim::rng`
+//! streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod qos;
+mod request;
+mod slo;
+mod tenant;
+
+pub use arrival::ArrivalGen;
+pub use qos::{AdmissionQueue, TokenBucket, WeightedScheduler};
+pub use request::{FinishedSummary, HedgePolicy, RequestBook, RequestLedger, SubCompletion};
+pub use slo::{SloReport, SloTarget, SloTracker};
+pub use tenant::TenantSpec;

@@ -1,0 +1,278 @@
+//! Admission control and QoS scheduling.
+//!
+//! Open-loop arrivals make back-pressure impossible — the clients do
+//! not wait — so the frontend needs an explicit admission path:
+//! a [`TokenBucket`] rate limit per tenant, a bounded
+//! [`AdmissionQueue`] that sheds on overflow (with accounting), and a
+//! [`WeightedScheduler`] (weighted deficit round-robin) deciding whose
+//! queued request dispatches next.
+
+use std::collections::VecDeque;
+
+use afa_sim::SimTime;
+
+/// A token-bucket rate limiter with lazy refill: tokens accrue as a
+/// pure function of elapsed simulated time, so no refill events are
+/// scheduled and determinism is free.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket refilling at `rate_per_sec` with capacity
+    /// `burst`, starting full at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate or burst.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "token rate must be positive");
+        assert!(burst >= 1.0, "burst must allow at least one request");
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// Takes one token at `now` if available. Returns `false` — the
+    /// request must be shed — when the bucket is empty.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        let elapsed = now.saturating_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.burst);
+        self.last_refill = self.last_refill.max(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after the last refill).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// A bounded FIFO admission queue that sheds on overflow and counts
+/// both outcomes.
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue<T> {
+    items: VecDeque<T>,
+    cap: usize,
+    admitted: u64,
+    shed: u64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue holding at most `cap` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "admission queue needs capacity");
+        AdmissionQueue {
+            items: VecDeque::with_capacity(cap),
+            cap,
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Admits `item`, or sheds it (returning `false`) when full.
+    pub fn offer(&mut self, item: T) -> bool {
+        if self.items.len() >= self.cap {
+            self.shed += 1;
+            false
+        } else {
+            self.items.push_back(item);
+            self.admitted += 1;
+            true
+        }
+    }
+
+    /// Counts a shed that happened before the queue (e.g. a token
+    /// bucket refusal), so one counter covers the whole admission path.
+    pub fn count_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Dequeues the oldest admitted request.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total requests shed so far (overflow plus counted refusals).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+/// Weighted deficit round-robin over N tenants with unit-cost
+/// requests: each full cycle replenishes every tenant's deficit by its
+/// weight, an empty queue forfeits its credit, and the next non-empty
+/// tenant with credit is served.
+#[derive(Clone, Debug)]
+pub struct WeightedScheduler {
+    weights: Vec<u32>,
+    deficits: Vec<u64>,
+    cursor: usize,
+}
+
+impl WeightedScheduler {
+    /// Creates a scheduler for tenants with the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is zero.
+    pub fn new(weights: &[u32]) -> Self {
+        assert!(!weights.is_empty(), "scheduler needs at least one tenant");
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "tenant weights must be positive"
+        );
+        WeightedScheduler {
+            weights: weights.to_vec(),
+            deficits: vec![0; weights.len()],
+            cursor: 0,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Picks the tenant whose queued request dispatches next, given
+    /// which tenants currently have work. Returns `None` when no one
+    /// does.
+    pub fn pick(&mut self, has_work: &[bool]) -> Option<usize> {
+        assert_eq!(has_work.len(), self.weights.len(), "tenant count mismatch");
+        if !has_work.iter().any(|&b| b) {
+            return None;
+        }
+        // At most two full cycles: one to drain stale credit, then a
+        // replenish guarantees some backlogged tenant can be served.
+        let n = self.weights.len();
+        let mut scanned = 0;
+        loop {
+            let t = self.cursor;
+            if has_work[t] && self.deficits[t] > 0 {
+                self.deficits[t] -= 1;
+                return Some(t);
+            }
+            if !has_work[t] {
+                // WDRR: an idle tenant forfeits accumulated credit.
+                self.deficits[t] = 0;
+            }
+            self.cursor = (self.cursor + 1) % n;
+            scanned += 1;
+            if scanned % n == 0 {
+                for (d, &w) in self.deficits.iter_mut().zip(self.weights.iter()) {
+                    *d += u64::from(w);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afa_sim::SimDuration;
+
+    #[test]
+    fn bucket_starts_full_and_refills_lazily() {
+        let mut b = TokenBucket::new(1_000.0, 2.0);
+        let t0 = SimTime::ZERO;
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(!b.try_take(t0), "burst of 2 exhausted");
+        // 1 ms at 1000/s refills one token.
+        let t1 = t0 + SimDuration::millis(1);
+        assert!(b.try_take(t1));
+        assert!(!b.try_take(t1));
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(1_000.0, 4.0);
+        let later = SimTime::ZERO + SimDuration::secs(60);
+        for _ in 0..4 {
+            assert!(b.try_take(later));
+        }
+        assert!(!b.try_take(later), "idle time must not exceed burst");
+    }
+
+    #[test]
+    fn queue_sheds_on_overflow() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.offer(1));
+        assert!(q.offer(2));
+        assert!(!q.offer(3), "third must shed");
+        assert_eq!(q.admitted(), 2);
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.offer(3));
+        assert_eq!(q.len(), 2);
+        q.count_shed();
+        assert_eq!(q.shed(), 2);
+    }
+
+    #[test]
+    fn wdrr_serves_proportionally() {
+        let mut s = WeightedScheduler::new(&[3, 1]);
+        let mut served = [0u32; 2];
+        for _ in 0..400 {
+            let t = s.pick(&[true, true]).expect("both have work");
+            served[t] += 1;
+        }
+        assert_eq!(served[0] + served[1], 400);
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "3:1 weights, got {served:?}");
+    }
+
+    #[test]
+    fn wdrr_skips_idle_tenants_without_starving() {
+        let mut s = WeightedScheduler::new(&[1, 8]);
+        // Only tenant 0 has work: it must always be served.
+        for _ in 0..50 {
+            assert_eq!(s.pick(&[true, false]), Some(0));
+        }
+        // Tenant 1 wakes up: it gets its share, tenant 0 still runs.
+        let mut served = [0u32; 2];
+        for _ in 0..90 {
+            served[s.pick(&[true, true]).expect("work exists")] += 1;
+        }
+        assert!(served[0] >= 8, "low-weight tenant must not starve");
+        assert!(served[1] > served[0], "weights must bias service");
+    }
+
+    #[test]
+    fn wdrr_returns_none_when_idle() {
+        let mut s = WeightedScheduler::new(&[1, 1]);
+        assert_eq!(s.pick(&[false, false]), None);
+    }
+}

@@ -1,0 +1,465 @@
+//! Striped fan-out bookkeeping, hedged reads, and the per-request
+//! cause ledger.
+//!
+//! A client request maps through
+//! [`StripedVolume`](afa_volume::StripedVolume) into per-SSD sub-I/Os;
+//! [`RequestBook`] tracks them over
+//! [`afa_volume::RequestTracker`] with first-completion-wins semantics
+//! so a hedged duplicate and its original can race. The request's
+//! latency is, exactly, its frontend queueing delay plus the settle
+//! time of the slowest winning sub-I/O — the invariant
+//! [`RequestLedger`] makes checkable per request.
+
+use std::collections::HashMap;
+
+use afa_sim::trace::Cause;
+use afa_sim::{SimDuration, SimTime};
+use afa_stats::LatencyHistogram;
+use afa_volume::{RequestTracker, SubIo};
+
+/// Per-request wall-clock attribution over the shared [`Cause`]
+/// vocabulary: where this request's latency went.
+#[derive(Clone, Debug)]
+pub struct RequestLedger {
+    acc: [SimDuration; Cause::COUNT],
+}
+
+impl Default for RequestLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RequestLedger {
+            acc: [SimDuration::ZERO; Cause::COUNT],
+        }
+    }
+
+    /// Charges `d` to `cause`.
+    pub fn charge(&mut self, cause: Cause, d: SimDuration) {
+        self.acc[cause as usize] += d;
+    }
+
+    /// Time charged to `cause` so far.
+    pub fn get(&self, cause: Cause) -> SimDuration {
+        self.acc[cause as usize]
+    }
+
+    /// Sum over all causes — must equal the request's measured latency
+    /// when the charges tile it exactly.
+    pub fn total(&self) -> SimDuration {
+        self.acc.iter().copied().sum()
+    }
+
+    /// Iterates the non-zero `(cause, duration)` entries in
+    /// [`Cause::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cause, SimDuration)> + '_ {
+        Cause::ALL
+            .iter()
+            .map(|&c| (c, self.acc[c as usize]))
+            .filter(|(_, d)| !d.is_zero())
+    }
+}
+
+/// Outcome of one sub-I/O completion delivered to a [`RequestBook`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubCompletion {
+    /// This sub already completed — the loser of a hedge race. The
+    /// completion is dropped (cancel accounting).
+    Duplicate,
+    /// The request still has other sub-I/Os outstanding.
+    Pending,
+    /// This was the last outstanding sub-I/O; the request is done.
+    Finished(FinishedSummary),
+}
+
+/// A finished request: identity, timeline, and hedge outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FinishedSummary {
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// When the request arrived at the frontend.
+    pub arrived_at: SimTime,
+    /// When a dispatch worker pulled it off the admission queue.
+    pub dispatched_at: SimTime,
+    /// When the slowest winning sub-I/O completed.
+    pub finished_at: SimTime,
+    /// How many sub-I/Os the request fanned out into.
+    pub fanout: u32,
+    /// Whether a hedged duplicate was fired for this request.
+    pub hedge_fired: bool,
+    /// Whether the duplicate beat the original it hedged.
+    pub hedge_won: bool,
+}
+
+impl FinishedSummary {
+    /// End-to-end request latency (arrival to last sub completion).
+    pub fn latency(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.arrived_at)
+    }
+
+    /// Time spent queued in the frontend before dispatch.
+    pub fn queueing(&self) -> SimDuration {
+        self.dispatched_at.saturating_since(self.arrived_at)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct OpenRequest {
+    tenant: usize,
+    arrived_at: SimTime,
+    dispatched_at: SimTime,
+    subs: Vec<SubState>,
+    hedge_fired: bool,
+    hedge_won: bool,
+    /// The hedge loser already arrived (and was dropped) before the
+    /// request finished.
+    hedge_resolved: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SubState {
+    io: SubIo,
+    done: bool,
+    hedged: bool,
+}
+
+/// Tracks in-flight client requests above the volume layer: striped
+/// fan-out via [`RequestTracker`], first-completion-wins hedging, and
+/// the arrival/dispatch timeline.
+#[derive(Clone, Debug, Default)]
+pub struct RequestBook {
+    tracker: RequestTracker,
+    open: HashMap<u64, OpenRequest>,
+    /// Requests that finished while their hedge duplicate's loser was
+    /// still in flight: exactly one more completion will arrive for
+    /// each and must be dropped, not treated as unknown.
+    awaiting_loser: std::collections::HashSet<u64>,
+}
+
+impl RequestBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dispatched request fanning out into `subs`;
+    /// returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs` is empty.
+    pub fn begin(
+        &mut self,
+        tenant: usize,
+        arrived_at: SimTime,
+        dispatched_at: SimTime,
+        subs: &[SubIo],
+    ) -> u64 {
+        assert!(!subs.is_empty(), "a request needs at least one sub-I/O");
+        let id = self.tracker.begin(tenant, dispatched_at, subs.len() as u32);
+        self.open.insert(
+            id,
+            OpenRequest {
+                tenant,
+                arrived_at,
+                dispatched_at,
+                subs: subs
+                    .iter()
+                    .map(|&io| SubState {
+                        io,
+                        done: false,
+                        hedged: false,
+                    })
+                    .collect(),
+                hedge_fired: false,
+                hedge_won: false,
+                hedge_resolved: false,
+            },
+        );
+        id
+    }
+
+    /// Delivers the completion of sub `sub` of request `id` at time
+    /// `at`. `from_hedge` marks the completion of a hedged duplicate
+    /// rather than the original submission; whichever arrives first
+    /// wins, the other is reported as [`SubCompletion::Duplicate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown request id or sub index.
+    pub fn complete_sub(
+        &mut self,
+        id: u64,
+        sub: usize,
+        at: SimTime,
+        from_hedge: bool,
+    ) -> SubCompletion {
+        if self.awaiting_loser.remove(&id) {
+            return SubCompletion::Duplicate;
+        }
+        let open = self
+            .open
+            .get_mut(&id)
+            .expect("completion for unknown request");
+        let state = &mut open.subs[sub];
+        if state.done {
+            open.hedge_resolved = true;
+            return SubCompletion::Duplicate;
+        }
+        state.done = true;
+        if from_hedge {
+            open.hedge_won = true;
+        }
+        match self.tracker.complete_sub_at(id, at) {
+            Some(fin) => {
+                let open = self.open.remove(&id).expect("open entry exists");
+                if open.hedge_fired && !open.hedge_resolved {
+                    self.awaiting_loser.insert(id);
+                }
+                SubCompletion::Finished(FinishedSummary {
+                    tenant: open.tenant,
+                    arrived_at: open.arrived_at,
+                    dispatched_at: open.dispatched_at,
+                    finished_at: fin.finished_at,
+                    fanout: fin.fanout,
+                    hedge_fired: open.hedge_fired,
+                    hedge_won: open.hedge_won,
+                })
+            }
+            None => SubCompletion::Pending,
+        }
+    }
+
+    /// Fires a hedge for request `id` if it is still in flight with
+    /// **exactly one** sub-I/O outstanding that has not already been
+    /// hedged: marks it hedged and returns `(sub_index, sub_io)` for
+    /// the duplicate submission. Returns `None` otherwise.
+    pub fn hedge_straggler(&mut self, id: u64) -> Option<(usize, SubIo)> {
+        let open = self.open.get_mut(&id)?;
+        let mut outstanding = open.subs.iter().enumerate().filter(|(_, s)| !s.done);
+        let (idx, state) = outstanding.next()?;
+        if outstanding.next().is_some() || state.hedged {
+            return None;
+        }
+        let io = state.io;
+        open.subs[idx].hedged = true;
+        open.hedge_fired = true;
+        Some((idx, io))
+    }
+
+    /// When request `id` was dispatched, while it is still in flight
+    /// (used to measure per-sub settle times for the hedge policy).
+    pub fn dispatched_at(&self, id: u64) -> Option<SimTime> {
+        self.open.get(&id).map(|o| o.dispatched_at)
+    }
+
+    /// Sub-I/Os of request `id` not yet completed (0 once finished or
+    /// for an unknown id). A hedger watches for this hitting one.
+    pub fn outstanding(&self, id: u64) -> usize {
+        self.open
+            .get(&id)
+            .map_or(0, |o| o.subs.iter().filter(|s| !s.done).count())
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// When to duplicate a straggling sub-I/O: after the tracked
+/// percentile of observed sub-I/O settle times, once enough samples
+/// exist to trust it (Dean & Barroso's "tail at scale" hedged
+/// requests).
+#[derive(Clone, Debug)]
+pub struct HedgePolicy {
+    percentile: f64,
+    min_samples: u64,
+    hist: LatencyHistogram,
+}
+
+impl HedgePolicy {
+    /// A policy hedging after the given percentile of sub-I/O settle
+    /// time, warmed up by 100 observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < percentile <= 100`.
+    pub fn at_percentile(percentile: f64) -> Self {
+        assert!(
+            percentile > 0.0 && percentile <= 100.0,
+            "percentile must be in (0, 100]"
+        );
+        HedgePolicy {
+            percentile,
+            min_samples: 100,
+            hist: LatencyHistogram::new(),
+        }
+    }
+
+    /// Feeds one observed sub-I/O settle time.
+    pub fn observe(&mut self, settle: SimDuration) {
+        self.hist.record(settle.as_nanos());
+    }
+
+    /// The current hedge delay: the tracked percentile of observed
+    /// settle times, or `None` while still warming up.
+    pub fn delay(&self) -> Option<SimDuration> {
+        if self.hist.count() < self.min_samples {
+            return None;
+        }
+        Some(SimDuration::nanos(
+            self.hist.value_at_percentile(self.percentile),
+        ))
+    }
+
+    /// Observations seen so far.
+    pub fn observations(&self) -> u64 {
+        self.hist.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subs(members: &[usize]) -> Vec<SubIo> {
+        members
+            .iter()
+            .map(|&m| SubIo {
+                member: m,
+                lba: 100 + m as u64,
+                bytes: 4096,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn request_finishes_at_the_slowest_sub() {
+        let mut book = RequestBook::new();
+        let arrived = SimTime::from_nanos(1_000);
+        let dispatched = SimTime::from_nanos(1_500);
+        let id = book.begin(0, arrived, dispatched, &subs(&[0, 1, 2]));
+        assert_eq!(
+            book.complete_sub(id, 1, SimTime::from_nanos(9_000), false),
+            SubCompletion::Pending
+        );
+        assert_eq!(
+            book.complete_sub(id, 2, SimTime::from_nanos(4_000), false),
+            SubCompletion::Pending
+        );
+        match book.complete_sub(id, 0, SimTime::from_nanos(6_000), false) {
+            SubCompletion::Finished(fin) => {
+                assert_eq!(fin.finished_at, SimTime::from_nanos(9_000));
+                assert_eq!(fin.latency(), SimDuration::nanos(8_000));
+                assert_eq!(fin.queueing(), SimDuration::nanos(500));
+                assert_eq!(fin.fanout, 3);
+                assert!(!fin.hedge_fired);
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        assert_eq!(book.in_flight(), 0);
+    }
+
+    #[test]
+    fn hedge_race_is_first_completion_wins() {
+        let mut book = RequestBook::new();
+        let id = book.begin(1, SimTime::ZERO, SimTime::ZERO, &subs(&[0, 1]));
+        assert_eq!(
+            book.complete_sub(id, 0, SimTime::from_nanos(2_000), false),
+            SubCompletion::Pending
+        );
+        // One straggler left: hedge fires exactly once.
+        let (idx, io) = book.hedge_straggler(id).expect("one straggler");
+        assert_eq!(idx, 1);
+        assert_eq!(io.member, 1);
+        assert!(book.hedge_straggler(id).is_none(), "no double hedge");
+        // Duplicate wins the race...
+        match book.complete_sub(id, 1, SimTime::from_nanos(5_000), true) {
+            SubCompletion::Finished(fin) => {
+                assert!(fin.hedge_fired);
+                assert!(fin.hedge_won);
+                assert_eq!(fin.finished_at, SimTime::from_nanos(5_000));
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hedge_loser_is_cancelled() {
+        let mut book = RequestBook::new();
+        let id = book.begin(0, SimTime::ZERO, SimTime::ZERO, &subs(&[0]));
+        let _ = book.hedge_straggler(id).expect("sole sub is the straggler");
+        // Original wins; the duplicate's later completion is dropped.
+        match book.complete_sub(id, 0, SimTime::from_nanos(3_000), false) {
+            SubCompletion::Finished(fin) => {
+                assert!(fin.hedge_fired);
+                assert!(!fin.hedge_won);
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        let id2 = book.begin(0, SimTime::ZERO, SimTime::ZERO, &subs(&[0, 1]));
+        book.complete_sub(id2, 0, SimTime::from_nanos(1_000), false);
+        book.hedge_straggler(id2).expect("straggler");
+        book.complete_sub(id2, 1, SimTime::from_nanos(2_000), false);
+        assert_eq!(
+            book.complete_sub(id2, 1, SimTime::from_nanos(2_500), true),
+            SubCompletion::Duplicate
+        );
+    }
+
+    #[test]
+    fn no_hedge_while_multiple_outstanding() {
+        let mut book = RequestBook::new();
+        let id = book.begin(0, SimTime::ZERO, SimTime::ZERO, &subs(&[0, 1, 2]));
+        assert!(book.hedge_straggler(id).is_none(), "two+ outstanding");
+        book.complete_sub(id, 0, SimTime::from_nanos(1_000), false);
+        assert!(book.hedge_straggler(id).is_none());
+        book.complete_sub(id, 1, SimTime::from_nanos(1_100), false);
+        assert!(book.hedge_straggler(id).is_some());
+    }
+
+    #[test]
+    fn ledger_tiles_request_latency_exactly() {
+        // The invariant the experiment asserts per request: frontend
+        // queueing + the slowest sub's settle segments == latency.
+        let mut book = RequestBook::new();
+        let arrived = SimTime::from_nanos(10_000);
+        let dispatched = SimTime::from_nanos(12_500);
+        let id = book.begin(0, arrived, dispatched, &subs(&[0, 1]));
+        book.complete_sub(id, 0, SimTime::from_nanos(20_000), false);
+        let fin = match book.complete_sub(id, 1, SimTime::from_nanos(31_500), false) {
+            SubCompletion::Finished(fin) => fin,
+            other => panic!("expected Finished, got {other:?}"),
+        };
+        let mut ledger = RequestLedger::new();
+        ledger.charge(Cause::FrontendQueue, fin.queueing());
+        // Split the slowest sub's settle time across device + IRQ
+        // segments; the split is arbitrary here, the *sum* must tile.
+        let settle = fin.finished_at.saturating_since(fin.dispatched_at);
+        ledger.charge(Cause::DeviceService, settle - SimDuration::nanos(700));
+        ledger.charge(Cause::IrqHandling, SimDuration::nanos(700));
+        assert_eq!(ledger.total(), fin.latency());
+        assert_eq!(ledger.get(Cause::FrontendQueue), SimDuration::nanos(2_500));
+        assert!(ledger.iter().count() >= 2);
+    }
+
+    #[test]
+    fn hedge_policy_warms_up_then_tracks_percentile() {
+        let mut p = HedgePolicy::at_percentile(95.0);
+        assert!(p.delay().is_none(), "cold policy must not hedge");
+        for i in 1..=200u64 {
+            p.observe(SimDuration::micros(i));
+        }
+        let delay = p.delay().expect("warm policy");
+        let delay_us = delay.as_nanos() / 1_000;
+        assert!(
+            (180..=200).contains(&delay_us),
+            "p95 of 1..=200us was {delay_us}us"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-tenant SLO accounting.
+//!
+//! Each tenant is judged online against a configured latency target at
+//! p50/p99/p99.9/6-nines. The tracker is a thin deterministic layer
+//! over [`afa_stats::LatencyHistogram`], so the report is a pure
+//! function of the recorded samples and serializes byte-stably.
+
+use afa_sim::SimDuration;
+use afa_stats::json::Json;
+use afa_stats::LatencyHistogram;
+
+/// The percentile points an SLO is judged at, with stable keys.
+const SLO_POINTS: [(&str, f64); 4] = [
+    ("p50", 50.0),
+    ("p99", 99.0),
+    ("p99.9", 99.9),
+    ("p99.9999", 99.9999),
+];
+
+/// A tenant's latency targets (nanoseconds) at the four SLO points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloTarget {
+    /// Median target.
+    pub p50_ns: u64,
+    /// 99% target.
+    pub p99_ns: u64,
+    /// 99.9% target.
+    pub p999_ns: u64,
+    /// 99.9999% ("6-nines") target.
+    pub p6n_ns: u64,
+}
+
+impl SloTarget {
+    /// A read-serving default sized for the paper's device: ~90 µs
+    /// median, 1 ms p99, 5 ms p99.9, 20 ms at 6-nines.
+    pub fn default_read() -> Self {
+        SloTarget {
+            p50_ns: 90_000,
+            p99_ns: 1_000_000,
+            p999_ns: 5_000_000,
+            p6n_ns: 20_000_000,
+        }
+    }
+
+    /// The target at the `i`-th SLO point, in [`SLO_POINTS`] order.
+    fn target_ns(&self, i: usize) -> u64 {
+        [self.p50_ns, self.p99_ns, self.p999_ns, self.p6n_ns][i]
+    }
+}
+
+/// Online per-tenant request-latency accounting against an
+/// [`SloTarget`].
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    target: SloTarget,
+    hist: LatencyHistogram,
+}
+
+impl SloTracker {
+    /// Creates a tracker judging against `target`.
+    pub fn new(target: SloTarget) -> Self {
+        SloTracker {
+            target,
+            hist: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.hist.record(latency.as_nanos());
+    }
+
+    /// Requests recorded so far.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Snapshots the achieved-vs-target report.
+    pub fn report(&self) -> SloReport {
+        let mut achieved_ns = [0u64; 4];
+        let mut met = [true; 4];
+        for (i, &(_, pct)) in SLO_POINTS.iter().enumerate() {
+            achieved_ns[i] = self.hist.value_at_percentile(pct);
+            met[i] = achieved_ns[i] <= self.target.target_ns(i);
+        }
+        SloReport {
+            samples: self.hist.count(),
+            target: self.target,
+            achieved_ns,
+            met,
+        }
+    }
+}
+
+/// Achieved latency vs target at each SLO point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloReport {
+    /// Requests the report was computed from.
+    pub samples: u64,
+    /// The judged-against targets.
+    pub target: SloTarget,
+    /// Achieved latency (ns) at each point, in p50/p99/p99.9/6-nines
+    /// order.
+    pub achieved_ns: [u64; 4],
+    /// Whether each point met its target.
+    pub met: [bool; 4],
+}
+
+impl SloReport {
+    /// Whether every SLO point met its target.
+    pub fn all_met(&self) -> bool {
+        self.met.iter().all(|&m| m)
+    }
+
+    /// Renders the report as a JSON object:
+    /// `{"samples": …, "points": [{"point", "target_ns", "achieved_ns",
+    /// "met"}, …]}`.
+    pub fn to_json(&self) -> Json {
+        let points = SLO_POINTS.iter().enumerate().map(|(i, &(key, _))| {
+            Json::obj([
+                ("point", Json::str(key)),
+                ("target_ns", Json::u64(self.target.target_ns(i))),
+                ("achieved_ns", Json::u64(self.achieved_ns[i])),
+                ("met", Json::Bool(self.met[i])),
+            ])
+        });
+        Json::obj([
+            ("samples", Json::u64(self.samples)),
+            ("points", Json::arr(points)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meets_targets_when_fast() {
+        let mut t = SloTracker::new(SloTarget::default_read());
+        for _ in 0..10_000 {
+            t.record(SimDuration::micros(80));
+        }
+        let r = t.report();
+        assert!(r.all_met(), "uniform 80us beats every target: {r:?}");
+        assert_eq!(r.samples, 10_000);
+    }
+
+    #[test]
+    fn tail_violation_is_flagged_at_the_right_point() {
+        let mut t = SloTracker::new(SloTarget::default_read());
+        // 99.5% fast, 0.5% at 8 ms: p50/p99 met, the 5 ms p99.9
+        // target violated.
+        for i in 0..10_000u64 {
+            if i % 200 == 0 {
+                t.record(SimDuration::millis(8));
+            } else {
+                t.record(SimDuration::micros(70));
+            }
+        }
+        let r = t.report();
+        assert!(r.met[0], "p50 met");
+        assert!(r.met[1], "p99 met");
+        assert!(!r.met[2], "p99.9 violated by the 8ms tail");
+        assert!(!r.all_met());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut t = SloTracker::new(SloTarget::default_read());
+        t.record(SimDuration::micros(100));
+        let doc = t.report().to_json();
+        assert_eq!(doc.get("samples"), Some(&Json::u64(1)));
+        let rendered = doc.to_string();
+        assert!(rendered.contains("\"point\":\"p99.9999\""));
+        assert!(rendered.contains("\"met\""));
+    }
+}

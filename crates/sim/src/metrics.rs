@@ -11,11 +11,21 @@
 //! concurrent simulations (the experiment pool runs many at once), so
 //! deltas are only meaningful around code the caller knows ran in
 //! isolation; keep derived rates out of byte-stable artifacts.
+//!
+//! The frontend serving layer flushes its shed/hedge counters here the
+//! same way ([`add_frontend`] / [`frontend_totals`]): per-run integers
+//! accumulated locally, one atomic add when the drive finishes. Unlike
+//! the throughput counters these are simulation-deterministic, so
+//! harnesses may serialize their deltas.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
 static CLAMPED_PAST: AtomicU64 = AtomicU64::new(0);
+static REQUESTS_ADMITTED: AtomicU64 = AtomicU64::new(0);
+static REQUESTS_SHED: AtomicU64 = AtomicU64::new(0);
+static HEDGES_FIRED: AtomicU64 = AtomicU64::new(0);
+static HEDGES_WON: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` processed events to the process-wide total.
 pub fn add_events(n: u64) {
@@ -44,6 +54,67 @@ pub fn clamped_past_total() -> u64 {
     CLAMPED_PAST.load(Ordering::Relaxed)
 }
 
+/// Process-wide frontend serving-layer counters (a snapshot of the
+/// cumulative totals; deltas around a run give per-run figures).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendCounters {
+    /// Requests that passed admission into a tenant queue.
+    pub requests_admitted: u64,
+    /// Requests dropped by the token bucket or queue overflow.
+    pub requests_shed: u64,
+    /// Hedged duplicate sub-I/Os issued for stragglers.
+    pub hedges_fired: u64,
+    /// Hedges whose duplicate finished before the original.
+    pub hedges_won: u64,
+}
+
+impl FrontendCounters {
+    /// Component-wise difference (`self - earlier`), for deltas around
+    /// a run.
+    pub fn since(&self, earlier: &FrontendCounters) -> FrontendCounters {
+        FrontendCounters {
+            requests_admitted: self.requests_admitted - earlier.requests_admitted,
+            requests_shed: self.requests_shed - earlier.requests_shed,
+            hedges_fired: self.hedges_fired - earlier.hedges_fired,
+            hedges_won: self.hedges_won - earlier.hedges_won,
+        }
+    }
+
+    /// Whether any counter moved.
+    pub fn any(&self) -> bool {
+        self.requests_admitted | self.requests_shed | self.hedges_fired | self.hedges_won != 0
+    }
+}
+
+/// Adds a frontend run's counters to the process-wide totals. Like
+/// [`add_events`], this is a batched flush: the serving-layer world
+/// accumulates plain integers on the hot path and flushes once when
+/// its drive finishes.
+pub fn add_frontend(delta: FrontendCounters) {
+    if delta.requests_admitted > 0 {
+        REQUESTS_ADMITTED.fetch_add(delta.requests_admitted, Ordering::Relaxed);
+    }
+    if delta.requests_shed > 0 {
+        REQUESTS_SHED.fetch_add(delta.requests_shed, Ordering::Relaxed);
+    }
+    if delta.hedges_fired > 0 {
+        HEDGES_FIRED.fetch_add(delta.hedges_fired, Ordering::Relaxed);
+    }
+    if delta.hedges_won > 0 {
+        HEDGES_WON.fetch_add(delta.hedges_won, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of the cumulative frontend counters.
+pub fn frontend_totals() -> FrontendCounters {
+    FrontendCounters {
+        requests_admitted: REQUESTS_ADMITTED.load(Ordering::Relaxed),
+        requests_shed: REQUESTS_SHED.load(Ordering::Relaxed),
+        hedges_fired: HEDGES_FIRED.load(Ordering::Relaxed),
+        hedges_won: HEDGES_WON.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +126,25 @@ mod tests {
         assert!(events_processed_total() >= before);
         add_events(17);
         assert!(events_processed_total() >= before + 17);
+    }
+
+    #[test]
+    fn frontend_counters_accumulate_and_delta() {
+        let before = frontend_totals();
+        add_frontend(FrontendCounters::default()); // all-zero: no-op
+        add_frontend(FrontendCounters {
+            requests_admitted: 10,
+            requests_shed: 2,
+            hedges_fired: 3,
+            hedges_won: 1,
+        });
+        let delta = frontend_totals().since(&before);
+        assert!(delta.any());
+        assert!(delta.requests_admitted >= 10);
+        assert!(delta.requests_shed >= 2);
+        assert!(delta.hedges_fired >= 3);
+        assert!(delta.hedges_won >= 1);
+        assert!(!FrontendCounters::default().any());
     }
 
     #[test]

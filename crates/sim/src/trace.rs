@@ -43,6 +43,9 @@ pub enum Cause {
     Housekeeping,
     /// Stall behind garbage collection (non-FOB extension).
     GarbageCollection,
+    /// Waiting in the frontend serving layer (admission queue + QoS
+    /// dequeue) before the request's sub-I/Os were dispatched.
+    FrontendQueue,
     /// Other / unattributed.
     Other,
 }
@@ -53,7 +56,7 @@ impl Cause {
     pub const COUNT: usize = Self::ALL.len();
 
     /// All cause variants, in display order.
-    pub const ALL: [Cause; 13] = [
+    pub const ALL: [Cause; 14] = [
         Cause::CpuWork,
         Cause::SchedulerDelay,
         Cause::CStateExit,
@@ -66,6 +69,7 @@ impl Cause {
         Cause::DeviceQueueing,
         Cause::Housekeeping,
         Cause::GarbageCollection,
+        Cause::FrontendQueue,
         Cause::Other,
     ];
 
@@ -90,6 +94,7 @@ impl Cause {
             Cause::DeviceQueueing => "device_queueing",
             Cause::Housekeeping => "housekeeping",
             Cause::GarbageCollection => "gc",
+            Cause::FrontendQueue => "frontend_queue",
             Cause::Other => "other",
         }
     }
@@ -229,6 +234,91 @@ impl TraceSink for CauseAccumulator {
     }
 }
 
+/// Lifecycle phase of a *client request* in the frontend serving
+/// layer — the request-level analogue of the per-I/O `IoStage` path.
+///
+/// A request is born at `Arrive`, passes admission (`Admit`) or is
+/// dropped (`Shed`), waits in its tenant queue until `Dispatch` fans
+/// it out into sub-I/Os, may spawn a duplicate straggler sub-I/O
+/// (`HedgeFire`), and settles at `Complete`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RequestPhase {
+    /// Open-loop arrival hit the frontend.
+    Arrive,
+    /// Passed the token bucket and entered the tenant queue.
+    Admit,
+    /// Rejected (rate-limited or queue overflow).
+    Shed,
+    /// Dequeued by the QoS scheduler and fanned out into sub-I/Os.
+    Dispatch,
+    /// A hedged duplicate of the straggler sub-I/O was issued.
+    HedgeFire,
+    /// The last sub-I/O settled and the client was woken.
+    Complete,
+}
+
+impl RequestPhase {
+    /// A short, stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestPhase::Arrive => "arrive",
+            RequestPhase::Admit => "admit",
+            RequestPhase::Shed => "shed",
+            RequestPhase::Dispatch => "dispatch",
+            RequestPhase::HedgeFire => "hedge_fire",
+            RequestPhase::Complete => "complete",
+        }
+    }
+}
+
+/// One per-request trace event: `(time, request id, tenant, phase)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestEvent {
+    /// Simulation time of the transition.
+    pub at: SimTime,
+    /// Frontend-assigned request id.
+    pub request: u64,
+    /// Tenant the request belongs to.
+    pub tenant: u16,
+    /// The lifecycle transition.
+    pub phase: RequestPhase,
+}
+
+/// Bounded in-order capture of [`RequestEvent`]s (the request-level
+/// sibling of the blktrace-style per-I/O stage records).
+#[derive(Clone, Debug, Default)]
+pub struct RequestLog {
+    events: Vec<RequestEvent>,
+    capacity: usize,
+}
+
+impl RequestLog {
+    /// Creates a log keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RequestLog {
+            events: Vec::with_capacity(capacity.min(1 << 16)),
+            capacity,
+        }
+    }
+
+    /// Records one event; silently dropped once the window is full.
+    pub fn push(&mut self, event: RequestEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        }
+    }
+
+    /// The captured events, in record order.
+    pub fn events(&self) -> &[RequestEvent] {
+        &self.events
+    }
+
+    /// Events for one request, in record order.
+    pub fn for_request(&self, request: u64) -> impl Iterator<Item = &RequestEvent> + '_ {
+        self.events.iter().filter(move |e| e.request == request)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +400,31 @@ mod tests {
         assert_eq!(a.total(Cause::Fabric), SimDuration::micros(5));
         assert_eq!(a.count(Cause::Fabric), 2);
         assert_eq!(a.count(Cause::CpuWork), 1);
+    }
+
+    #[test]
+    fn request_log_caps_and_filters() {
+        let mut log = RequestLog::new(3);
+        for (i, phase) in [
+            RequestPhase::Arrive,
+            RequestPhase::Admit,
+            RequestPhase::Dispatch,
+            RequestPhase::Complete,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            log.push(RequestEvent {
+                at: SimTime::from_nanos(i as u64 * 10),
+                request: (i % 2) as u64,
+                tenant: 0,
+                phase,
+            });
+        }
+        assert_eq!(log.events().len(), 3, "capacity bounds the window");
+        assert_eq!(log.for_request(0).count(), 2);
+        assert_eq!(log.events()[2].phase, RequestPhase::Dispatch);
+        assert_eq!(RequestPhase::HedgeFire.label(), "hedge_fire");
     }
 
     #[test]

@@ -28,4 +28,4 @@ mod stripe;
 mod tracker;
 
 pub use stripe::{StripeConfig, StripedVolume, SubIo};
-pub use tracker::{ClientRequest, RequestTracker};
+pub use tracker::{ClientRequest, FinishedRequest, RequestTracker};

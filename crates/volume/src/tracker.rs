@@ -17,11 +17,34 @@ pub struct ClientRequest {
     pub pending: u32,
 }
 
+/// A request whose last sub-I/O has completed, with the completion
+/// time recorded ("slowest SSD decides": `finished_at` is the max of
+/// the per-sub completion times passed to
+/// [`RequestTracker::complete_sub_at`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FinishedRequest {
+    /// Caller-chosen identifier (e.g. the client index).
+    pub client: usize,
+    /// When the request was issued.
+    pub issued_at: SimTime,
+    /// When the slowest sub-I/O completed.
+    pub finished_at: SimTime,
+    /// How many sub-I/Os the request fanned out into.
+    pub fanout: u32,
+}
+
 /// Tracks outstanding striped requests by id.
 #[derive(Clone, Debug, Default)]
 pub struct RequestTracker {
-    requests: std::collections::HashMap<u64, ClientRequest>,
+    requests: std::collections::HashMap<u64, Pending>,
     next_id: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    request: ClientRequest,
+    fanout: u32,
+    latest_sub: SimTime,
 }
 
 impl RequestTracker {
@@ -41,10 +64,14 @@ impl RequestTracker {
         self.next_id += 1;
         self.requests.insert(
             id,
-            ClientRequest {
-                client,
-                issued_at,
-                pending: fanout,
+            Pending {
+                request: ClientRequest {
+                    client,
+                    issued_at,
+                    pending: fanout,
+                },
+                fanout,
+                latest_sub: issued_at,
             },
         );
         id
@@ -58,13 +85,40 @@ impl RequestTracker {
     /// Panics for an unknown id (a completion without a request is a
     /// simulator bug, not a recoverable condition).
     pub fn complete_sub(&mut self, id: u64) -> Option<ClientRequest> {
-        let req = self
+        let pending = self
             .requests
             .get_mut(&id)
             .expect("sub-completion for unknown request");
-        req.pending -= 1;
-        if req.pending == 0 {
-            self.requests.remove(&id)
+        pending.request.pending -= 1;
+        if pending.request.pending == 0 {
+            self.requests.remove(&id).map(|p| p.request)
+        } else {
+            None
+        }
+    }
+
+    /// Records one sub-completion at simulation time `at`. Returns the
+    /// finished request — with `finished_at` equal to the **maximum**
+    /// of the sub-completion times, however they were ordered — when
+    /// this was the last outstanding sub-I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown id, like [`RequestTracker::complete_sub`].
+    pub fn complete_sub_at(&mut self, id: u64, at: SimTime) -> Option<FinishedRequest> {
+        let pending = self
+            .requests
+            .get_mut(&id)
+            .expect("sub-completion for unknown request");
+        pending.request.pending -= 1;
+        pending.latest_sub = pending.latest_sub.max(at);
+        if pending.request.pending == 0 {
+            self.requests.remove(&id).map(|p| FinishedRequest {
+                client: p.request.client,
+                issued_at: p.request.issued_at,
+                finished_at: p.latest_sub,
+                fanout: p.fanout,
+            })
         } else {
             None
         }
@@ -103,6 +157,23 @@ mod tests {
         assert!(t.complete_sub(b).is_some());
         assert!(t.complete_sub(a).is_none());
         assert!(t.complete_sub(a).is_some());
+    }
+
+    #[test]
+    fn timed_completion_takes_the_max() {
+        let mut t = RequestTracker::new();
+        let id = t.begin(7, SimTime::from_nanos(10), 3);
+        // Out-of-order completions: the middle one is the slowest.
+        assert!(t.complete_sub_at(id, SimTime::from_nanos(500)).is_none());
+        assert!(t.complete_sub_at(id, SimTime::from_nanos(900)).is_none());
+        let done = t
+            .complete_sub_at(id, SimTime::from_nanos(700))
+            .expect("last sub completes");
+        assert_eq!(done.client, 7);
+        assert_eq!(done.issued_at, SimTime::from_nanos(10));
+        assert_eq!(done.finished_at, SimTime::from_nanos(900));
+        assert_eq!(done.fanout, 3);
+        assert_eq!(t.in_flight(), 0);
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub enum IoEngine {
 
 /// One fio job: what to run against one device.
 ///
-/// Builder-style setters return `&mut Self` so specs configure in one
-/// chain; `clone()` at the end yields an owned spec.
+/// Builder-style setters consume and return `Self`, so a spec
+/// configures in one chain that yields an owned value directly —
+/// no trailing `clone()`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
     device: usize,
@@ -74,7 +75,7 @@ impl JobSpec {
     }
 
     /// Sets the I/O mix.
-    pub fn rw(&mut self, rw: RwPattern) -> &mut Self {
+    pub fn rw(mut self, rw: RwPattern) -> Self {
         self.rw = rw;
         self
     }
@@ -84,7 +85,7 @@ impl JobSpec {
     /// # Panics
     ///
     /// Panics if not a positive multiple of 4096.
-    pub fn block_size_bytes(&mut self, bs: u32) -> &mut Self {
+    pub fn block_size_bytes(mut self, bs: u32) -> Self {
         assert!(
             bs > 0 && bs.is_multiple_of(4096),
             "block size must be a positive multiple of 4096"
@@ -98,32 +99,32 @@ impl JobSpec {
     /// # Panics
     ///
     /// Panics if zero.
-    pub fn iodepth_n(&mut self, depth: u32) -> &mut Self {
+    pub fn iodepth_n(mut self, depth: u32) -> Self {
         assert!(depth > 0, "iodepth must be positive");
         self.iodepth = depth;
         self
     }
 
     /// Sets the run time.
-    pub fn runtime(&mut self, runtime: SimDuration) -> &mut Self {
+    pub fn runtime(mut self, runtime: SimDuration) -> Self {
         self.runtime = runtime;
         self
     }
 
     /// Pins the job's thread to a CPU (fio's `cpus_allowed`).
-    pub fn cpus_allowed(&mut self, cpu: CpuId) -> &mut Self {
+    pub fn cpus_allowed(mut self, cpu: CpuId) -> Self {
         self.cpu = Some(cpu);
         self
     }
 
     /// Sets the scheduling class (`chrt`).
-    pub fn sched(&mut self, policy: SchedPolicy) -> &mut Self {
+    pub fn sched(mut self, policy: SchedPolicy) -> Self {
         self.policy = policy;
         self
     }
 
     /// Sets the I/O engine.
-    pub fn ioengine(&mut self, engine: IoEngine) -> &mut Self {
+    pub fn ioengine(mut self, engine: IoEngine) -> Self {
         self.engine = engine;
         self
     }
@@ -133,7 +134,7 @@ impl JobSpec {
     /// # Panics
     ///
     /// Panics if zero.
-    pub fn region(&mut self, pages: u64) -> &mut Self {
+    pub fn region(mut self, pages: u64) -> Self {
         assert!(pages > 0, "region must be non-empty");
         self.region_pages = pages;
         self
@@ -143,13 +144,13 @@ impl JobSpec {
     /// `write_lat_log`). Logging itself costs CPU per completion —
     /// the paper's Fig. 10 footnote had to halve the device count
     /// because of exactly this overhead.
-    pub fn log_latency(&mut self, enable: bool) -> &mut Self {
+    pub fn log_latency(mut self, enable: bool) -> Self {
         self.log_latency = enable;
         self
     }
 
     /// Caps the issue rate (fio's `rate_iops`).
-    pub fn rate_iops_cap(&mut self, iops: u64) -> &mut Self {
+    pub fn rate_iops_cap(mut self, iops: u64) -> Self {
         self.rate_iops = Some(iops);
         self
     }
@@ -253,8 +254,7 @@ mod tests {
             .cpus_allowed(CpuId(4))
             .sched(SchedPolicy::chrt_fifo_99())
             .ioengine(IoEngine::Polling)
-            .log_latency(true)
-            .clone();
+            .log_latency(true);
         assert_eq!(j.rw_pattern(), RwPattern::SeqRead);
         assert_eq!(j.block_size(), 131_072);
         assert_eq!(j.iodepth(), 8);
@@ -279,7 +279,7 @@ mod tests {
 
     #[test]
     fn rate_cap_implies_issue_gap() {
-        let j = JobSpec::paper_default(0).rate_iops_cap(10_000).clone();
+        let j = JobSpec::paper_default(0).rate_iops_cap(10_000);
         assert_eq!(j.min_issue_gap(), SimDuration::micros(100));
         assert_eq!(JobSpec::paper_default(0).min_issue_gap(), SimDuration::ZERO);
     }

@@ -197,32 +197,33 @@ impl Section {
         for copy in 0..copies {
             let mut spec = JobSpec::paper_default(device + copy as usize);
             if let Some(rw) = self.rw {
-                spec.rw(rw);
+                spec = spec.rw(rw);
             }
             if let Some(bs) = self.bs {
-                spec.block_size_bytes(bs);
+                spec = spec.block_size_bytes(bs);
             }
             if let Some(depth) = self.iodepth {
-                spec.iodepth_n(depth);
+                spec = spec.iodepth_n(depth);
             }
             if let Some(engine) = self.engine {
-                spec.ioengine(engine);
+                spec = spec.ioengine(engine);
             }
             if let Some(secs) = self.runtime_s {
-                spec.runtime(SimDuration::from_secs_f64(secs));
+                spec = spec.runtime(SimDuration::from_secs_f64(secs));
             }
             if let Some(cpu) = self.cpu {
-                spec.cpus_allowed(CpuId(cpu.0 + copy as u16));
+                spec = spec.cpus_allowed(CpuId(cpu.0 + copy as u16));
             }
             if let Some(iops) = self.rate_iops {
-                spec.rate_iops_cap(iops);
+                spec = spec.rate_iops_cap(iops);
             }
             if let Some(pages) = self.size_pages {
-                spec.region(pages);
+                spec = spec.region(pages);
             }
-            spec.log_latency(self.log_lat);
-            spec.sched(SchedPolicy::default_fair());
-            specs.push(spec.clone());
+            specs.push(
+                spec.log_latency(self.log_lat)
+                    .sched(SchedPolicy::default_fair()),
+            );
         }
         Ok(specs)
     }

@@ -21,9 +21,7 @@
 //! use afa_sim::SimDuration;
 //! use afa_workload::JobSpec;
 //!
-//! let job = JobSpec::paper_default(0)
-//!     .runtime(SimDuration::secs(120))
-//!     .clone();
+//! let job = JobSpec::paper_default(0).runtime(SimDuration::secs(120));
 //! assert_eq!(job.block_size(), 4096);
 //! assert_eq!(job.iodepth(), 1);
 //! ```
@@ -31,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod job;
 mod jobfile;
 mod pattern;
 mod report;
 mod state;
 
+pub use arrival::ArrivalProcess;
 pub use job::{IoEngine, JobSpec, RwPattern};
 pub use jobfile::{parse_jobfile, ParseJobFileError};
 pub use pattern::{AccessPattern, Op};

@@ -130,8 +130,7 @@ mod tests {
     fn job(depth: u32) -> JobState {
         let spec = JobSpec::paper_default(0)
             .iodepth_n(depth)
-            .runtime(SimDuration::secs(1))
-            .clone();
+            .runtime(SimDuration::secs(1));
         JobState::new(spec, SimTime::ZERO, SimRng::from_seed(1))
     }
 

@@ -53,8 +53,7 @@ fn job_state_conserves_counts() {
         let ops = g.u32_in(1, 500);
         let spec = JobSpec::paper_default(0)
             .iodepth_n(depth)
-            .runtime(SimDuration::secs(3_600))
-            .clone();
+            .runtime(SimDuration::secs(3_600));
         let mut job = JobState::new(spec, SimTime::ZERO, SimRng::from_seed(2));
         let mut completed = 0u64;
         let now = SimTime::ZERO;

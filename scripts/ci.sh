@@ -25,14 +25,15 @@ if [ "$count" -lt 20 ]; then
 fi
 echo "afactl list: $count experiments registered"
 
-echo "==> golden artifact byte-compare (scaled fig06/fig07/fig09/fig12/fig13)"
+echo "==> golden artifact byte-compare (scaled fig06-fig09/fig12/fig13 + request-serving)"
 # Doubles as the experiment smoke test: regenerates the figure
-# artifacts at a reduced scale and byte-compares them against the
-# committed fixtures. Any change in event ordering, RNG streams, model
-# behaviour or JSON schema shows up here as a diff.
+# artifacts (plus the frontend request-serving experiments) at a
+# reduced scale and byte-compares them against the committed fixtures.
+# Any change in event ordering, RNG streams, model behaviour or JSON
+# schema shows up here as a diff.
 golden_tmp="$(mktemp -d)"
 trap 'rm -rf "$golden_tmp"' EXIT
-for fig in fig06 fig07 fig09 fig12 fig13; do
+for fig in fig06 fig07 fig08 fig09 fig12 fig13 tailscale-fanout tailscale-hedge; do
     ./target/release/afactl exp "$fig" --seconds 0.25 --ssds 8 --seed 42 \
         --json > "$golden_tmp/$fig.json"
     if ! cmp -s "tests/golden/$fig.json" "$golden_tmp/$fig.json"; then

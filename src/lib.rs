@@ -10,12 +10,16 @@
 //! * [`pcie`] — PCIe Gen3 switch-fabric model,
 //! * [`host`] — host/OS model (CPUs, scheduler, IRQs, kernel knobs),
 //! * [`workload`] — fio-like workload engine,
+//! * [`volume`] — striped-volume (RAID-0) layer,
+//! * [`frontend`] — client-request serving layer (open-loop arrivals,
+//!   tenant QoS, striped fan-out, hedged reads, SLO accounting),
 //! * [`core`] — system assembly, tuning stages, and the paper's
 //!   experiments.
 
 #![forbid(unsafe_code)]
 
 pub use afa_core as core;
+pub use afa_frontend as frontend;
 pub use afa_host as host;
 pub use afa_pcie as pcie;
 pub use afa_sim as sim;
