@@ -7,9 +7,12 @@
 //! `cargo bench --bench micro` runs) plus two pinned end-to-end runs:
 //! fig06 (10 s × 64 SSDs, seed 42) and the request-serving
 //! tailscale-fanout sweep (0.5 s × 16 SSDs, seed 42), each with its
-//! wall-clock and events/sec. Because the scales are pinned, entries
-//! are comparable across commits: the file is the perf trajectory of
-//! the event queue, histogram, and serving layer over the repo's
+//! wall-clock and events/sec, plus a threads-scaling sweep of the
+//! pinned fig06 run at 1/2/4/8 engine workers (recorded alongside the
+//! host's core count, since scaling numbers are meaningless without
+//! it). Because the scales are pinned, entries are comparable across
+//! commits: the file is the perf trajectory of the event queue,
+//! histogram, serving layer and parallel engine over the repo's
 //! history.
 //!
 //! Usage:
@@ -109,6 +112,34 @@ fn main() {
         events_per_sec
     );
 
+    // Threads-scaling sweep over the same pinned fig06 scale: the
+    // conservative engine's wall-clock at 1/2/4/8 workers. Recorded
+    // with the host's core count — on a single-core container the
+    // honest result is flat-to-slower (synchronization overhead, no
+    // parallel speedup), which is still trajectory-worthy data.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nfig06 threads-scaling sweep ({cores} host cores) ...");
+    let mut scaling = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let pin = afa_core::ThreadsOverride::set(threads);
+        let ev0 = afa_sim::metrics::events_processed_total();
+        let t0 = Instant::now();
+        let r = def.run(scale);
+        let w = t0.elapsed().as_secs_f64();
+        drop(pin);
+        let ev = afa_sim::metrics::events_processed_total() - ev0;
+        let eps = ev as f64 / w.max(1e-9);
+        println!(
+            "  {threads} threads: {w:.2}s wall, {} samples, {eps:.0} events/sec",
+            r.samples()
+        );
+        scaling.push(Json::obj([
+            ("threads", Json::u64(threads as u64)),
+            ("wall_s", Json::f64(w)),
+            ("events_per_sec", Json::f64(eps)),
+        ]));
+    }
+
     let fe_def = experiment::find("tailscale-fanout").expect("tailscale-fanout registered");
     let fe_scale = frontend_scale();
     println!(
@@ -153,6 +184,8 @@ fn main() {
         ("fig06_samples", Json::u64(result.samples())),
         ("fig06_events", Json::u64(events)),
         ("fig06_events_per_sec", Json::f64(events_per_sec)),
+        ("host_cores", Json::u64(cores as u64)),
+        ("fig06_threads_scaling", Json::arr(scaling)),
         ("frontend_wall_s", Json::f64(fe_wall)),
         ("frontend_samples", Json::u64(fe_result.samples())),
         ("frontend_events", Json::u64(fe_events)),

@@ -153,6 +153,18 @@ impl TraceRecorder {
         &self.traces
     }
 
+    /// Stitches per-shard recorders into the window a sequential run
+    /// would have produced: every shard traced its own first
+    /// `capacity` I/Os, so the union is a superset of the global
+    /// window — sort by queue instant (device, then LBA, as
+    /// deterministic tie-breaks) and keep the first `capacity`.
+    pub(crate) fn merged(capacity: usize, parts: Vec<TraceRecorder>) -> Self {
+        let mut traces: Vec<IoTrace> = parts.into_iter().flat_map(|p| p.traces).collect();
+        traces.sort_by_key(|t| (t.stamps[0], t.device, t.lba));
+        traces.truncate(capacity);
+        TraceRecorder { traces, capacity }
+    }
+
     /// The slowest recorded I/O, if any.
     pub fn slowest(&self) -> Option<&IoTrace> {
         self.traces.iter().max_by_key(|t| t.total())

@@ -13,7 +13,7 @@ use afa_sim::{SimDuration, SimTime};
 
 use crate::blktrace::IoStage;
 
-use super::{CompletedIo, IoLedger, IoPathWorld};
+use super::{CompletedIo, IoLedger, IoPathWorld, LedgerId};
 
 /// CPU cost of the completion path (reap + io_getevents return).
 pub(crate) const COMPLETE_COST: SimDuration = SimDuration::nanos(1_300);
@@ -54,16 +54,19 @@ pub(crate) fn poll_reap(
 }
 
 impl IoPathWorld {
-    /// Retires one I/O: settles its ledger and derives every
-    /// instrumentation view from it — cause budget, blktrace stamps,
-    /// ledger log — then records the job's latency sample.
+    /// Retires one I/O: settles its parked ledger *in the slab* and
+    /// derives every instrumentation view from it — cause budget,
+    /// blktrace stamps, ledger log — then records the job's latency
+    /// sample and recycles the slot. The only ledger copy the I/O
+    /// ever pays is the optional ledger-log capture.
     pub(crate) fn finish_io(
         &mut self,
         job: usize,
         issued_at: SimTime,
         done: SimTime,
-        mut ledger: IoLedger,
+        id: LedgerId,
     ) {
+        let ledger = &mut self.ledger_slab[id as usize];
         ledger.settle();
         if let Some(causes) = &mut self.causes {
             ledger.flush_causes(causes);
@@ -77,9 +80,10 @@ impl IoPathWorld {
                 device: self.jobs[job].spec().device(),
                 issued_at,
                 reaped_at: done,
-                ledger,
+                ledger: self.ledger_slab[id as usize],
             });
         }
+        self.ledger_free.push(id);
         self.jobs[job].complete(done.saturating_since(issued_at).as_nanos());
     }
 }

@@ -2,9 +2,13 @@
 //!
 //! Downstream (stage 2): the NVMe command crosses the fabric to the
 //! device after the doorbell ring. Upstream (stage 4): the 4 KiB data,
-//! CQE and MSI cross back once the device posts the completion. Both
-//! legs accrue to [`Cause::Fabric`] on the ledger — two open legs that
-//! settle into the single fabric attribution the I/O ends up with.
+//! CQE and MSI cross back once the device posts the completion — split
+//! at the shard boundary into the device-owned up-leg (reserved by the
+//! owning worker) and the shared leaf/uplink legs (reserved by the
+//! hub, which owns them). All legs accrue to [`Cause::Fabric`] on the
+//! ledger — open legs that settle into the single fabric attribution
+//! the I/O ends up with; the hub returns its leg as a scalar for the
+//! owner to accrue, since the ledger never leaves the owning shard.
 
 use afa_pcie::PcieFabric;
 use afa_sim::trace::Cause;
@@ -19,37 +23,66 @@ use super::IoLedger;
 /// cross-interconnect MSI).
 pub(crate) const NUMA_CROSS_SOCKET: SimDuration = SimDuration::nanos(900);
 
-/// Reserves the downstream command transfer from the doorbell ring;
-/// returns when the command is visible to the device.
-pub(crate) fn downstream(
+/// Reserves the shared host→leaf down-legs for a command that left
+/// the host at `start`; returns when it reaches the leaf egress. Runs
+/// on the hub (the shared down-links are FIFO resources, so they must
+/// be reserved in global submit order — the 64 B commands barely load
+/// them, but the FIFO ordering phase-couples the submitting threads,
+/// which is what sustains completion convoys on the upstream legs).
+pub(crate) fn downstream_shared(fabric: &mut PcieFabric, device: usize, start: SimTime) -> SimTime {
+    fabric.submit_command_shared_legs(device, start)
+}
+
+/// Reserves the device's private down-link from the leaf-egress
+/// timestamp, accrues the whole downstream crossing and returns when
+/// the command is visible to the device. Runs on the owning worker
+/// (the per-device link and the ledger are its resources).
+pub(crate) fn downstream_device_leg(
     fabric: &mut PcieFabric,
     device: usize,
     submit_end: SimTime,
+    at_entry: SimTime,
     ledger: &mut IoLedger,
 ) -> SimTime {
-    let at_device = fabric.submit_command(device, submit_end);
+    let at_device = fabric.submit_command_device_leg(device, at_entry);
     ledger.accrue(Cause::Fabric, at_device.saturating_since(submit_end));
     ledger.stamp(IoStage::Dispatch, at_device);
     at_device
 }
 
-/// Reserves the upstream data + completion transfer at the instant the
-/// device posts it (shared links are FIFO resources, so this must run
-/// in global time order); returns when the interrupt reaches the host.
-/// `cross_socket` adds the NUMA penalty for fio threads living on the
-/// socket the AFA's uplink does not attach to.
-pub(crate) fn upstream(
+/// Reserves the device-owned up-leg at the instant the device posts
+/// the completion; returns when the payload reaches the leaf switch.
+/// Runs on the owning worker (the per-device link is its resource).
+pub(crate) fn device_leg(
     fabric: &mut PcieFabric,
     device: usize,
     now: SimTime,
     bytes: u64,
-    cross_socket: bool,
     ledger: &mut IoLedger,
 ) -> SimTime {
-    let mut at_host = fabric.deliver_completion(device, now, bytes);
+    let t_leaf = fabric.deliver_completion_device_leg(device, now, bytes);
+    ledger.accrue(Cause::Fabric, t_leaf.saturating_since(now));
+    t_leaf
+}
+
+/// Reserves the shared leaf + uplink legs from the leaf-arrival
+/// instant; returns when the interrupt reaches the host. Runs on the
+/// hub (shared links are FIFO resources, so this must run in global
+/// leaf-arrival order). `cross_socket` adds the NUMA penalty for fio
+/// threads living on the socket the AFA's uplink does not attach to.
+/// The elapsed time is returned to the owning worker as
+/// `fabric_shared` and accrued there — the ledger stays parked in the
+/// owner's slab.
+pub(crate) fn shared_legs(
+    fabric: &mut PcieFabric,
+    device: usize,
+    t_leaf: SimTime,
+    bytes: u64,
+    cross_socket: bool,
+) -> SimTime {
+    let mut at_host = fabric.deliver_completion_shared_legs(device, t_leaf, bytes);
     if cross_socket {
         at_host += NUMA_CROSS_SOCKET;
     }
-    ledger.accrue(Cause::Fabric, at_host.saturating_since(now));
     at_host
 }

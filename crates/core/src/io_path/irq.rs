@@ -1,10 +1,15 @@
 //! Stage 5 — irq: MSI-X delivery, handler execution and the remote
 //! IPI when the vector's effective CPU is not the submitter's.
 //!
-//! The handler slice and the remote-completion slice are both closed
-//! amounts, so they credit the ledger directly.
+//! Routing runs on the hub (it owns the vector table and balancer);
+//! the handler executes on the worker owning the effective vector CPU
+//! (`HostModel::deliver_irq_routed`); and the scalar
+//! [`IrqOutcome`] travels to the I/O's owning worker, where this
+//! module books it onto the parked ledger. The handler slice and the
+//! remote-completion slice are both closed amounts, so they credit
+//! the ledger directly.
 
-use afa_host::{HostModel, IrqOutcome};
+use afa_host::IrqOutcome;
 use afa_sim::trace::Cause;
 use afa_sim::SimTime;
 
@@ -12,20 +17,18 @@ use crate::blktrace::IoStage;
 
 use super::IoLedger;
 
-/// Delivers the completion interrupt for `device` at `now`; returns
-/// the routing outcome (handler end, wake-ready instant).
-pub(crate) fn deliver(
-    host: &mut HostModel,
-    device: usize,
-    now: SimTime,
-    ledger: &mut IoLedger,
-) -> IrqOutcome {
-    let irq = host.deliver_irq(device, now);
-    ledger.credit(Cause::IrqHandling, irq.handler_done.saturating_since(now));
+/// Books a remotely-executed interrupt onto the I/O's ledger.
+/// `at_host` is when the MSI reached the host (the handler slice runs
+/// from there to `handler_done`; wake-ready beyond that is the remote
+/// IPI).
+pub(crate) fn apply(irq: &IrqOutcome, at_host: SimTime, ledger: &mut IoLedger) {
+    ledger.credit(
+        Cause::IrqHandling,
+        irq.handler_done.saturating_since(at_host),
+    );
     ledger.credit(
         Cause::RemoteCompletion,
         irq.wake_ready.saturating_since(irq.handler_done),
     );
     ledger.stamp(IoStage::IrqHandled, irq.handler_done);
-    irq
 }

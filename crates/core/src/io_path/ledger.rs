@@ -239,6 +239,18 @@ impl LedgerLog {
     pub fn entries(&self) -> &[CompletedIo] {
         &self.entries
     }
+
+    /// Stitches per-shard logs into the log a sequential run would
+    /// have produced: every shard captured its own first `capacity`
+    /// completions, so the union is a superset of the global window —
+    /// sort by completion instant (device as a deterministic
+    /// tie-break) and keep the first `capacity`.
+    pub(crate) fn merged(capacity: usize, parts: Vec<LedgerLog>) -> Self {
+        let mut entries: Vec<CompletedIo> = parts.into_iter().flat_map(|p| p.entries).collect();
+        entries.sort_by_key(|e| (e.reaped_at, e.device));
+        entries.truncate(capacity);
+        LedgerLog { entries, capacity }
+    }
 }
 
 #[cfg(test)]

@@ -1,50 +1,55 @@
-//! The staged I/O path: one module per slice of an I/O's life, glued
-//! by a thin event conductor, instrumented through one [`IoLedger`].
+//! The staged I/O path, partitioned into conservative-parallel shards:
+//! one module per slice of an I/O's life, glued by the sharded event
+//! conductor, instrumented through one [`IoLedger`].
 //!
 //! ```text
-//!  submit ──▶ fabric(down) ──▶ device ──▶ fabric(up) ──▶ irq ──▶ wake ──▶ complete
-//!  (inline)    ╰── DeviceDone event ──╯   ╰───── Completion event ─────╯  (inline)
-//!     │             │                │         │           │       │         │
-//!     ╰──────┬──────┴────────────────┴────┬────┴───────────┴───┬───╯         │
-//!            ▼                            ▼                    ▼             ▼
-//!        IoLedger ···· accrue/credit per stage ····▶ settle ─▶ derived views
-//!                                                    (causes, blktrace, log)
+//!  worker shard A (owns device d, CPU c, job j)          hub shard
+//!  ───────────────────────────────────────────          ──────────
+//!  submit ─▶ fabric(down,local) ─▶ device ─╮
+//!    ╰────────── inline ──────────╯        │ DeviceDone (local)
+//!                 fabric(device up-leg) ◀──╯
+//!                        │ FabricUp ──────────▶ fabric(shared legs)
+//!                                               irq route / coalesce
+//!  worker shard V (owns the vector CPU)  ◀───── IrqDeliver
+//!  irq handler ──╮
+//!                │ WakeReap ──▶ worker shard A: wake ─▶ reap ─▶ next issue
 //! ```
 //!
-//! Matching §III of the paper:
+//! Matching §III of the paper: the fio thread pays the submit syscall
+//! on its pinned CPU ([`submit`]), the command crosses the switch tree
+//! ([`fabric`]), the SSD serves the read ([`device`]), data + CQE +
+//! MSI cross back, the host routes and runs the interrupt ([`irq`]),
+//! the scheduler wakes the thread ([`wake`]) and the thread reaps
+//! ([`complete`]).
 //!
-//! 1. [`submit`] — the fio thread (on its pinned CPU) pays the submit
-//!    syscall cost and rings the doorbell,
-//! 2. [`fabric`] (downstream) — the command crosses the switch tree,
-//! 3. [`device`] — the SSD serves the read (controller + flash +
-//!    possible SMART stall),
-//! 4. [`fabric`] (upstream) — data + CQE + MSI cross back,
-//! 5. [`irq`] — the host routes the interrupt, runs the handler, IPIs
-//!    the submitter's CPU if remote,
-//! 6. [`wake`] — the scheduler runs the fio thread again (CFS
-//!    tick-granularity preemption, RT immediate preemption, C-state
-//!    exit, …),
-//! 7. [`complete`] — the thread reaps, the ledger settles, the views
-//!    derive, and the next I/O issues.
+//! # Shard topology
 //!
-//! Stages 1–3 and 7 execute inline (the thread holds the CPU); the
-//! device completion and the host-side interrupt are the only
-//! simulation events, so a run costs ~2 events per I/O plus
-//! background-workload arrivals. Splitting the completion into two
-//! events is not an optimization but a correctness requirement: shared
-//! fabric links are FIFO resources, so they must be reserved in global
-//! time order — a device stalled in a SMART window must not
-//! retroactively occupy the uplink for everyone else.
+//! The world is replicated across [`LP_COUNT`] logical processes:
+//! [`WORKER_LPS`] *worker* shards plus one *hub* shard. Each worker
+//! owns whole physical cores (a core and its hyper-sibling always
+//! land together, so `sibling_busy` reads stay shard-local), and with
+//! them every device, fio job, per-device PCIe link and per-CPU
+//! scheduler state mapped to those cores by [`lp_of_cpu`]. The hub
+//! owns everything shared: the upstream leaf/uplink links, the MSI-X
+//! vector table and IRQ balancer, interrupt coalescing, and
+//! background-daemon placement. Every replica carries a full copy of
+//! the model, but a shard only ever mutates the slice it owns — the
+//! harvest step in `AfaSystem::run` stitches the owned slices back
+//! into one result.
+//!
+//! Cross-shard hops ride [`Cross`] events under per-shard lookahead
+//! bounds (a fabric hop for workers, hop + MSI latency for the hub),
+//! so the conservative engine in [`afa_sim::shard`] can execute
+//! shards in parallel and still merge byte-identically with the
+//! sequential driver.
 //!
 //! Every stage writes its timing contribution into the I/O's
-//! [`IoLedger`] (a fixed-size per-[`Cause`](afa_sim::trace::Cause)
-//! table parked in an indexed slab, so events stay small and the hot
-//! path never allocates). Cause attribution, blktrace stage records
-//! and the optional ledger log are all derived from the settled ledger
-//! in one place ([`IoPathWorld::finish_io`]) — adding a stage (an
-//! io_uring engine, a multi-hop fabric) means writing one module that
-//! takes `&mut IoLedger`, not synchronizing three instrumentation
-//! paths.
+//! [`IoLedger`], parked in the *owning worker's* slab for the I/O's
+//! whole life (events carry only a [`LedgerId`]; cross events carry
+//! the scalar outcomes of remote stages). Cause attribution, blktrace
+//! stage records and the optional ledger log all derive from the
+//! settled ledger in one place ([`IoPathWorld::finish_io`]), in
+//! place, with no per-I/O copies in or out of the slab.
 
 mod complete;
 mod device;
@@ -58,59 +63,183 @@ pub use ledger::{CompletedIo, IoLedger, LedgerLog};
 
 use complete::COMPLETE_COST;
 
-use afa_host::HostModel;
+use afa_host::{BgPlacement, CpuId, HostModel, IrqDelivery, IrqOutcome};
 use afa_pcie::PcieFabric;
-use afa_sim::{Scheduler, SimTime, World};
+use afa_sim::trace::Cause;
+use afa_sim::{ShardCtx, ShardWorld, SimDuration, SimTime};
 use afa_ssd::SsdDevice;
-use afa_workload::{IoEngine, JobState};
+use afa_workload::{IoEngine, JobState, Op};
 
 use crate::blktrace::IoStage;
 use crate::config::IrqCoalescing;
 use crate::geometry::CpuSsdGeometry;
 
+/// Worker shards: each owns a fixed set of whole physical cores.
+pub(crate) const WORKER_LPS: usize = 8;
+
+/// The hub shard id: owns the shared uplink, the IRQ balancer and
+/// background placement.
+pub(crate) const HUB_LP: usize = WORKER_LPS;
+
+/// Total logical processes (workers + hub). Fixed regardless of
+/// `AFA_THREADS` — the partition is part of the deterministic merge
+/// contract, so results never depend on the thread count.
+pub(crate) const LP_COUNT: usize = WORKER_LPS + 1;
+
+/// Physical cores per socket of the paper's dual Xeon E5-2690 v2:
+/// logical CPU `c` and its hyper-sibling `c + 20` share core
+/// `c % 20`.
+const CORES_PER_SOCKET_PAIR: usize = 20;
+
+/// Hub-to-worker latency of a background-placement decision. Must be
+/// at least the hub lookahead; 1 µs keeps bursts effectively at their
+/// arrival instant while leaving the conservative horizon sound.
+const BG_PLACE_LATENCY: SimDuration = SimDuration::micros(1);
+
+/// The worker shard owning logical CPU `cpu` (never [`HUB_LP`]).
+/// Hyper-siblings map to the same shard, so whole physical cores —
+/// and every device/job pinned to them — stay shard-local.
+pub(crate) fn lp_of_cpu(cpu: CpuId) -> usize {
+    (cpu.0 as usize % CORES_PER_SOCKET_PAIR) % WORKER_LPS
+}
+
 /// Slab handle for an I/O's in-flight [`IoLedger`] (see
 /// [`IoPathWorld::ledger_slab`]).
 pub(crate) type LedgerId = u32;
 
-/// Simulation events. Kept small (32 bytes): the queue copies events
-/// through its wheel buckets on every push/cascade/pop, so the cold
-/// per-I/O ledger lives in an indexed slab on the world
-/// ([`IoPathWorld::ledger_slab`]) and events carry only a [`LedgerId`].
+/// Shard-local events. Kept small (32 bytes): the timing wheel copies
+/// events through its buckets on every push/cascade/pop, so the cold
+/// per-I/O ledger lives in an indexed slab on the world and events
+/// carry only a [`LedgerId`].
 #[derive(Debug)]
-pub(crate) enum Event {
-    /// Job's thread is running and ready to issue.
+pub(crate) enum Local {
+    /// Job's thread is running and ready to issue (worker).
     Issue { job: usize },
-    /// The device posts the completion; the upstream fabric transfer
-    /// is reserved *now* so shared-link FIFOs are used in global time
-    /// order (a stalled device must not block other devices' data).
+    /// The device posts the completion; the device-side up-leg is
+    /// reserved *now* so per-device FIFOs are used in time order
+    /// (worker).
     DeviceDone {
         job: usize,
         issued_at: SimTime,
         ledger: LedgerId,
     },
-    /// The completion interrupt reaches the host.
-    Completion {
-        job: usize,
-        issued_at: SimTime,
-        ledger: LedgerId,
-    },
-    /// A coalesced MSI fires for the device's pending completions.
+    /// A coalescing timeout fires for the device's pending
+    /// completions (hub).
     Msi { device: usize },
-    /// Background workload arrival.
+    /// Background workload arrival (hub).
     BgArrival,
 }
 
-/// A completion whose data has arrived but whose MSI is being held by
-/// the coalescer.
+/// One completion riding an interrupt batch. The ledger stays in the
+/// origin worker's slab; the entry carries the hub-computed shared-leg
+/// fabric time so the owner can accrue it on receipt.
 #[derive(Clone, Copy, Debug)]
-struct PendingCqe {
-    job: usize,
+pub(crate) struct CqEntry {
     issued_at: SimTime,
     ledger: LedgerId,
+    /// Shared-leg time (leaf + uplink serialization, MSI, NUMA
+    /// penalty) accrued to [`Cause::Fabric`] by the owning worker.
+    fabric_shared: SimDuration,
 }
 
-/// The whole-array world: jobs × host × fabric × devices, driven by
-/// [`Event`]s through the staged I/O path.
+/// The completions served by one interrupt. The common un-coalesced
+/// path is a single inline entry (no allocation); only the coalescing
+/// ablation builds real batches.
+#[derive(Debug)]
+pub(crate) enum CqBatch {
+    One(CqEntry),
+    Many(Vec<CqEntry>),
+}
+
+impl CqBatch {
+    fn as_slice(&self) -> &[CqEntry] {
+        match self {
+            CqBatch::One(entry) => std::slice::from_ref(entry),
+            CqBatch::Many(entries) => entries,
+        }
+    }
+
+    fn first(&self) -> CqEntry {
+        self.as_slice()[0]
+    }
+}
+
+/// Cross-shard events. Each hop's timestamp respects the sender's
+/// lookahead bound (asserted by [`ShardCtx::send`]); payloads are the
+/// scalar outcomes of remotely-executed stages, never the ledger
+/// itself.
+#[derive(Debug)]
+pub(crate) enum Cross {
+    /// Worker → hub: a command left the host at `start`; the hub
+    /// reserves the shared down-legs in global submit order (the FIFO
+    /// ordering phase-couples the submitting threads — the coupling
+    /// behind the paper's shared-fabric convoys).
+    SubmitDown {
+        job: usize,
+        op: Op,
+        ledger: LedgerId,
+        start: SimTime,
+    },
+    /// Hub → device-owner worker: the command reached the leaf egress
+    /// at `at_entry`; the owner reserves the device's down-link and
+    /// starts device service.
+    CommandAtDevice {
+        job: usize,
+        op: Op,
+        ledger: LedgerId,
+        issued_at: SimTime,
+        at_entry: SimTime,
+    },
+    /// Worker → hub: the completion payload reached the leaf switch;
+    /// the hub reserves the shared legs and routes the interrupt.
+    FabricUp {
+        job: usize,
+        issued_at: SimTime,
+        ledger: LedgerId,
+        /// The submitting CPU lives on the socket the AFA's uplink
+        /// does not attach to (NUMA penalty on the shared legs).
+        cross_socket: bool,
+        /// Polling engines skip the IRQ path entirely.
+        polling: bool,
+    },
+    /// Hub → vector-CPU worker: run the interrupt handler.
+    IrqDeliver {
+        job: usize,
+        delivery: IrqDelivery,
+        designated: CpuId,
+        batch: CqBatch,
+    },
+    /// Hub → origin worker: a polling completion's data is host-side;
+    /// the spinning thread reaps it directly.
+    PollComplete {
+        job: usize,
+        issued_at: SimTime,
+        ledger: LedgerId,
+        fabric_shared: SimDuration,
+    },
+    /// Vector worker → origin worker: the handler outcome; the owner
+    /// applies the IRQ slices to the ledger, wakes the thread and
+    /// reaps.
+    WakeReap {
+        job: usize,
+        irq: IrqOutcome,
+        /// When the interrupt reached the host (handler slice base).
+        at_host: SimTime,
+        batch: CqBatch,
+    },
+    /// Hub → CPU-owner worker: install a background burst.
+    BgPlace { placement: BgPlacement },
+    /// Worker → hub: the owning shard charged I/O work on `cpu`
+    /// through `until`; keeps the hub's background-placement view of
+    /// CPU business fresh (one lookahead stale, see
+    /// [`HostModel::note_io_busy`]).
+    CpuBusy { cpu: CpuId, until: SimTime },
+}
+
+/// One shard's replica of the whole-array world: jobs × host × fabric
+/// × devices, driven by [`Local`]/[`Cross`] events through the staged
+/// I/O path. Only the slice owned by `lp` is ever mutated.
+#[derive(Clone)]
 pub(crate) struct IoPathWorld {
     pub(crate) host: HostModel,
     pub(crate) fabric: PcieFabric,
@@ -122,24 +251,34 @@ pub(crate) struct IoPathWorld {
     geometry: CpuSsdGeometry,
     horizon: SimTime,
     afa_socket: u16,
+    /// This replica's logical-process id (workers `0..WORKER_LPS`,
+    /// hub [`HUB_LP`]).
+    lp: usize,
+    /// Owning worker shard of each job (by its device's pinned CPU).
+    job_lp: Vec<usize>,
+    /// Inverse of `jobs[j].spec().device()` (hub-side batch routing).
+    job_of_device: Vec<usize>,
     /// Per-job earliest next issue instant (fio's `rate_iops` pacing).
     next_allowed: Vec<SimTime>,
     coalescing: Option<IrqCoalescing>,
-    /// Per-device completions awaiting a coalesced MSI.
-    pending_cq: Vec<Vec<PendingCqe>>,
-    /// Reusable buffer the MSI handler swaps a device's pending queue
-    /// into, so reaping a batch never allocates.
-    cq_scratch: Vec<PendingCqe>,
-    /// In-flight [`IoLedger`]s, indexed by [`LedgerId`]; entries
-    /// recycle through `ledger_free`, so after warm-up the per-I/O
-    /// path allocates nothing.
+    /// Per-device completions awaiting a coalesced MSI (hub only).
+    pending_cq: Vec<Vec<CqEntry>>,
+    /// In-flight [`IoLedger`]s, indexed by [`LedgerId`]; slots recycle
+    /// through `ledger_free` and every stage writes the parked entry
+    /// in place, so the per-I/O path neither allocates nor copies the
+    /// ledger.
     ledger_slab: Vec<IoLedger>,
     ledger_free: Vec<LedgerId>,
 }
 
+/// The scheduling context every handler receives.
+type Ctx<'a> = ShardCtx<'a, Local, Cross>;
+
 impl IoPathWorld {
     /// Assembles a world from its parts (see `AfaSystem::run` for the
-    /// construction of each).
+    /// construction of each). The caller clones the assembled world
+    /// into one replica per shard and brands each with
+    /// [`IoPathWorld::set_lp`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         host: HostModel,
@@ -155,6 +294,15 @@ impl IoPathWorld {
         coalescing: Option<IrqCoalescing>,
     ) -> Self {
         let n = devices.len();
+        let job_lp: Vec<usize> = jobs
+            .iter()
+            .map(|j| lp_of_cpu(geometry.cpu_of_ssd(j.spec().device())))
+            .collect();
+        let mut job_of_device = vec![usize::MAX; n];
+        for (j, job) in jobs.iter().enumerate() {
+            job_of_device[job.spec().device()] = j;
+        }
+        let jobs_len = jobs.len();
         IoPathWorld {
             host,
             fabric,
@@ -166,71 +314,104 @@ impl IoPathWorld {
             causes,
             tracer,
             ledger_log,
-            next_allowed: vec![SimTime::ZERO; n],
+            lp: 0,
+            job_lp,
+            job_of_device,
+            next_allowed: vec![SimTime::ZERO; jobs_len],
             coalescing,
             pending_cq: vec![Vec::new(); n],
-            cq_scratch: Vec::new(),
             ledger_slab: Vec::with_capacity(2 * n),
             ledger_free: Vec::with_capacity(2 * n),
         }
     }
 
-    /// Parks an in-flight ledger in the slab until its completion path
-    /// reclaims it.
-    fn alloc_ledger(&mut self, ledger: IoLedger) -> LedgerId {
+    /// Brands this replica with its logical-process id.
+    pub(crate) fn set_lp(&mut self, lp: usize) {
+        self.lp = lp;
+    }
+
+    /// Worker lookahead: the minimum delay any worker send adds — a
+    /// fabric hop for `FabricUp`, interrupt entry + handler floor for
+    /// `WakeReap`.
+    pub(crate) fn worker_lookahead(&self) -> SimDuration {
+        let costs = self.host.costs();
+        self.fabric
+            .hop_latency()
+            .min(costs.irq_entry + costs.irq_handler)
+    }
+
+    /// Hub lookahead: every hub send crosses the shared legs (≥ one
+    /// hop) and an MSI write.
+    pub(crate) fn hub_lookahead(&self) -> SimDuration {
+        self.fabric.hop_latency() + self.fabric.msi_latency()
+    }
+
+    /// Parks a fresh ledger in the slab, reusing a settled slot when
+    /// one is free. The slot is written exactly once here; every
+    /// stage mutates it in place through the slab.
+    fn alloc_ledger(&mut self, queued_at: SimTime) -> LedgerId {
         match self.ledger_free.pop() {
             Some(id) => {
-                self.ledger_slab[id as usize] = ledger;
+                self.ledger_slab[id as usize] = IoLedger::begin(queued_at);
                 id
             }
             None => {
-                self.ledger_slab.push(ledger);
+                self.ledger_slab.push(IoLedger::begin(queued_at));
                 (self.ledger_slab.len() - 1) as LedgerId
             }
         }
     }
 
-    /// Reads back and releases a parked [`IoLedger`].
-    fn free_ledger(&mut self, id: LedgerId) -> IoLedger {
-        self.ledger_free.push(id);
-        self.ledger_slab[id as usize]
-    }
-
     /// Issues as many operations as the queue depth allows, starting
     /// with the thread running on its CPU at `now`. Each issue runs
-    /// stages 1–3 inline and schedules the [`Event::DeviceDone`] that
-    /// resumes the path.
-    fn issue_burst(&mut self, job: usize, mut now: SimTime, sched: &mut Scheduler<'_, Event>) {
+    /// stages 1–3 inline and schedules the [`Local::DeviceDone`] that
+    /// resumes the path. Runs only on the job's owning worker.
+    fn issue_burst(&mut self, job: usize, mut now: SimTime, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(self.lp, self.job_lp[job], "issue on a foreign shard");
         let cpu = self.geometry.cpu_of_ssd(self.jobs[job].spec().device());
         let issue_gap = self.jobs[job].spec().min_issue_gap();
+        let mut busy_until = None;
         while self.jobs[job].can_issue(now) {
             // fio's rate_iops pacing: defer the issue if the job is
             // ahead of its rate budget.
             if now < self.next_allowed[job] {
-                sched.at(self.next_allowed[job], Event::Issue { job });
-                return;
+                ctx.at(self.next_allowed[job], Local::Issue { job });
+                break;
             }
             if !issue_gap.is_zero() {
                 self.next_allowed[job] = now + issue_gap;
             }
             let device = self.jobs[job].spec().device();
-            let bytes = self.jobs[job].spec().block_size();
             let op = self.jobs[job].issue(now);
-            let mut ledger = IoLedger::begin(now);
-            let submit_end = submit::run(&mut self.host, cpu, now, &mut ledger);
-            let at_device = fabric::downstream(&mut self.fabric, device, submit_end, &mut ledger);
-            let completes_at =
-                device::serve(&mut self.devices[device], at_device, op, bytes, &mut ledger);
+            let id = self.alloc_ledger(now);
+            let ledger = &mut self.ledger_slab[id as usize];
+            let submit_end = submit::run(&mut self.host, cpu, now, ledger);
+            busy_until = Some(submit_end);
             if let Some(tracer) = &mut self.tracer {
                 ledger.set_trace(tracer.begin(device, op.lba, now));
             }
-            let ledger = self.alloc_ledger(ledger);
-            sched.at(
-                completes_at,
-                Event::DeviceDone {
+            // The doorbell slot on the shared down-legs is claimed
+            // the moment the thread is *woken* (the driver's
+            // submission pipeline commits its arbitration slot at CQ
+            // time), while the SQE payload is only ready at
+            // `submit_end`. The hub therefore reserves the hub-owned
+            // down-FIFOs in wake order with payload-ready start
+            // times: a thread delayed between wake and submit (CFS
+            // queueing behind a daemon, C-state exit, tick preempts)
+            // holds its committed slot back, and every later-claimed
+            // slot queues behind it. That inversion push is the
+            // µs-scale phase coupling behind the paper's
+            // shared-fabric convoys — and it is fed by exactly the
+            // delays chrt/isolcpus remove.
+            let t_send = ctx.now() + self.worker_lookahead();
+            ctx.send(
+                HUB_LP,
+                t_send,
+                Cross::SubmitDown {
                     job,
-                    issued_at: submit_end,
-                    ledger,
+                    op,
+                    ledger: id,
+                    start: submit_end,
                 },
             );
             match self.jobs[job].spec().engine() {
@@ -238,168 +419,364 @@ impl IoPathWorld {
                     now = submit_end;
                 }
                 IoEngine::Polling => {
-                    // The thread spins on the CQ until the DeviceDone/
-                    // Completion chain reaps it; stop issuing here.
-                    return;
+                    // The thread spins on the CQ until the completion
+                    // chain reaps it; stop issuing here.
+                    break;
                 }
             }
         }
+        // Tell the hub how long this burst keeps the CPU busy, so
+        // background placement stops seeing it as idle (§IV-C: a CPU
+        // whose I/O task *sleeps* must look idle — one that is still
+        // submitting must not).
+        if let Some(until) = busy_until {
+            let at = ctx.now() + self.worker_lookahead();
+            ctx.send(HUB_LP, at, Cross::CpuBusy { cpu, until });
+        }
     }
 
-    /// The device posted a completion: run the upstream fabric leg
-    /// (reserving shared links *now*) and schedule the host-side
-    /// interrupt — immediately, or held by the MSI coalescer.
-    fn on_device_done(
-        &mut self,
-        job: usize,
-        issued_at: SimTime,
-        ledger: LedgerId,
-        sched: &mut Scheduler<'_, Event>,
-    ) {
-        let now = sched.now();
+    /// The device posted a completion: reserve the device-side up-leg
+    /// locally and hand the payload to the hub at the instant it
+    /// reaches the leaf switch (one fabric hop of lookahead).
+    fn on_device_done(&mut self, job: usize, issued_at: SimTime, id: LedgerId, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
         let device = self.jobs[job].spec().device();
         let cpu = self.geometry.cpu_of_ssd(device);
         let bytes = self.jobs[job].spec().block_size() as u64;
         let cross_socket = self.host.topology().socket_of(cpu) != self.afa_socket;
-        let entry = &mut self.ledger_slab[ledger as usize];
-        entry.stamp(IoStage::DeviceComplete, now);
-        let at_host = fabric::upstream(&mut self.fabric, device, now, bytes, cross_socket, entry);
-        let coalesce = self
-            .coalescing
-            .filter(|_| !matches!(self.jobs[job].spec().engine(), IoEngine::Polling));
-        match coalesce {
-            None => sched.at(
-                at_host,
-                Event::Completion {
-                    job,
-                    issued_at,
-                    ledger,
-                },
-            ),
-            Some(c) => {
-                // Hold the CQE; the MSI fires on batch-full or timeout
-                // from the first pending completion.
-                let pending = &mut self.pending_cq[device];
-                pending.push(PendingCqe {
-                    job,
-                    issued_at,
-                    ledger,
-                });
-                if pending.len() as u32 >= c.max_batch {
-                    sched.at(at_host, Event::Msi { device });
-                } else if pending.len() == 1 {
-                    sched.at(at_host + c.timeout, Event::Msi { device });
-                }
-            }
-        }
+        let polling = matches!(self.jobs[job].spec().engine(), IoEngine::Polling);
+        let ledger = &mut self.ledger_slab[id as usize];
+        ledger.stamp(IoStage::DeviceComplete, now);
+        let t_leaf = fabric::device_leg(&mut self.fabric, device, now, bytes, ledger);
+        ctx.send(
+            HUB_LP,
+            t_leaf,
+            Cross::FabricUp {
+                job,
+                issued_at,
+                ledger: id,
+                cross_socket,
+                polling,
+            },
+        );
     }
 
-    /// A coalesced MSI: one interrupt and one wake-up reap the whole
-    /// pending batch. The shared IRQ + wake slices credit the first
-    /// entry's ledger (that I/O is the one whose critical path they
-    /// sit on); each entry then pays its own reap slice.
-    fn on_msi(&mut self, device: usize, sched: &mut Scheduler<'_, Event>) {
-        // Swap the pending queue against the reusable scratch buffer
-        // (instead of `mem::take`, which would allocate a fresh Vec on
-        // every MSI) — nothing below pushes to this device's queue.
-        debug_assert!(self.cq_scratch.is_empty());
-        std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
-        let Some(&first) = self.cq_scratch.first() else {
-            // A stale timeout after a batch-full fire; both Vecs are
-            // empty, so the swap was a no-op worth undoing for tidiness.
-            std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
-            return;
-        };
-        let now = sched.now();
-        let job = first.job;
-        let cpu = self.geometry.cpu_of_ssd(device);
-        let policy = self.jobs[job].spec().policy();
-        let first_ledger = &mut self.ledger_slab[first.ledger as usize];
-        let irq = irq::deliver(&mut self.host, device, now, first_ledger);
-        let run_start = wake::run(&mut self.host, cpu, irq.wake_ready, policy, first_ledger);
-        let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
-        let mut t = run_start;
-        for i in 0..self.cq_scratch.len() {
-            let entry = self.cq_scratch[i];
-            let mut ledger = self.free_ledger(entry.ledger);
-            // Later batch entries share the first I/O's handler
-            // instant (one MSI served them all).
-            ledger.stamp(IoStage::IrqHandled, irq.handler_done);
-            t = complete::reap(&mut self.host, cpu, t, work, &mut ledger);
-            self.finish_io(entry.job, entry.issued_at, t, ledger);
-        }
-        self.cq_scratch.clear();
-        debug_assert!(self.pending_cq[device].is_empty());
-        std::mem::swap(&mut self.pending_cq[device], &mut self.cq_scratch);
-        self.issue_burst(job, t, sched);
-    }
-
-    /// The completion interrupt reached the host: run stages 5–7 for
-    /// the interrupt engines, or reap directly for polling, then issue
-    /// the next I/O (the thread holds the CPU after reaping).
-    fn on_completion(
+    /// Hub: the payload reached the leaf switch. Reserve the shared
+    /// legs in arrival order (they are FIFO resources — this is why
+    /// the hub owns them), then route the interrupt — immediately, or
+    /// held by the MSI coalescer.
+    fn on_fabric_up(
         &mut self,
         job: usize,
         issued_at: SimTime,
-        ledger: LedgerId,
-        sched: &mut Scheduler<'_, Event>,
+        id: LedgerId,
+        cross_socket: bool,
+        polling: bool,
+        ctx: &mut Ctx<'_>,
     ) {
-        let mut ledger = self.free_ledger(ledger);
-        let now = sched.now();
+        let t_leaf = ctx.now();
+        let device = self.jobs[job].spec().device();
+
+        let bytes = self.jobs[job].spec().block_size() as u64;
+        let at_host = fabric::shared_legs(&mut self.fabric, device, t_leaf, bytes, cross_socket);
+        let fabric_shared = at_host.saturating_since(t_leaf);
+        if polling {
+            ctx.send(
+                self.job_lp[job],
+                at_host,
+                Cross::PollComplete {
+                    job,
+                    issued_at,
+                    ledger: id,
+                    fabric_shared,
+                },
+            );
+            return;
+        }
+        let entry = CqEntry {
+            issued_at,
+            ledger: id,
+            fabric_shared,
+        };
+        match self.coalescing {
+            None => self.fire_irq(job, device, at_host, CqBatch::One(entry), ctx),
+            Some(c) => {
+                // Hold the CQE; the MSI fires on batch-full or timeout
+                // from the first pending completion.
+                self.pending_cq[device].push(entry);
+                let len = self.pending_cq[device].len();
+                if len as u32 >= c.max_batch {
+                    let batch = std::mem::take(&mut self.pending_cq[device]);
+                    self.fire_irq(job, device, at_host, CqBatch::Many(batch), ctx);
+                } else if len == 1 {
+                    ctx.at(at_host + c.timeout, Local::Msi { device });
+                }
+            }
+        }
+    }
+
+    /// Hub: routes one interrupt through the vector table and hands
+    /// the batch to the worker owning the effective vector CPU.
+    fn fire_irq(
+        &mut self,
+        job: usize,
+        device: usize,
+        at: SimTime,
+        batch: CqBatch,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let (delivery, designated) = self.host.route_irq(device, at);
+        ctx.send(
+            lp_of_cpu(delivery.vector_cpu),
+            at,
+            Cross::IrqDeliver {
+                job,
+                delivery,
+                designated,
+                batch,
+            },
+        );
+    }
+
+    /// Hub: a coalescing timeout fired. Stale timers (the batch
+    /// already fired full) find the queue empty and do nothing. The
+    /// interrupt itself lands one hub-lookahead later — the MSI still
+    /// has to cross the fabric to the host.
+    fn on_msi(&mut self, device: usize, ctx: &mut Ctx<'_>) {
+        if self.pending_cq[device].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending_cq[device]);
+        let job = self.job_of_device[device];
+        let at = ctx.now() + self.hub_lookahead();
+        self.fire_irq(job, device, at, CqBatch::Many(batch), ctx);
+    }
+
+    /// Vector-CPU worker: execute the handler on the effective vector
+    /// CPU (this shard owns its state) and hand the outcome to the
+    /// origin worker at the wake-ready instant (≥ interrupt entry +
+    /// handler floor of lookahead).
+    fn on_irq_deliver(
+        &mut self,
+        job: usize,
+        delivery: IrqDelivery,
+        designated: CpuId,
+        batch: CqBatch,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let at_host = ctx.now();
+        let irq = self.host.deliver_irq_routed(delivery, designated, at_host);
+        ctx.send(
+            self.job_lp[job],
+            irq.wake_ready,
+            Cross::WakeReap {
+                job,
+                irq,
+                at_host,
+                batch,
+            },
+        );
+    }
+
+    /// Origin worker: the handler ran remotely; apply its slices to
+    /// the parked ledgers, wake the fio thread and reap the batch.
+    /// The shared IRQ + wake slices credit the first entry's ledger
+    /// (that I/O is the one whose critical path they sit on); each
+    /// entry then pays its own reap slice.
+    fn on_wake_reap(
+        &mut self,
+        job: usize,
+        irq: IrqOutcome,
+        at_host: SimTime,
+        batch: CqBatch,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let device = self.jobs[job].spec().device();
+        let cpu = self.geometry.cpu_of_ssd(device);
+        let policy = self.jobs[job].spec().policy();
+        let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
+        let first = batch.first();
+        let run_start = {
+            let led = &mut self.ledger_slab[first.ledger as usize];
+            led.accrue(Cause::Fabric, first.fabric_shared);
+            irq::apply(&irq, at_host, led);
+            wake::run(&mut self.host, cpu, irq.wake_ready, policy, led)
+        };
+        let mut t = run_start;
+        for (i, entry) in batch.as_slice().iter().enumerate() {
+            {
+                let led = &mut self.ledger_slab[entry.ledger as usize];
+                if i > 0 {
+                    // Later batch entries share the first I/O's
+                    // handler instant (one MSI served them all).
+                    led.accrue(Cause::Fabric, entry.fabric_shared);
+                    led.stamp(IoStage::IrqHandled, irq.handler_done);
+                }
+                t = complete::reap(&mut self.host, cpu, t, work, led);
+            }
+            self.finish_io(job, entry.issued_at, t, entry.ledger);
+        }
+        self.issue_burst(job, t, ctx);
+    }
+
+    /// Origin worker: a polling completion's data is host-side; the
+    /// thread spun from issue to now, reaps directly and keeps going.
+    fn on_poll_complete(
+        &mut self,
+        job: usize,
+        issued_at: SimTime,
+        id: LedgerId,
+        fabric_shared: SimDuration,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let now = ctx.now();
         let device = self.jobs[job].spec().device();
         let cpu = self.geometry.cpu_of_ssd(device);
         let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
-
-        let done = match self.jobs[job].spec().engine() {
-            IoEngine::Libaio | IoEngine::Sync => {
-                let irq = irq::deliver(&mut self.host, device, now, &mut ledger);
-                let policy = self.jobs[job].spec().policy();
-                let run_start = wake::run(&mut self.host, cpu, irq.wake_ready, policy, &mut ledger);
-                complete::reap(&mut self.host, cpu, run_start, work, &mut ledger)
-            }
-            IoEngine::Polling => {
-                // The thread spun from issue to now; reap directly.
-                complete::poll_reap(&mut self.host, cpu, issued_at, now, work, &mut ledger)
-            }
+        let done = {
+            let led = &mut self.ledger_slab[id as usize];
+            led.accrue(Cause::Fabric, fabric_shared);
+            complete::poll_reap(&mut self.host, cpu, issued_at, now, work, led)
         };
-        self.finish_io(job, issued_at, done, ledger);
-        self.issue_burst(job, done, sched);
+        self.finish_io(job, issued_at, done, id);
+        self.issue_burst(job, done, ctx);
     }
 }
 
-impl World for IoPathWorld {
-    type Event = Event;
+impl ShardWorld for IoPathWorld {
+    type Local = Local;
+    type Cross = Cross;
 
-    fn handle(&mut self, event: Event, sched: &mut Scheduler<'_, Event>) {
+    fn handle_local(&mut self, event: Local, ctx: &mut Ctx<'_>) {
         match event {
-            Event::Issue { job } => {
-                let now = sched.now();
-                self.issue_burst(job, now, sched);
+            Local::Issue { job } => {
+                let now = ctx.now();
+                self.issue_burst(job, now, ctx);
             }
-            Event::DeviceDone {
+            Local::DeviceDone {
                 job,
                 issued_at,
                 ledger,
             } => {
-                self.on_device_done(job, issued_at, ledger, sched);
+                self.on_device_done(job, issued_at, ledger, ctx);
             }
-            Event::Completion {
-                job,
-                issued_at,
-                ledger,
-            } => {
-                self.on_completion(job, issued_at, ledger, sched);
+            Local::Msi { device } => {
+                self.on_msi(device, ctx);
             }
-            Event::Msi { device } => {
-                self.on_msi(device, sched);
-            }
-            Event::BgArrival => {
-                let now = sched.now();
-                self.host.spawn_background(now);
+            Local::BgArrival => {
+                let now = ctx.now();
+                let start = now + BG_PLACE_LATENCY;
+                if let Some(placement) = self.host.decide_background(start) {
+                    // Mirror the install on the hub replica so the
+                    // next decision's idle test sees this burst; the
+                    // CPU's owner performs the authoritative install
+                    // at the same instant.
+                    self.host.install_background(placement.clone(), start);
+                    ctx.send(
+                        lp_of_cpu(placement.cpu),
+                        start,
+                        Cross::BgPlace { placement },
+                    );
+                }
                 let next = self.host.next_background_arrival(now);
                 if next < self.horizon {
-                    sched.at(next, Event::BgArrival);
+                    ctx.at(next, Local::BgArrival);
                 }
+            }
+        }
+    }
+
+    fn handle_cross(&mut self, _src: usize, event: Cross, ctx: &mut Ctx<'_>) {
+        match event {
+            Cross::SubmitDown {
+                job,
+                op,
+                ledger,
+                start,
+            } => {
+                let device = self.jobs[job].spec().device();
+                let at_entry = fabric::downstream_shared(&mut self.fabric, device, start);
+                let at = at_entry.max(ctx.now() + self.hub_lookahead());
+                ctx.send(
+                    self.job_lp[job],
+                    at,
+                    Cross::CommandAtDevice {
+                        job,
+                        op,
+                        ledger,
+                        issued_at: start,
+                        at_entry,
+                    },
+                );
+            }
+            Cross::CommandAtDevice {
+                job,
+                op,
+                ledger,
+                issued_at,
+                at_entry,
+            } => {
+                debug_assert_eq!(self.lp, self.job_lp[job], "device leg on a foreign shard");
+                let device = self.jobs[job].spec().device();
+                let bytes = self.jobs[job].spec().block_size();
+                let led = &mut self.ledger_slab[ledger as usize];
+                let at_device = fabric::downstream_device_leg(
+                    &mut self.fabric,
+                    device,
+                    issued_at,
+                    at_entry,
+                    led,
+                );
+                let completes_at =
+                    device::serve(&mut self.devices[device], at_device, op, bytes, led);
+                ctx.at(
+                    completes_at,
+                    Local::DeviceDone {
+                        job,
+                        issued_at,
+                        ledger,
+                    },
+                );
+            }
+            Cross::FabricUp {
+                job,
+                issued_at,
+                ledger,
+                cross_socket,
+                polling,
+            } => {
+                self.on_fabric_up(job, issued_at, ledger, cross_socket, polling, ctx);
+            }
+            Cross::IrqDeliver {
+                job,
+                delivery,
+                designated,
+                batch,
+            } => {
+                self.on_irq_deliver(job, delivery, designated, batch, ctx);
+            }
+            Cross::PollComplete {
+                job,
+                issued_at,
+                ledger,
+                fabric_shared,
+            } => {
+                self.on_poll_complete(job, issued_at, ledger, fabric_shared, ctx);
+            }
+            Cross::WakeReap {
+                job,
+                irq,
+                at_host,
+                batch,
+            } => {
+                self.on_wake_reap(job, irq, at_host, batch, ctx);
+            }
+            Cross::BgPlace { placement } => {
+                let now = ctx.now();
+                self.host.install_background(placement, now);
+            }
+            Cross::CpuBusy { cpu, until } => {
+                self.host.note_io_busy(cpu, until);
             }
         }
     }
@@ -410,13 +787,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn events_stay_small() {
-        // The queue copies events through wheel buckets; the cold
+    fn local_events_stay_small() {
+        // The wheel copies events through its buckets; the cold
         // IoLedger payload must stay in the slab, not the event.
         assert!(
-            std::mem::size_of::<Event>() <= 32,
-            "Event grew to {} bytes",
-            std::mem::size_of::<Event>()
+            std::mem::size_of::<Local>() <= 32,
+            "Local grew to {} bytes",
+            std::mem::size_of::<Local>()
         );
+    }
+
+    #[test]
+    fn cross_events_stay_bounded() {
+        // Cross events ride BTreeMap nodes and mailboxes, not the
+        // wheel, so the budget is looser — but a regression to a
+        // by-value ledger (~250 bytes) must still fail loudly.
+        assert!(
+            std::mem::size_of::<Cross>() <= 112,
+            "Cross grew to {} bytes",
+            std::mem::size_of::<Cross>()
+        );
+    }
+
+    #[test]
+    fn cpu_to_shard_map_keeps_cores_whole() {
+        // Hyper-siblings (c, c+20) must land on the same worker so
+        // sibling_busy reads stay shard-local, and no CPU may map to
+        // the hub.
+        for c in 0..40u16 {
+            let lp = lp_of_cpu(CpuId(c));
+            assert!(lp < WORKER_LPS, "cpu {c} mapped to the hub");
+            assert_eq!(lp, lp_of_cpu(CpuId((c + 20) % 40)), "siblings split");
+        }
+        // All workers get work under the paper geometry.
+        let owners: std::collections::BTreeSet<usize> =
+            (0..40u16).map(|c| lp_of_cpu(CpuId(c))).collect();
+        assert_eq!(owners.len(), WORKER_LPS);
     }
 }

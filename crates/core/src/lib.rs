@@ -48,5 +48,5 @@ mod tuning;
 
 pub use config::{AfaConfig, IrqCoalescing};
 pub use geometry::{CpuSsdGeometry, Table2Row};
-pub use system::{AfaSystem, RunResult};
+pub use system::{AfaSystem, RunResult, ThreadsOverride};
 pub use tuning::{Tuning, TuningStage};

@@ -1,22 +1,101 @@
 //! System assembly: builds the host, fabric, devices and jobs from an
 //! [`AfaConfig`] and drives the staged I/O path
-//! ([`crate::io_path`]) to completion.
+//! ([`crate::io_path`]) to completion on the sharded conservative
+//! engine ([`afa_sim::shard`]).
 //!
 //! The lifecycle of one I/O — submit syscall, fabric legs, device
 //! service, interrupt, scheduler wake-up, reap — lives in the
 //! [`crate::io_path`] stage modules; this module only resolves the
-//! geometry, wires the parts together, runs the simulation and
-//! collects the results.
+//! geometry, replicates the world across the shard topology, runs the
+//! simulation (threaded when `AFA_THREADS` > 1, sequential otherwise
+//! — byte-identical either way) and stitches the owned slices back
+//! into one result.
 
-use afa_host::{CpuTopology, HostModel};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use afa_host::{CpuId, CpuTopology, HostModel};
 use afa_pcie::{FabricStats, PcieFabric};
-use afa_sim::{SimDuration, SimRng, SimTime, Simulation};
+use afa_sim::{ShardedSim, SimDuration, SimRng, SimTime};
 use afa_ssd::{DeviceStats, FtlStats, SsdDevice, SsdSpec};
 use afa_workload::{JobReport, JobSpec, JobState};
 
 use crate::config::AfaConfig;
 use crate::geometry::CpuSsdGeometry;
-use crate::io_path::{Event, IoPathWorld, LedgerLog};
+use crate::io_path::{lp_of_cpu, IoPathWorld, LedgerLog, Local, HUB_LP, LP_COUNT, WORKER_LPS};
+
+/// Live [`SequentialGuard`] count: while non-zero, every run in the
+/// process stays on the sequential driver regardless of
+/// `AFA_THREADS`. A plain counter (not a thread-local) because the
+/// experiment registry runs experiments on a pool of worker threads;
+/// the worst a race can do is run a shardable experiment sequentially,
+/// which changes nothing but wall-clock time.
+static FORCE_SEQUENTIAL: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII scope forcing sequential execution — held around experiments
+/// that drive their own single-world simulations and must not observe
+/// `AFA_THREADS`.
+pub(crate) struct SequentialGuard;
+
+impl SequentialGuard {
+    pub(crate) fn acquire() -> Self {
+        FORCE_SEQUENTIAL.fetch_add(1, Ordering::Relaxed);
+        SequentialGuard
+    }
+}
+
+impl Drop for SequentialGuard {
+    fn drop(&mut self) {
+        FORCE_SEQUENTIAL.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Programmatic thread-count override (0 = none). Lets tests compare
+/// the two drivers without mutating the process environment; see
+/// [`ThreadsOverride`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII scope pinning the engine's worker-thread count, taking
+/// precedence over `AFA_THREADS` (but not over a [`SequentialGuard`],
+/// which exists for correctness, not policy). Because results are
+/// byte-identical at every thread count, overlapping overrides from
+/// concurrent tests cannot change any outcome — only which driver
+/// does the work.
+pub struct ThreadsOverride {
+    prev: usize,
+}
+
+impl ThreadsOverride {
+    /// Pins the thread count to `threads` (≥ 1) until the guard drops.
+    pub fn set(threads: usize) -> Self {
+        let prev = THREAD_OVERRIDE.swap(threads.max(1), Ordering::Relaxed);
+        ThreadsOverride { prev }
+    }
+}
+
+impl Drop for ThreadsOverride {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Worker threads for the conservative engine: `AFA_THREADS` when set
+/// to a sane value, else 1 (the sequential driver). Results are
+/// byte-identical at every thread count — the knob only trades wall
+/// clock for cores.
+fn configured_threads() -> usize {
+    if FORCE_SEQUENTIAL.load(Ordering::Relaxed) > 0 {
+        return 1;
+    }
+    let pinned = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if pinned > 0 {
+        return pinned;
+    }
+    std::env::var("AFA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
 
 /// The outcome of one run.
 #[derive(Debug)]
@@ -179,7 +258,15 @@ impl AfaSystem {
             .map(JobState::deadline)
             .fold(SimTime::ZERO, SimTime::max)
             + SimDuration::millis(50);
-        let world = IoPathWorld::new(
+        let jobs_len = jobs.len();
+        // Ownership maps, captured before the geometry moves into the
+        // world: which worker shard drives each job and device.
+        let device_lps: Vec<usize> = (0..n).map(|d| lp_of_cpu(geometry.cpu_of_ssd(d))).collect();
+        let job_lps: Vec<usize> = jobs
+            .iter()
+            .map(|j| lp_of_cpu(geometry.cpu_of_ssd(j.spec().device())))
+            .collect();
+        let mut proto = IoPathWorld::new(
             host,
             fabric,
             devices,
@@ -194,42 +281,100 @@ impl AfaSystem {
             (config.ledger_log > 0).then(|| LedgerLog::new(config.ledger_log)),
             config.irq_coalescing,
         );
-        // Pre-size the queue: each job keeps ~2 events in flight
-        // (device completion + host interrupt), plus background
-        // arrivals and coalescing timers — 4 × jobs covers the lot
-        // without reallocation.
-        let mut sim = Simulation::with_capacity(world, 4 * n);
+
+        // Replicate the world across the fixed shard topology: eight
+        // workers plus the hub. The partition never depends on the
+        // thread count, so any `AFA_THREADS` produces the same bytes.
+        let worker_la = proto.worker_lookahead();
+        let hub_la = proto.hub_lookahead();
+        let mut shards = Vec::with_capacity(LP_COUNT);
+        for lp in 0..WORKER_LPS {
+            let mut world = proto.clone();
+            world.set_lp(lp);
+            shards.push((world, worker_la));
+        }
+        proto.set_lp(HUB_LP);
+        shards.push((proto, hub_la));
+        let mut sim = ShardedSim::new(shards);
+
         // fio staggers thread start-up by a few µs per thread; the
         // stagger also prevents an artificial phase-lock between
         // perfectly symmetric QD1 loops.
-        for job in 0..n {
-            sim.schedule_at(
+        for (job, &lp) in job_lps.iter().enumerate() {
+            sim.schedule(
+                lp,
                 SimTime::ZERO + SimDuration::micros(job as u64 * 13 % 97),
-                Event::Issue { job },
+                Local::Issue { job },
             );
         }
-        sim.schedule_at(SimTime::ZERO, Event::BgArrival);
-        sim.run_to_completion();
+        sim.schedule(HUB_LP, SimTime::ZERO, Local::BgArrival);
+        sim.run_threaded(configured_threads());
 
         let elapsed = sim.now();
         let events_processed = sim.events_processed();
         let clamped_past_schedules = sim.clamped_past_schedules();
-        let world = sim.into_world();
-        let fabric_stats = world.fabric.stats();
-        let device_stats = world
-            .devices
-            .iter()
-            .map(|d| (d.stats(), d.ftl_stats()))
+        let mut worlds = sim.into_worlds();
+        let hub = worlds.pop().expect("hub shard");
+
+        // Stitch the owned slices back together. The hub is the
+        // authority on shared state (vector table, balancer, bg
+        // placement, shared fabric legs); each worker on its CPUs,
+        // devices and jobs.
+        let mut host = hub.host;
+        let all_cpus: Vec<CpuId> = host.topology().all_cpus().iter().collect();
+        for (lp, world) in worlds.iter().enumerate() {
+            let owned: Vec<CpuId> = all_cpus
+                .iter()
+                .copied()
+                .filter(|&c| lp_of_cpu(c) == lp)
+                .collect();
+            host.adopt_cpu_states(&world.host, &owned);
+            host.absorb_stats(&world.host);
+        }
+        let mut fabric_stats = hub.fabric.stats();
+        for world in &worlds {
+            fabric_stats.absorb(world.fabric.stats());
+        }
+        let device_stats: Vec<(DeviceStats, FtlStats)> = (0..n)
+            .map(|d| {
+                let owner = &worlds[device_lps[d]].devices[d];
+                (owner.stats(), owner.ftl_stats())
+            })
             .collect();
+        let mut causes = hub.causes;
+        let mut trace_parts = Vec::new();
+        let mut ledger_parts = Vec::new();
+        let mut reports: Vec<Option<JobReport>> = (0..jobs_len).map(|_| None).collect();
+        for (lp, world) in worlds.into_iter().enumerate() {
+            if let (Some(acc), Some(part)) = (&mut causes, &world.causes) {
+                acc.merge(part);
+            }
+            if let Some(tracer) = world.tracer {
+                trace_parts.push(tracer);
+            }
+            if let Some(log) = world.ledger_log {
+                ledger_parts.push(log);
+            }
+            for (j, job) in world.jobs.into_iter().enumerate() {
+                if job_lps[j] == lp {
+                    reports[j] = Some(job.into_report());
+                }
+            }
+        }
         RunResult {
-            reports: world.jobs.into_iter().map(JobState::into_report).collect(),
-            causes: world.causes,
-            traces: world.tracer,
-            ledgers: world.ledger_log,
+            reports: reports
+                .into_iter()
+                .map(|r| r.expect("every job has an owning shard"))
+                .collect(),
+            causes,
+            traces: (config.trace_ios > 0)
+                .then(|| crate::blktrace::TraceRecorder::merged(config.trace_ios, trace_parts)),
+            ledgers: (config.ledger_log > 0)
+                .then(|| LedgerLog::merged(config.ledger_log, ledger_parts)),
             elapsed,
             events_processed,
             clamped_past_schedules,
-            host: world.host,
+            host,
             fabric_stats,
             device_stats,
         }

@@ -44,7 +44,7 @@ pub use background::{BackgroundConfig, BgBurst, BurstProfile, DaemonClass, DAEMO
 pub use config::{CStateSpec, IdlePolicy, IrqMode, KernelConfig, SchedProfile};
 pub use cpu::{CpuId, CpuSet, CpuTopology};
 pub use irq::{IrqDelivery, VectorTable};
-pub use model::{HostModel, IrqOutcome, WakeBreakdown};
+pub use model::{BgPlacement, HostModel, IrqOutcome, WakeBreakdown};
 pub use task::SchedPolicy;
 
 /// Deterministic 64-bit mixer used for per-pair cost derivation

@@ -145,6 +145,29 @@ pub struct HostStats {
     pub rcu_softirq_hits: u64,
 }
 
+impl HostStats {
+    /// Accumulates another counter snapshot into this one. Sharded
+    /// runs split the counters across per-shard host replicas (wake
+    /// and CPU-charge counters accrue at the CPU-owning shard, IRQ
+    /// routing and background placement at the hub); summing the
+    /// replicas reproduces the single-world totals.
+    pub fn absorb(&mut self, other: &HostStats) {
+        self.bg_bursts += other.bg_bursts;
+        for (a, b) in self.bg_per_cpu.iter_mut().zip(&other.bg_per_cpu) {
+            *a += b;
+        }
+        for (a, b) in self.bg_per_class.iter_mut().zip(&other.bg_per_class) {
+            *a += b;
+        }
+        self.wakes_preempting_bg += other.wakes_preempting_bg;
+        self.wakes += other.wakes;
+        self.remote_irqs += other.remote_irqs;
+        self.irqs += other.irqs;
+        self.io_cpu_busy_ns += other.io_cpu_busy_ns;
+        self.rcu_softirq_hits += other.rcu_softirq_hits;
+    }
+}
+
 /// Per-CPU lazy state.
 #[derive(Clone, Debug)]
 struct CpuState {
@@ -155,22 +178,45 @@ struct CpuState {
     last_busy_end: SimTime,
     /// EMA of recent idle durations (µs) for the idle governor.
     ema_idle_us: f64,
+    /// Per-CPU scheduler-noise stream (splitmix64 state). Keeping the
+    /// draws CPU-local — instead of one shared stream — is what lets a
+    /// sharded run reproduce the sequential draw sequence: each CPU's
+    /// draws depend only on how often *that CPU* was touched.
+    draw_state: u64,
 }
 
 impl CpuState {
-    fn new() -> Self {
+    fn new(seed: u64, cpu: usize) -> Self {
+        let mut s = seed ^ 0x5C00_0000_0000_0000 ^ (cpu as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        afa_sim::rng::splitmix64(&mut s);
         CpuState {
             bg: None,
             io_busy_until: SimTime::ZERO,
             irq_busy_until: SimTime::ZERO,
             last_busy_end: SimTime::ZERO,
             ema_idle_us: 1_000.0,
+            draw_state: s,
         }
     }
 }
 
+/// A hub-side background-placement decision, handed to the CPU-owning
+/// shard for installation (see [`HostModel::decide_background`]).
+#[derive(Clone, Debug)]
+pub struct BgPlacement {
+    /// The CPU the burst lands on.
+    pub cpu: CpuId,
+    /// Daemon class index (stats bucket).
+    pub class: usize,
+    /// Burst length (used when stacking onto an active burst).
+    pub len: SimDuration,
+    /// The pre-generated burst (used when the CPU is free of one).
+    pub burst: BgBurst,
+}
+
 /// The complete host: topology + kernel config + scheduler state +
 /// IRQ vectors + background workload.
+#[derive(Clone)]
 pub struct HostModel {
     topo: CpuTopology,
     config: KernelConfig,
@@ -184,7 +230,6 @@ pub struct HostModel {
     bg_weight: Vec<f64>,
     vectors: Option<VectorTable>,
     bg_rng: SimRng,
-    sched_rng: SimRng,
     stats: HostStats,
 }
 
@@ -207,11 +252,10 @@ impl HostModel {
             config,
             bg_config,
             costs: SchedCosts::default(),
-            cpus: (0..n).map(|_| CpuState::new()).collect(),
+            cpus: (0..n).map(|c| CpuState::new(seed, c)).collect(),
             bg_weight,
             vectors: None,
             bg_rng,
-            sched_rng: SimRng::from_seed_and_stream(seed, 0x5C),
             stats: HostStats {
                 bg_per_cpu: vec![0; n],
                 bg_per_class: vec![0; crate::background::DAEMON_CLASSES],
@@ -271,12 +315,32 @@ impl HostModel {
         now + self.bg_config.sample_interarrival(&mut self.bg_rng)
     }
 
-    /// Spawns one background burst at `now`, using Linux-like
-    /// placement: pick an idle CPU if one exists — and a CPU whose I/O
-    /// task is sleeping *looks* idle, which is exactly the paper's
-    /// §IV-C complaint — otherwise any allowed CPU. `isolcpus` CPUs
-    /// are never candidates.
+    /// Spawns one background burst at `now`: decides placement and
+    /// installs the burst in one step. Equivalent to
+    /// [`decide_background`](Self::decide_background) followed by
+    /// [`install_background`](Self::install_background) — sharded runs
+    /// split the two across the hub and the CPU-owning shard.
     pub fn spawn_background(&mut self, now: SimTime) {
+        if let Some(placement) = self.decide_background(now) {
+            self.install_background(placement, now);
+        }
+    }
+
+    /// Picks where the next background burst lands and pre-generates
+    /// it, using Linux-like placement: pick an idle CPU if one exists
+    /// — and a CPU whose I/O task is sleeping *looks* idle, which is
+    /// exactly the paper's §IV-C complaint — otherwise any allowed
+    /// CPU. `isolcpus` CPUs are never candidates; the IoAggressive
+    /// prototype also treats any CPU with recent I/O activity as off
+    /// limits — automatic isolation without the boot option (falling
+    /// back to all allowed CPUs if that empties the set).
+    ///
+    /// On the hub shard the idle test reads the placement view of
+    /// each CPU: installs are mirrored locally and workers report
+    /// their I/O charges via [`note_io_busy`](Self::note_io_busy), so
+    /// the view lags true CPU state by at most the cross-shard
+    /// lookahead. Returns `None` when no CPU is allowed.
+    pub fn decide_background(&mut self, start: SimTime) -> Option<BgPlacement> {
         let allowed: Vec<CpuId> = self
             .topo
             .all_cpus()
@@ -284,21 +348,18 @@ impl HostModel {
             .filter(|c| !self.config.isolcpus.contains(*c))
             .collect();
         if allowed.is_empty() {
-            return;
+            return None;
         }
         for c in &allowed {
-            self.sync(*c, now);
+            self.sync(*c, start);
         }
-        // The IoAggressive prototype's placement treats any CPU with
-        // recent I/O activity as off limits — automatic isolation,
-        // without the isolcpus boot option.
         let allowed: Vec<CpuId> = if self.config.sched_profile == SchedProfile::IoAggressive {
             let quiet: Vec<CpuId> = allowed
                 .iter()
                 .copied()
                 .filter(|c| {
                     let s = &self.cpus[c.0 as usize];
-                    s.io_busy_until + SimDuration::millis(5) <= now
+                    s.io_busy_until + SimDuration::millis(5) <= start
                 })
                 .collect();
             if quiet.is_empty() {
@@ -314,27 +375,46 @@ impl HostModel {
             .copied()
             .filter(|c| {
                 let s = &self.cpus[c.0 as usize];
-                s.bg.is_none() && s.io_busy_until <= now
+                s.bg.is_none() && s.io_busy_until <= start
             })
             .collect();
         let candidates = if idle.is_empty() { &allowed } else { &idle };
-        let pick = self.weighted_pick(candidates);
+        let cpu = self.weighted_pick(candidates);
         let (class, len) = self.bg_config.sample_burst(&mut self.bg_rng);
-        let state = &mut self.cpus[pick.0 as usize];
-        match &mut state.bg {
-            Some(burst) if burst.active_at(now) => burst.stack(len),
-            _ => {
-                state.bg = Some(BgBurst::generate(
-                    &self.bg_config,
-                    now,
-                    len,
-                    &mut self.bg_rng,
-                ));
-            }
-        }
+        let burst = BgBurst::generate(&self.bg_config, start, len, &mut self.bg_rng);
         self.stats.bg_bursts += 1;
-        self.stats.bg_per_cpu[pick.0 as usize] += 1;
+        self.stats.bg_per_cpu[cpu.0 as usize] += 1;
         self.stats.bg_per_class[class] += 1;
+        Some(BgPlacement {
+            cpu,
+            class,
+            len,
+            burst,
+        })
+    }
+
+    /// Installs a hub-side placement decision on the chosen CPU: if a
+    /// burst is already active there, the new arrival stacks onto the
+    /// runqueue backlog; otherwise the pre-generated burst takes the
+    /// CPU. Runs on the shard that owns `placement.cpu`.
+    pub fn install_background(&mut self, placement: BgPlacement, now: SimTime) {
+        self.sync(placement.cpu, now);
+        let state = &mut self.cpus[placement.cpu.0 as usize];
+        match &mut state.bg {
+            Some(burst) if burst.active_at(now) => burst.stack(placement.len),
+            _ => state.bg = Some(placement.burst),
+        }
+    }
+
+    /// Records on this replica that `cpu` ran I/O work through
+    /// `until`. Worker shards report their charges to the hub so its
+    /// placement view keeps seeing I/O CPUs as busy while they run;
+    /// the report arrives one cross-shard lookahead after the charge,
+    /// so the hub's view is never more than that much stale.
+    pub fn note_io_busy(&mut self, cpu: CpuId, until: SimTime) {
+        let state = &mut self.cpus[cpu.0 as usize];
+        state.io_busy_until = state.io_busy_until.max(until);
+        state.last_busy_end = state.last_busy_end.max(until);
     }
 
     /// Weighted random choice among candidate CPUs (hot CPUs attract
@@ -374,19 +454,48 @@ impl HostModel {
     /// Delivers device `device`'s completion interrupt raised at
     /// `now`.
     ///
+    /// Equivalent to [`route_irq`](Self::route_irq) followed by
+    /// [`deliver_irq_routed`](Self::deliver_irq_routed) — sharded runs
+    /// split the two across the hub (which owns the vector table) and
+    /// the shard owning the vector CPU.
+    ///
     /// # Panics
     ///
     /// Panics if [`HostModel::init_vectors`] was not called.
     pub fn deliver_irq(&mut self, device: usize, now: SimTime) -> IrqOutcome {
+        let (delivery, designated) = self.route_irq(device, now);
+        self.deliver_irq_routed(delivery, designated, now)
+    }
+
+    /// Routes one completion interrupt through the vector table
+    /// (including any pending balancer reshuffle), returning the
+    /// delivery decision and the device's designated CPU. Mutates only
+    /// the vector table and the IRQ counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`HostModel::init_vectors`] was not called.
+    pub fn route_irq(&mut self, device: usize, now: SimTime) -> (IrqDelivery, CpuId) {
         let vectors = self.vectors.as_mut().expect("init_vectors not called");
         let delivery = vectors.route(device, now);
         let designated = vectors.designated(device);
-        let vcpu = delivery.vector_cpu;
-        self.sync(vcpu, now);
         self.stats.irqs += 1;
         if delivery.remote {
             self.stats.remote_irqs += 1;
         }
+        (delivery, designated)
+    }
+
+    /// Executes a routed interrupt's handler on the vector CPU,
+    /// touching only that CPU's state (no vector-table access).
+    pub fn deliver_irq_routed(
+        &mut self,
+        delivery: IrqDelivery,
+        designated: CpuId,
+        now: SimTime,
+    ) -> IrqOutcome {
+        let vcpu = delivery.vector_cpu;
+        self.sync(vcpu, now);
 
         // Hardirqs preempt tasks but wait for irq-off sections, and
         // handlers on the same CPU serialize (hardirqs don't nest) —
@@ -411,10 +520,9 @@ impl HostModel {
             // (vector, designated) pair has its own characteristic
             // cost — this is what makes the per-SSD distributions
             // diverge under balanced placement (§IV-D).
-            let extra = self.sched_rng.range_inclusive(
-                self.costs.pollution_min.as_nanos(),
-                self.costs.pollution_max.as_nanos(),
-            );
+            let min = self.costs.pollution_min.as_nanos();
+            let max = self.costs.pollution_max.as_nanos();
+            let extra = min + self.cpu_draw(vcpu) % (max - min + 1);
             let mut pair = (vcpu.0 as u64) << 16 | designated.0 as u64;
             let pair_factor = 0.5 + 2.0 * (crate::pair_hash(&mut pair) % 1_000) as f64 / 1_000.0;
             handler_cost += scale(SimDuration::nanos(extra), pair_factor);
@@ -445,6 +553,16 @@ impl HostModel {
     // ------------------------------------------------------------------
     // Task wake-up and execution
     // ------------------------------------------------------------------
+
+    /// Draws the next value of `cpu`'s private noise stream.
+    fn cpu_draw(&mut self, cpu: CpuId) -> u64 {
+        afa_sim::rng::splitmix64(&mut self.cpus[cpu.0 as usize].draw_state)
+    }
+
+    /// Draws a uniform value in `[0, 1)` from `cpu`'s noise stream.
+    fn cpu_draw_f64(&mut self, cpu: CpuId) -> f64 {
+        (self.cpu_draw(cpu) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 
     fn sibling_busy(&self, cpu: CpuId, t: SimTime) -> bool {
         let sib = self.topo.sibling_of(cpu);
@@ -565,6 +683,10 @@ impl HostModel {
         let bg_active = state.bg.as_ref().is_some_and(|b| b.active_at(ready));
         let run_start = if bg_active {
             self.stats.wakes_preempting_bg += 1;
+            // Drawn up front (for either policy) so the CPU's noise
+            // stream advances identically regardless of the RT
+            // override below.
+            let cfs_draw = self.cpu_draw_f64(cpu);
             let bg = self.cpus[cpu.0 as usize].bg.as_ref().expect("bg checked");
             let bg_end = bg.end();
             let preemptible = bg.preemptible_at(ready);
@@ -590,7 +712,7 @@ impl HostModel {
                     // current task hold on for a few more ticks.
                     let first_tick = self.next_tick(cpu, ready);
                     let extra_ticks = {
-                        let r = self.sched_rng.next_f64();
+                        let r = cfs_draw;
                         if r < 0.55 {
                             0
                         } else if r < 0.80 {
@@ -654,6 +776,28 @@ impl HostModel {
             }
         }
         end
+    }
+
+    /// Adopts the per-CPU state of `cpus` from another replica of the
+    /// same host. Used when merging shard replicas after a sharded
+    /// run: the merged host starts from the hub's clone (which owns
+    /// the vector table and background RNG) and adopts each worker's
+    /// owned CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replicas have different CPU counts.
+    pub fn adopt_cpu_states(&mut self, other: &HostModel, cpus: &[CpuId]) {
+        assert_eq!(self.cpus.len(), other.cpus.len(), "replica shape mismatch");
+        for &c in cpus {
+            self.cpus[c.0 as usize] = other.cpus[c.0 as usize].clone();
+        }
+    }
+
+    /// Accumulates another replica's counters (see
+    /// [`HostStats::absorb`]).
+    pub fn absorb_stats(&mut self, other: &HostModel) {
+        self.stats.absorb(&other.stats);
     }
 
     /// Whether a background burst currently occupies `cpu` (test and

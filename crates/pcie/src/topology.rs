@@ -47,6 +47,19 @@ pub struct FabricStats {
     pub commands: u64,
 }
 
+impl FabricStats {
+    /// Accumulates another accounting snapshot into this one. Sharded
+    /// runs split the counters across per-shard fabric replicas
+    /// (device legs accrue at the owning shard, uplink legs at the
+    /// hub); summing the replicas reproduces the single-world totals.
+    pub fn absorb(&mut self, other: FabricStats) {
+        self.uplink_bytes += other.uplink_bytes;
+        self.device_bytes += other.device_bytes;
+        self.interrupts += other.interrupts;
+        self.commands += other.commands;
+    }
+}
+
 /// The switch fabric connecting one or more hosts to the SSDs.
 ///
 /// Links are directional resources: the downstream direction carries
@@ -169,30 +182,96 @@ impl PcieFabric {
     /// Carries a command submission (doorbell + SQE fetch) from the
     /// host to `device`, returning when the device sees the command.
     pub fn submit_command(&mut self, device: usize, now: SimTime) -> SimTime {
+        let at_entry = self.submit_command_shared_legs(device, now);
+        self.submit_command_device_leg(device, at_entry)
+    }
+
+    /// The shared first legs of a submission: reserves the host→spine
+    /// and spine→leaf links from the doorbell instant and returns
+    /// when the command reaches the leaf egress (device-link
+    /// ingress). Sharded runs call this on the hub shard — the shared
+    /// FIFOs must be reserved in global submit order; the 64 B
+    /// commands barely load the links, but the FIFO ordering itself
+    /// phase-couples the submitting threads, and that coupling is
+    /// what lets completion convoys form on the upstream legs (the
+    /// paper's shared-fabric contention). The timestamp is then
+    /// handed to the device's owner for
+    /// [`submit_command_device_leg`](Self::submit_command_device_leg).
+    pub fn submit_command_shared_legs(&mut self, device: usize, now: SimTime) -> SimTime {
         let a = self.assignments[device];
         let li = self.leaf_index(a);
         self.stats.commands += 1;
         // host → spine → leaf → device, one hop delay per switch.
         let t = self.uplink_down[a.spine as usize].reserve(now, COMMAND_BYTES);
         let t = self.leaf_down[li].reserve(t + self.hop_latency, COMMAND_BYTES);
-        self.device_down[device].reserve(t + self.hop_latency, COMMAND_BYTES)
+        t + self.hop_latency
+    }
+
+    /// The device-private last leg of a submission: reserves the
+    /// device's x4 downstream link from the leaf-egress timestamp and
+    /// returns when the device sees the command. Composing the two
+    /// legs is timing-identical to
+    /// [`submit_command`](Self::submit_command).
+    pub fn submit_command_device_leg(&mut self, device: usize, at_entry: SimTime) -> SimTime {
+        self.device_down[device].reserve(at_entry, COMMAND_BYTES)
     }
 
     /// Carries read data (`bytes`), the CQE and the MSI-X interrupt
     /// from `device` to the host, returning when the interrupt fires
     /// at the host.
     pub fn deliver_completion(&mut self, device: usize, now: SimTime, bytes: u64) -> SimTime {
+        let t_leaf = self.deliver_completion_device_leg(device, now, bytes);
+        self.deliver_completion_shared_legs(device, t_leaf, bytes)
+    }
+
+    /// The device-private first leg of a completion: reserves the
+    /// device's x4 upstream link and returns when the payload reaches
+    /// the leaf switch ingress. Sharded runs call this on the shard
+    /// that owns `device`, then hand the timestamp to the hub shard
+    /// for [`deliver_completion_shared_legs`](Self::deliver_completion_shared_legs).
+    pub fn deliver_completion_device_leg(
+        &mut self,
+        device: usize,
+        now: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        let payload = bytes + CQE_BYTES + MSI_BYTES;
+        self.stats.device_bytes += payload;
+        let t = self.device_up[device].reserve(now, payload);
+        t + self.hop_latency
+    }
+
+    /// The shared second leg of a completion: reserves the leaf→spine
+    /// and spine→host links starting from the leaf-ingress timestamp
+    /// produced by [`deliver_completion_device_leg`](Self::deliver_completion_device_leg)
+    /// and returns when the MSI-X interrupt fires at the host.
+    /// Composing the two legs is timing-identical to
+    /// [`deliver_completion`](Self::deliver_completion).
+    pub fn deliver_completion_shared_legs(
+        &mut self,
+        device: usize,
+        t_leaf: SimTime,
+        bytes: u64,
+    ) -> SimTime {
         let a = self.assignments[device];
         let li = self.leaf_index(a);
         let payload = bytes + CQE_BYTES + MSI_BYTES;
-        self.stats.device_bytes += payload;
         self.stats.uplink_bytes += payload;
         self.stats.interrupts += 1;
-        // device → leaf → spine → host.
-        let t = self.device_up[device].reserve(now, payload);
-        let t = self.leaf_up[li].reserve(t + self.hop_latency, payload);
+        let t = self.leaf_up[li].reserve(t_leaf, payload);
         let t = self.uplink_up[a.spine as usize].reserve(t + self.hop_latency, payload);
         t + self.msi_latency
+    }
+
+    /// Per-switch store-and-forward latency — the minimum gap any
+    /// upstream leg adds, used to derive shard lookahead bounds.
+    pub fn hop_latency(&self) -> SimDuration {
+        self.hop_latency
+    }
+
+    /// MSI-X write-to-vector delivery latency at the host.
+    pub fn msi_latency(&self) -> SimDuration {
+        self.msi_latency
     }
 
     /// Unloaded round-trip fabric latency for a 4 KiB read, for

@@ -52,19 +52,13 @@ impl<'a, E> Scheduler<'a, E> {
     }
 }
 
-/// Bumps a past-schedule counter, logging the first offence in debug
-/// builds (release stays silent but counted).
+/// Bumps a past-schedule counter and reports the offence through the
+/// structured [`crate::trace::set_past_schedule_hook`] hook (silent
+/// when no hook is installed — never stderr, so parallel shards cannot
+/// interleave output).
 #[inline]
-fn note_past_schedule(counter: &mut u64, now: SimTime, requested: SimTime) {
-    #[cfg(debug_assertions)]
-    if *counter == 0 {
-        eprintln!(
-            "afa-sim: event scheduled {requested} with the clock at {now} — \
-             clamped to now; further past-schedules are counted silently"
-        );
-    }
-    #[cfg(not(debug_assertions))]
-    let _ = (now, requested);
+pub(crate) fn note_past_schedule(counter: &mut u64, now: SimTime, requested: SimTime) {
+    crate::trace::note_past_schedule(now, requested);
     *counter += 1;
 }
 

@@ -40,10 +40,12 @@ mod driver;
 pub mod metrics;
 mod queue;
 pub mod rng;
+pub mod shard;
 mod time;
 pub mod trace;
 
 pub use driver::{Scheduler, Simulation, StepOutcome, World};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use shard::{ShardCtx, ShardWorld, ShardedSim};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,711 @@
+//! Conservative (lookahead/null-message style) parallel DES.
+//!
+//! The world is partitioned into a *fixed* set of shards (logical
+//! processes). Each shard owns a slice of the model state, runs its
+//! own [`EventQueue`] timing wheel, and exchanges timestamped *cross*
+//! events with other shards. Two drivers execute the same shard set:
+//!
+//! * [`ShardedSim::run_sequential`] multiplexes every shard on the
+//!   calling thread, always processing the globally earliest event;
+//! * [`ShardedSim::run_threaded`] runs shards on worker threads under
+//!   the conservative watermark protocol: each shard *i* publishes a
+//!   promise `W_i` ("I will never again send a cross event with
+//!   timestamp `< W_i`"), derived from its next event and the other
+//!   shards' promises plus its *lookahead* (the minimum latency any of
+//!   its sends adds — a fabric hop, an interrupt entry). A shard may
+//!   safely process any event strictly earlier than
+//!   `min_{j≠i} W_j`.
+//!
+//! # The deterministic merge contract
+//!
+//! Both drivers process each shard's events in exactly the same order:
+//!
+//! 1. earliest timestamp first;
+//! 2. at equal timestamps, cross events before local events;
+//! 3. cross events tie-break by `(time, source shard id, insertion
+//!    seq)`, where the seq is a per-(source, destination) send
+//!    counter;
+//! 4. local events at equal times keep timing-wheel FIFO order.
+//!
+//! Because every cross send must satisfy `ts ≥ now + lookahead` with
+//! `lookahead > 0`, same-timestamp events on *different* shards are
+//! causally independent, so the processing order of each shard depends
+//! only on the ordering keys — never on thread interleaving. A
+//! threaded run therefore produces bit-identical shard states to the
+//! sequential multiplexer, which is what lets `afa-core` promise
+//! byte-identical experiment artifacts for any `AFA_THREADS`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// One partition of a sharded world.
+///
+/// Implementations own their slice of model state and react to their
+/// own (local) events and to cross events arriving from other shards.
+pub trait ShardWorld: Send {
+    /// Events a shard schedules for itself.
+    type Local: Send;
+    /// Events exchanged between shards.
+    type Cross: Send;
+
+    /// Handles one local event popped from this shard's wheel.
+    fn handle_local(
+        &mut self,
+        event: Self::Local,
+        ctx: &mut ShardCtx<'_, Self::Local, Self::Cross>,
+    );
+
+    /// Handles one cross event sent by shard `src`.
+    fn handle_cross(
+        &mut self,
+        src: usize,
+        event: Self::Cross,
+        ctx: &mut ShardCtx<'_, Self::Local, Self::Cross>,
+    );
+}
+
+/// Scheduling context handed to a shard while it processes one event.
+pub struct ShardCtx<'a, L, C> {
+    shard: usize,
+    now: SimTime,
+    lookahead: SimDuration,
+    queue: &'a mut EventQueue<L>,
+    outbox: &'a mut Vec<(usize, SimTime, C)>,
+    clamped: &'a mut u64,
+}
+
+impl<L, C> ShardCtx<'_, L, C> {
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This shard's stable id.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Schedules a local event at an absolute time. Past instants
+    /// clamp to the clock and count, exactly like
+    /// [`Scheduler::at`](crate::Scheduler::at).
+    pub fn at(&mut self, time: SimTime, event: L) {
+        if time < self.now {
+            crate::driver::note_past_schedule(self.clamped, self.now, time);
+        }
+        self.queue.push(time.max(self.now), event);
+    }
+
+    /// Schedules a local event `delay` after the current instant.
+    pub fn after(&mut self, delay: SimDuration, event: L) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Sends a cross event to shard `dst` (self-sends are allowed and
+    /// ordered like any other cross event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time < now + lookahead`: the conservative protocol
+    /// is sound only when every send respects the shard's declared
+    /// lookahead bound.
+    pub fn send(&mut self, dst: usize, time: SimTime, event: C) {
+        assert!(
+            time >= self.now + self.lookahead,
+            "cross-shard send at {time} violates lookahead \
+             (now {}, lookahead {} ns)",
+            self.now,
+            self.lookahead.as_nanos(),
+        );
+        self.outbox.push((dst, time, event));
+    }
+}
+
+/// Merge key of a received cross event — the contract's clause 3.
+type CrossKey = (u64, u32, u64); // (time ns, src shard, per-channel seq)
+
+struct ShardState<W: ShardWorld> {
+    world: W,
+    queue: EventQueue<W::Local>,
+    /// Received-but-unprocessed cross events in merge-key order.
+    pending: BTreeMap<CrossKey, W::Cross>,
+    /// This shard's stable id.
+    id: usize,
+    /// Per-destination send sequence counters.
+    send_seq: Vec<u64>,
+    lookahead: SimDuration,
+    now: SimTime,
+    processed: u64,
+    clamped: u64,
+}
+
+impl<W: ShardWorld> ShardState<W> {
+    /// Timestamp of the earliest unprocessed event (local or cross).
+    fn next_time_ns(&mut self) -> Option<u64> {
+        let local = self.queue.next_time().map(SimTime::as_nanos);
+        let cross = self.pending.keys().next().map(|k| k.0);
+        match (local, cross) {
+            (None, c) => c,
+            (l, None) => l,
+            (Some(l), Some(c)) => Some(l.min(c)),
+        }
+    }
+
+    /// Processes the earliest event (cross wins timestamp ties).
+    /// Returns false when nothing is queued.
+    fn step(&mut self, outbox: &mut Vec<(usize, SimTime, W::Cross)>) -> bool {
+        let local = self.queue.next_time().map(SimTime::as_nanos);
+        let cross = self.pending.keys().next().copied();
+        let take_cross = match (local, cross) {
+            (None, None) => return false,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(l), Some(c)) => c.0 <= l,
+        };
+        if take_cross {
+            let (key, event) = self.pending.pop_first().expect("cross head");
+            self.now = SimTime::from_nanos(key.0);
+            self.processed += 1;
+            let mut ctx = ShardCtx {
+                shard: self.id,
+                now: self.now,
+                lookahead: self.lookahead,
+                queue: &mut self.queue,
+                outbox,
+                clamped: &mut self.clamped,
+            };
+            self.world.handle_cross(key.1 as usize, event, &mut ctx);
+        } else {
+            let (time, event) = self.queue.pop().expect("local head");
+            self.now = time;
+            self.processed += 1;
+            let mut ctx = ShardCtx {
+                shard: self.id,
+                now: self.now,
+                lookahead: self.lookahead,
+                queue: &mut self.queue,
+                outbox,
+                clamped: &mut self.clamped,
+            };
+            self.world.handle_local(event, &mut ctx);
+        }
+        true
+    }
+}
+
+/// In-flight cross message in a parallel run.
+struct InMsg<C> {
+    key: CrossKey,
+    payload: C,
+}
+
+/// A bounded SPSC mailbox: exactly one producer (shard `src`) and one
+/// consumer (shard `dst`) touch each slot.
+struct Mailbox<C> {
+    slot: Mutex<Vec<InMsg<C>>>,
+}
+
+/// Soft bound on undrained messages per channel; producers spin until
+/// the consumer drains (the consumer drains unconditionally on every
+/// pump iteration, so this cannot deadlock).
+const MAILBOX_CAP: usize = 8192;
+
+/// A sharded simulation: a fixed set of [`ShardWorld`] partitions plus
+/// the two drivers that execute them.
+pub struct ShardedSim<W: ShardWorld> {
+    shards: Vec<ShardState<W>>,
+    outbox: Vec<(usize, SimTime, W::Cross)>,
+    flushed_events: u64,
+    flushed_clamped: u64,
+}
+
+impl<W: ShardWorld> ShardedSim<W> {
+    /// Builds a simulation from `(world, lookahead)` pairs, one per
+    /// shard. Shard ids are the vector indices and must stay stable
+    /// across runs — they are part of the merge contract.
+    pub fn new(shards: Vec<(W, SimDuration)>) -> Self {
+        let n = shards.len();
+        assert!(n > 0, "need at least one shard");
+        let shards = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, (world, lookahead))| {
+                assert!(
+                    !lookahead.is_zero(),
+                    "conservative sync requires positive lookahead"
+                );
+                ShardState {
+                    world,
+                    queue: EventQueue::new(),
+                    pending: BTreeMap::new(),
+                    id,
+                    send_seq: vec![0; n],
+                    lookahead,
+                    now: SimTime::ZERO,
+                    processed: 0,
+                    clamped: 0,
+                }
+            })
+            .collect();
+        ShardedSim {
+            shards,
+            outbox: Vec::new(),
+            flushed_events: 0,
+            flushed_clamped: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Seeds an initial local event on `shard`.
+    pub fn schedule(&mut self, shard: usize, time: SimTime, event: W::Local) {
+        self.shards[shard].queue.push(time, event);
+    }
+
+    /// The latest instant any shard has reached (equals the timestamp
+    /// of the last event processed anywhere once a run completes).
+    pub fn now(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.now)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Total past-time schedules clamped across all shards.
+    pub fn clamped_past_schedules(&self) -> u64 {
+        self.shards.iter().map(|s| s.clamped).sum()
+    }
+
+    /// Consumes the simulation, returning the shard worlds in id
+    /// order.
+    pub fn into_worlds(self) -> Vec<W> {
+        self.shards.into_iter().map(|s| s.world).collect()
+    }
+
+    /// Flushes processed/clamped deltas to the process-wide
+    /// [`metrics`](crate::metrics) counters (batched, like
+    /// [`Simulation`](crate::Simulation)).
+    fn flush_metrics(&mut self) {
+        let events = self.events_processed();
+        let clamped = self.clamped_past_schedules();
+        crate::metrics::add_events(events - self.flushed_events);
+        crate::metrics::add_clamped_past(clamped - self.flushed_clamped);
+        self.flushed_events = events;
+        self.flushed_clamped = clamped;
+    }
+
+    /// Delivers this shard's outbox, assigning per-channel sequence
+    /// numbers (identical in both drivers) and inserting straight into
+    /// the destinations' pending sets.
+    fn deliver_outbox_sequential(&mut self, src: usize) {
+        // Drain into a scratch Vec to end the borrow of `src`.
+        let msgs = std::mem::take(&mut self.outbox);
+        for (dst, ts, payload) in msgs {
+            let seq = self.shards[src].send_seq[dst];
+            self.shards[src].send_seq[dst] += 1;
+            let key = (ts.as_nanos(), src as u32, seq);
+            self.shards[dst].pending.insert(key, payload);
+        }
+    }
+
+    /// Runs every shard to completion on the calling thread, always
+    /// advancing the shard holding the globally earliest event (ties
+    /// to the lowest shard id — which cannot matter, because
+    /// equal-time events on different shards are causally
+    /// independent under the lookahead discipline).
+    pub fn run_sequential(&mut self) {
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for i in 0..self.shards.len() {
+                if let Some(t) = self.shards[i].next_time_ns() {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let mut outbox = std::mem::take(&mut self.outbox);
+            self.shards[i].step(&mut outbox);
+            self.outbox = outbox;
+            self.deliver_outbox_sequential(i);
+        }
+        self.flush_metrics();
+    }
+
+    /// Runs the shards on `threads` worker threads under the
+    /// conservative watermark protocol. `threads` is clamped to
+    /// `1..=shard_count`; one thread degenerates to (a slower form
+    /// of) the sequential driver and produces identical results, as
+    /// does any other thread count.
+    pub fn run_threaded(&mut self, threads: usize) {
+        let n = self.shards.len();
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            self.run_sequential();
+            return;
+        }
+
+        let watermarks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let idle: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let sent = AtomicU64::new(0);
+        let received = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let mailboxes: Vec<Vec<Mailbox<W::Cross>>> = (0..n)
+            .map(|_| {
+                (0..n)
+                    .map(|_| Mailbox {
+                        slot: Mutex::new(Vec::new()),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Partition shards round-robin across threads, preserving ids.
+        let mut groups: Vec<Vec<(usize, ShardState<W>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, shard) in self.shards.drain(..).enumerate() {
+            groups[i % threads].push((i, shard));
+        }
+
+        let watermarks = &watermarks;
+        let idle = &idle;
+        let sent = &sent;
+        let received = &received;
+        let done = &done;
+        let mailboxes = &mailboxes;
+
+        let finished: Vec<Vec<(usize, ShardState<W>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .map(|(tid, group)| {
+                    scope.spawn(move || {
+                        pump_group(
+                            tid, group, n, watermarks, idle, sent, received, done, mailboxes,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        let mut shards: Vec<Option<ShardState<W>>> = (0..n).map(|_| None).collect();
+        for group in finished {
+            for (i, shard) in group {
+                shards[i] = Some(shard);
+            }
+        }
+        self.shards = shards
+            .into_iter()
+            .map(|s| s.expect("every shard returned"))
+            .collect();
+        self.flush_metrics();
+    }
+}
+
+/// The per-thread pump loop of the parallel driver.
+#[allow(clippy::too_many_arguments)]
+fn pump_group<W: ShardWorld>(
+    tid: usize,
+    mut group: Vec<(usize, ShardState<W>)>,
+    n: usize,
+    watermarks: &[AtomicU64],
+    idle: &[AtomicBool],
+    sent: &AtomicU64,
+    received: &AtomicU64,
+    done: &AtomicBool,
+    mailboxes: &[Vec<Mailbox<W::Cross>>],
+) -> Vec<(usize, ShardState<W>)> {
+    let mut outbox: Vec<(usize, SimTime, W::Cross)> = Vec::new();
+    let mut drained: Vec<InMsg<W::Cross>> = Vec::new();
+    while !done.load(Ordering::Acquire) {
+        let mut progress = false;
+        for (id, shard) in &mut group {
+            let id = *id;
+            // Drain inboxes: senders enqueue *before* publishing
+            // watermarks, so everything a watermark promises visible
+            // is visible after this drain.
+            let mut got = 0u64;
+            for inbox in mailboxes[id].iter().take(n) {
+                let mut slot = inbox.slot.lock().expect("mailbox");
+                if !slot.is_empty() {
+                    drained.append(&mut slot);
+                }
+                drop(slot);
+            }
+            for msg in drained.drain(..) {
+                shard.pending.insert(msg.key, msg.payload);
+                got += 1;
+            }
+            if got > 0 {
+                received.fetch_add(got, Ordering::AcqRel);
+            }
+
+            // Process every event strictly below the safe horizon.
+            loop {
+                let safe = min_other_watermark(watermarks, id);
+                let Some(next) = shard.next_time_ns() else {
+                    break;
+                };
+                if next >= safe {
+                    break;
+                }
+                shard.step(&mut outbox);
+                progress = true;
+                // Flush sends promptly so downstream shards advance.
+                for (dst, ts, payload) in outbox.drain(..) {
+                    let seq = shard.send_seq[dst];
+                    shard.send_seq[dst] += 1;
+                    let key = (ts.as_nanos(), id as u32, seq);
+                    loop {
+                        let mut slot = mailboxes[dst][id].slot.lock().expect("mailbox");
+                        if slot.len() < MAILBOX_CAP {
+                            slot.push(InMsg { key, payload });
+                            break;
+                        }
+                        drop(slot);
+                        std::hint::spin_loop();
+                    }
+                    sent.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+
+            // Publish the new promise: nothing this shard ever sends
+            // again can be earlier than its next event (or the
+            // earliest event another shard could still send it),
+            // plus its lookahead.
+            let safe = min_other_watermark(watermarks, id);
+            let head = shard.next_time_ns().unwrap_or(u64::MAX);
+            let promise = head.min(safe).saturating_add(shard.lookahead.as_nanos());
+            let current = watermarks[id].load(Ordering::Relaxed);
+            if promise > current {
+                watermarks[id].store(promise, Ordering::Release);
+            }
+            idle[id].store(shard.next_time_ns().is_none(), Ordering::Release);
+        }
+
+        if !progress {
+            // Termination: all shards idle with no message in flight,
+            // stable across a double read (thread 0 decides).
+            if tid == 0 && all_quiet(idle, sent, received) && all_quiet(idle, sent, received) {
+                done.store(true, Ordering::Release);
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+    group
+}
+
+fn min_other_watermark(watermarks: &[AtomicU64], id: usize) -> u64 {
+    let mut safe = u64::MAX;
+    for (j, w) in watermarks.iter().enumerate() {
+        if j != id {
+            safe = safe.min(w.load(Ordering::Acquire));
+        }
+    }
+    safe
+}
+
+fn all_quiet(idle: &[AtomicBool], sent: &AtomicU64, received: &AtomicU64) -> bool {
+    let s = sent.load(Ordering::Acquire);
+    let r = received.load(Ordering::Acquire);
+    s == r && idle.iter().all(|f| f.load(Ordering::Acquire))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test world: shards pass a token around the ring, each hop
+    /// recording what it saw. Local "tick" events also fire to
+    /// exercise cross-vs-local tie ordering.
+    struct Ring {
+        id: usize,
+        shards: usize,
+        log: Vec<(u64, usize, u64)>, // (time, src, value)
+        hops_left: u64,
+    }
+
+    #[derive(Debug)]
+    enum Local {
+        Tick(u64),
+    }
+
+    impl ShardWorld for Ring {
+        type Local = Local;
+        type Cross = u64;
+
+        fn handle_local(&mut self, event: Local, ctx: &mut ShardCtx<'_, Local, u64>) {
+            let Local::Tick(v) = event;
+            self.log.push((ctx.now().as_nanos(), usize::MAX, v));
+            if self.hops_left > 0 {
+                self.hops_left -= 1;
+                let dst = (self.id + 1) % self.shards;
+                ctx.send(dst, ctx.now() + SimDuration::nanos(700), v + 1);
+            }
+        }
+
+        fn handle_cross(&mut self, src: usize, event: u64, ctx: &mut ShardCtx<'_, Local, u64>) {
+            self.log.push((ctx.now().as_nanos(), src, event));
+            if event < 200 {
+                let dst = (self.id + 1) % self.shards;
+                ctx.send(dst, ctx.now() + SimDuration::nanos(700), event + 1);
+                // A same-time local event: must process *after* any
+                // cross event that shares its timestamp.
+                ctx.at(ctx.now() + SimDuration::nanos(700), Local::Tick(event));
+            }
+        }
+    }
+
+    fn build(shards: usize) -> ShardedSim<Ring> {
+        let mut sim = ShardedSim::new(
+            (0..shards)
+                .map(|id| {
+                    (
+                        Ring {
+                            id,
+                            shards,
+                            log: Vec::new(),
+                            hops_left: 3,
+                        },
+                        SimDuration::nanos(500),
+                    )
+                })
+                .collect(),
+        );
+        for id in 0..shards {
+            sim.schedule(
+                id,
+                SimTime::ZERO + SimDuration::nanos(13 * id as u64),
+                Local::Tick(id as u64 * 1000),
+            );
+        }
+        sim
+    }
+
+    type RingLog = Vec<(u64, usize, u64)>;
+
+    fn run(threads: usize) -> (Vec<RingLog>, u64, SimTime) {
+        let mut sim = build(4);
+        if threads == 1 {
+            sim.run_sequential();
+        } else {
+            sim.run_threaded(threads);
+        }
+        let events = sim.events_processed();
+        let now = sim.now();
+        (
+            sim.into_worlds().into_iter().map(|w| w.log).collect(),
+            events,
+            now,
+        )
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree_exactly() {
+        let (seq_logs, seq_events, seq_now) = run(1);
+        for threads in [2, 3, 4] {
+            let (par_logs, par_events, par_now) = run(threads);
+            assert_eq!(seq_logs, par_logs, "logs diverged at {threads} threads");
+            assert_eq!(seq_events, par_events);
+            assert_eq!(seq_now, par_now);
+        }
+        assert!(seq_events > 0);
+    }
+
+    #[test]
+    fn cross_events_merge_by_time_src_seq() {
+        // Two sources fire same-timestamp cross events at shard 0; the
+        // receiver must see them ordered by (time, src, seq).
+        struct Sink {
+            seen: Vec<(usize, u64)>,
+        }
+        struct Source {
+            id: usize,
+        }
+        enum W2 {
+            Sink(Sink),
+            Source(Source),
+        }
+        impl ShardWorld for W2 {
+            type Local = ();
+            type Cross = u64;
+            fn handle_local(&mut self, _e: (), ctx: &mut ShardCtx<'_, (), u64>) {
+                if let W2::Source(s) = self {
+                    // Two sends to the same destination at the same
+                    // timestamp: seq breaks the tie.
+                    let t = ctx.now() + SimDuration::micros(10);
+                    ctx.send(0, t, s.id as u64 * 10);
+                    ctx.send(0, t, s.id as u64 * 10 + 1);
+                }
+            }
+            fn handle_cross(&mut self, src: usize, event: u64, _ctx: &mut ShardCtx<'_, (), u64>) {
+                if let W2::Sink(s) = self {
+                    s.seen.push((src, event));
+                }
+            }
+        }
+        let mut sim = ShardedSim::new(vec![
+            (W2::Sink(Sink { seen: Vec::new() }), SimDuration::nanos(1)),
+            (W2::Source(Source { id: 1 }), SimDuration::nanos(1)),
+            (W2::Source(Source { id: 2 }), SimDuration::nanos(1)),
+        ]);
+        // Source 2 fires *first* in wall order but must still merge
+        // after source 1's events (same timestamp, higher shard id).
+        sim.schedule(2, SimTime::ZERO, ());
+        sim.schedule(1, SimTime::ZERO, ());
+        sim.run_sequential();
+        let worlds = sim.into_worlds();
+        let W2::Sink(sink) = &worlds[0] else {
+            panic!("shard 0 is the sink")
+        };
+        assert_eq!(sink.seen, vec![(1, 10), (1, 11), (2, 20), (2, 21)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn sends_below_lookahead_panic() {
+        struct Bad;
+        impl ShardWorld for Bad {
+            type Local = ();
+            type Cross = ();
+            fn handle_local(&mut self, _e: (), ctx: &mut ShardCtx<'_, (), ()>) {
+                ctx.send(0, ctx.now(), ());
+            }
+            fn handle_cross(&mut self, _s: usize, _e: (), _c: &mut ShardCtx<'_, (), ()>) {}
+        }
+        let mut sim = ShardedSim::new(vec![
+            (Bad, SimDuration::micros(1)),
+            (Bad, SimDuration::micros(1)),
+        ]);
+        sim.schedule(0, SimTime::ZERO, ());
+        sim.run_sequential();
+    }
+
+    #[test]
+    fn threaded_matches_on_single_thread_clamp() {
+        let mut a = build(4);
+        a.run_threaded(1); // falls back to sequential
+        let mut b = build(4);
+        b.run_sequential();
+        assert_eq!(a.events_processed(), b.events_processed());
+        let la: Vec<_> = a.into_worlds().into_iter().map(|w| w.log).collect();
+        let lb: Vec<_> = b.into_worlds().into_iter().map(|w| w.log).collect();
+        assert_eq!(la, lb);
+    }
+}

@@ -319,6 +319,43 @@ impl RequestLog {
     }
 }
 
+/// A past-time schedule observed by a driver: the clock stood at
+/// `now` when an event was requested for `requested` (< `now`). The
+/// event is clamped to `now` and counted; a healthy model never
+/// produces these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PastSchedule {
+    /// The simulation clock when the offending schedule happened.
+    pub now: SimTime,
+    /// The (past) instant the event asked for.
+    pub requested: SimTime,
+}
+
+type PastScheduleHook = Box<dyn Fn(PastSchedule) + Send + Sync>;
+
+static PAST_SCHEDULE_HOOK: std::sync::Mutex<Option<PastScheduleHook>> = std::sync::Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide hook invoked on
+/// every clamped past-time schedule. With no hook installed the event
+/// is counted silently — drivers never write to stderr themselves, so
+/// parallel shards cannot interleave garbage. Returns the previous
+/// hook.
+pub fn set_past_schedule_hook(hook: Option<PastScheduleHook>) -> Option<PastScheduleHook> {
+    let mut slot = PAST_SCHEDULE_HOOK.lock().expect("hook lock");
+    std::mem::replace(&mut *slot, hook)
+}
+
+/// Reports one clamped past-time schedule to the installed hook, if
+/// any. Called by the drivers; the hot path never takes the lock
+/// because schedules into the past do not happen in a healthy model.
+pub fn note_past_schedule(now: SimTime, requested: SimTime) {
+    if let Ok(slot) = PAST_SCHEDULE_HOOK.lock() {
+        if let Some(hook) = slot.as_ref() {
+            hook(PastSchedule { now, requested });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

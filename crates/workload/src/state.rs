@@ -9,7 +9,7 @@ use crate::report::JobReport;
 /// Live state of one running job: the pattern generator, in-flight
 /// accounting and the accumulating report. The system simulator owns
 /// the actual submit/complete orchestration and calls back into this.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct JobState {
     spec: JobSpec,
     pattern: AccessPattern,

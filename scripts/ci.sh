@@ -25,7 +25,7 @@ if [ "$count" -lt 20 ]; then
 fi
 echo "afactl list: $count experiments registered"
 
-echo "==> golden artifact byte-compare (scaled fig06-fig09/fig12/fig13 + request-serving)"
+echo "==> golden artifact byte-compare (scaled fig06-fig13 + request-serving)"
 # Doubles as the experiment smoke test: regenerates the figure
 # artifacts (plus the frontend request-serving experiments) at a
 # reduced scale and byte-compares them against the committed fixtures.
@@ -33,7 +33,7 @@ echo "==> golden artifact byte-compare (scaled fig06-fig09/fig12/fig13 + request
 # schema shows up here as a diff.
 golden_tmp="$(mktemp -d)"
 trap 'rm -rf "$golden_tmp"' EXIT
-for fig in fig06 fig07 fig08 fig09 fig12 fig13 tailscale-fanout tailscale-hedge; do
+for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tailscale-hedge; do
     ./target/release/afactl exp "$fig" --seconds 0.25 --ssds 8 --seed 42 \
         --json > "$golden_tmp/$fig.json"
     if ! cmp -s "tests/golden/$fig.json" "$golden_tmp/$fig.json"; then
@@ -51,6 +51,18 @@ for fig in fig06 fig07 fig08 fig09 fig12 fig13 tailscale-fanout tailscale-hedge;
     fi
     echo "golden OK: $fig"
 done
+
+echo "==> parallel-vs-sequential byte-compare (fig06 at AFA_THREADS=4)"
+# The conservative parallel engine must be invisible in the artifacts:
+# the 9-LP partition is fixed regardless of thread count, so a 4-thread
+# run has to produce byte-identical JSON to the sequential driver.
+AFA_THREADS=4 ./target/release/afactl exp fig06 --seconds 0.25 --ssds 8 --seed 42 \
+    --json > "$golden_tmp/fig06-par.json"
+if ! cmp -s "tests/golden/fig06.json" "$golden_tmp/fig06-par.json"; then
+    echo "parallel mismatch: AFA_THREADS=4 fig06 differs from the sequential golden" >&2
+    exit 1
+fi
+echo "parallel OK: fig06 (AFA_THREADS=4 == sequential)"
 
 echo "==> desperf regression check (pinned-scale fig06 events/sec)"
 # Fails if DES throughput fell more than 10% below the most recent

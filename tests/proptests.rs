@@ -11,9 +11,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use afa::core::{AfaConfig, AfaSystem, TuningStage};
+use afa::core::{AfaConfig, AfaSystem, ThreadsOverride, TuningStage};
 use afa::sim::check::run_cases;
-use afa::sim::{EventQueue, SimDuration, SimTime};
+use afa::sim::{EventQueue, ShardCtx, ShardWorld, ShardedSim, SimDuration, SimTime};
 use afa::stats::NinesPoint;
 
 /// For any seed and small device count, the system completes I/O on
@@ -179,6 +179,162 @@ fn ledger_sums_to_completion_latency() {
                 io.issued_at,
             );
         }
+    });
+}
+
+/// The conservative parallel engine is invisible in the artifacts: for
+/// any experiment, seed, scale and worker-thread count, the threaded
+/// driver serializes to exactly the bytes the sequential driver does.
+/// This is the differential form of the per-figure golden fixtures —
+/// the fixtures pin ten (experiment, scale) points, this samples the
+/// whole space.
+#[test]
+fn parallel_driver_matches_sequential_bytes() {
+    // Single-stage experiments keep each case to two cheap runs; fig12
+    // exercises the multi-stage path (four runs per driver).
+    let names = ["fig06", "fig07", "fig08", "fig09", "fig11", "fig12"];
+    run_cases("parallel_driver_matches_sequential_bytes", 6, |g| {
+        let def = afa::core::experiment::find(names[g.usize_in(0, names.len() - 1)])
+            .expect("experiment registered");
+        let scale = afa::core::experiment::ExperimentScale::new(
+            SimDuration::millis(g.u64_in(10, 40)),
+            g.usize_in(1, 6),
+            g.u64_in(0, 10_000),
+        );
+        let sequential = {
+            let _pin = ThreadsOverride::set(1);
+            afa::core::experiment::run_experiment(def, scale)
+                .to_json()
+                .to_string()
+        };
+        let threads = g.usize_in(2, 9);
+        let parallel = {
+            let _pin = ThreadsOverride::set(threads);
+            afa::core::experiment::run_experiment(def, scale)
+                .to_json()
+                .to_string()
+        };
+        assert_eq!(
+            sequential, parallel,
+            "{} artifact diverged at {threads} threads",
+            def.name,
+        );
+    });
+}
+
+/// A world for probing the cross-shard merge contract: `sources`
+/// shards fire bursts of cross events at one sink, with timestamps
+/// drawn from a coarse grid so same-instant collisions across sources
+/// are common. Each payload is the sender's running send counter —
+/// the per-channel `seq` of the merge key.
+struct Chatter {
+    id: usize,
+    /// Bursts this source still has to fire: (fire time, fan-out).
+    bursts: Vec<(SimTime, usize)>,
+    sent: u64,
+    seen: Vec<(u64, usize, u64)>, // (time ns, src, payload) at the sink
+}
+
+impl ShardWorld for Chatter {
+    type Local = ();
+    type Cross = u64;
+
+    fn handle_local(&mut self, _event: (), ctx: &mut ShardCtx<'_, (), u64>) {
+        let Some((_, fanout)) = self.bursts.pop() else {
+            return;
+        };
+        for i in 0..fanout {
+            // Arrival grid: multiples of 100 ns past the lookahead,
+            // shared across sources, so distinct (src, seq) pairs
+            // collide on the timestamp — the tie the contract breaks.
+            let at = ctx.now() + SimDuration::nanos(500) + SimDuration::nanos(100 * (i as u64 % 3));
+            ctx.send(0, at, self.sent);
+            self.sent += 1;
+        }
+        if let Some(&(t, _)) = self.bursts.last() {
+            ctx.at(t, ());
+        }
+    }
+
+    fn handle_cross(&mut self, src: usize, event: u64, ctx: &mut ShardCtx<'_, (), u64>) {
+        debug_assert_eq!(self.id, 0, "only the sink receives");
+        self.seen.push((ctx.now().as_nanos(), src, event));
+    }
+}
+
+/// The merge ordering contract, clause 3: a receiver consumes cross
+/// events in exactly `(time, source shard id, per-channel seq)` order,
+/// for any burst pattern and any thread count — and the threaded
+/// driver observes the identical sequence the sequential one does.
+#[test]
+fn cross_merge_respects_time_src_seq_order() {
+    run_cases("cross_merge_respects_time_src_seq_order", 24, |g| {
+        let sources = g.usize_in(2, 6);
+        // Fire times on a coarse grid (sorted descending — Chatter
+        // pops from the back) so sources frequently tie.
+        let mut plans: Vec<Vec<(SimTime, usize)>> = Vec::new();
+        for _ in 0..sources {
+            let mut bursts: Vec<(SimTime, usize)> = (0..g.usize_in(1, 8))
+                .map(|_| {
+                    (
+                        SimTime::ZERO + SimDuration::nanos(200 * g.u64_in(0, 12)),
+                        g.usize_in(1, 3),
+                    )
+                })
+                .collect();
+            bursts.sort();
+            bursts.reverse();
+            plans.push(bursts);
+        }
+        let build = || {
+            let mut shards = vec![(
+                Chatter {
+                    id: 0,
+                    bursts: Vec::new(),
+                    sent: 0,
+                    seen: Vec::new(),
+                },
+                SimDuration::nanos(500),
+            )];
+            for (i, plan) in plans.iter().enumerate() {
+                shards.push((
+                    Chatter {
+                        id: i + 1,
+                        bursts: plan.clone(),
+                        sent: 0,
+                        seen: Vec::new(),
+                    },
+                    SimDuration::nanos(500),
+                ));
+            }
+            let mut sim = ShardedSim::new(shards);
+            for (i, plan) in plans.iter().enumerate() {
+                if let Some(&(t, _)) = plan.last() {
+                    sim.schedule(i + 1, t, ());
+                }
+            }
+            sim
+        };
+
+        let mut seq = build();
+        seq.run_sequential();
+        let seq_seen = std::mem::take(&mut seq.into_worlds()[0].seen);
+
+        // Clause 3: the consumed order IS the sorted merge-key order.
+        let mut sorted = seq_seen.clone();
+        sorted.sort();
+        assert_eq!(seq_seen, sorted, "sink consumed out of merge-key order");
+        let expected: u64 = plans
+            .iter()
+            .flatten()
+            .map(|&(_, fanout)| fanout as u64)
+            .sum();
+        assert_eq!(seq_seen.len() as u64, expected, "messages lost");
+
+        let mut par = build();
+        par.run_threaded(g.usize_in(2, 7));
+        let par_seen = std::mem::take(&mut par.into_worlds()[0].seen);
+        assert_eq!(seq_seen, par_seen, "threaded driver diverged");
     });
 }
 
