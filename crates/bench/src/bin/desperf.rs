@@ -24,7 +24,11 @@
 //! `desperf --check` is the CI regression gate: it skips the
 //! micro-benches, re-measures the pinned fig06 run, and exits non-zero
 //! if events/sec fell more than 10% below the most recent committed
-//! entry (nothing is appended).
+//! entry (nothing is appended). On hosts with enough cores it also
+//! gates the threads-scaling table: threads must *pay* — a 2- or
+//! 4-thread run slower than 95% of the sequential run fails the gate
+//! (on smaller hosts the partition planner fuses everything into the
+//! sequential fast path, so the gate is vacuous and says so).
 
 use std::time::Instant;
 
@@ -82,6 +86,7 @@ fn main() {
              ({:+.1}%)",
             100.0 * (measured / baseline - 1.0)
         );
+        check_threads_scaling(measured);
         return;
     }
 
@@ -121,6 +126,7 @@ fn main() {
     println!("\nfig06 threads-scaling sweep ({cores} host cores) ...");
     let mut scaling = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
+        let plan = afa_core::partition::plan_label(scale.ssds, threads);
         let pin = afa_core::ThreadsOverride::set(threads);
         let ev0 = afa_sim::metrics::events_processed_total();
         let t0 = Instant::now();
@@ -130,11 +136,12 @@ fn main() {
         let ev = afa_sim::metrics::events_processed_total() - ev0;
         let eps = ev as f64 / w.max(1e-9);
         println!(
-            "  {threads} threads: {w:.2}s wall, {} samples, {eps:.0} events/sec",
+            "  {threads} threads (plan {plan}): {w:.2}s wall, {} samples, {eps:.0} events/sec",
             r.samples()
         );
         scaling.push(Json::obj([
             ("threads", Json::u64(threads as u64)),
+            ("plan", Json::str(&plan)),
             ("wall_s", Json::f64(w)),
             ("events_per_sec", Json::f64(eps)),
         ]));
@@ -199,6 +206,52 @@ fn main() {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// The threads-must-pay gate: on hosts with at least N cores, an
+/// N-thread run of the pinned fig06 scale must reach 95% of the
+/// sequential throughput `base` — the partition planner exists
+/// precisely so extra threads never make the run slower. Vacuous on
+/// hosts too small for any multi-shard plan to be chosen.
+fn check_threads_scaling(base: f64) {
+    let def = experiment::find("fig06").expect("fig06 registered");
+    let scale = trajectory_scale();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut checked = false;
+    for &threads in &[2usize, 4] {
+        if cores < threads {
+            continue;
+        }
+        checked = true;
+        let plan = afa_core::partition::plan_label(scale.ssds, threads);
+        let pin = afa_core::ThreadsOverride::set(threads);
+        let ev0 = afa_sim::metrics::events_processed_total();
+        let t0 = Instant::now();
+        def.run(scale);
+        let w = t0.elapsed().as_secs_f64();
+        drop(pin);
+        let ev = afa_sim::metrics::events_processed_total() - ev0;
+        let eps = ev as f64 / w.max(1e-9);
+        let floor = 0.95 * base;
+        if eps < floor {
+            eprintln!(
+                "threads-scaling regression: {threads} threads (plan {plan}) ran at \
+                 {eps:.0} events/sec, below 95% of the {base:.0} sequential baseline \
+                 (floor {floor:.0}) — threads must pay"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "threads-scaling OK: {threads} threads (plan {plan}) at {eps:.0} events/sec \
+             ({:+.1}% vs sequential)",
+            100.0 * (eps / base - 1.0)
+        );
+    }
+    if !checked {
+        println!(
+            "threads-scaling gate: skipped ({cores} host core(s) — no multi-thread run to gate)"
+        );
     }
 }
 

@@ -71,11 +71,12 @@ impl IoPathWorld {
         if let Some(causes) = &mut self.causes {
             ledger.flush_causes(causes);
         }
-        if let Some(tracer) = &mut self.tracer {
-            ledger.flush_trace(tracer);
+        let lp = self.job_lp[job];
+        if let Some(tracers) = &mut self.tracers {
+            ledger.flush_trace(&mut tracers[lp]);
         }
-        if let Some(log) = &mut self.ledger_log {
-            log.push(CompletedIo {
+        if let Some(logs) = &mut self.ledger_logs {
+            logs[lp].push(CompletedIo {
                 job,
                 device: self.jobs[job].spec().device(),
                 issued_at,

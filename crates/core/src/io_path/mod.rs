@@ -238,7 +238,10 @@ pub(crate) enum Cross {
 
 /// One shard's replica of the whole-array world: jobs × host × fabric
 /// × devices, driven by [`Local`]/[`Cross`] events through the staged
-/// I/O path. Only the slice owned by `lp` is ever mutated.
+/// I/O path. Only the slices owned by the LPs in `owned` are ever
+/// mutated — under a fused partition plan one replica serves several
+/// LPs, and because each LP still touches a disjoint slice, fusing
+/// changes no bytes.
 #[derive(Clone)]
 pub(crate) struct IoPathWorld {
     pub(crate) host: HostModel,
@@ -246,14 +249,20 @@ pub(crate) struct IoPathWorld {
     pub(crate) devices: Vec<SsdDevice>,
     pub(crate) jobs: Vec<JobState>,
     pub(crate) causes: Option<afa_sim::trace::CauseAccumulator>,
-    pub(crate) tracer: Option<crate::blktrace::TraceRecorder>,
-    pub(crate) ledger_log: Option<LedgerLog>,
+    /// Per-worker-LP blktrace windows. Capture caps apply *per LP*,
+    /// so the set of recorded I/Os is a property of each LP's
+    /// (plan-invariant) event stream — fusing replicas cannot change
+    /// which I/Os make the window.
+    pub(crate) tracers: Option<Vec<crate::blktrace::TraceRecorder>>,
+    /// Per-worker-LP ledger-log windows (same invariance argument).
+    pub(crate) ledger_logs: Option<Vec<LedgerLog>>,
     geometry: CpuSsdGeometry,
     horizon: SimTime,
     afa_socket: u16,
-    /// This replica's logical-process id (workers `0..WORKER_LPS`,
-    /// hub [`HUB_LP`]).
-    lp: usize,
+    /// Bitmask of the logical processes this replica owns (workers
+    /// `0..WORKER_LPS`, hub [`HUB_LP`]); used only to assert events
+    /// arrive on their owning replica.
+    owned: u16,
     /// Owning worker shard of each job (by its device's pinned CPU).
     job_lp: Vec<usize>,
     /// Inverse of `jobs[j].spec().device()` (hub-side batch routing).
@@ -278,7 +287,7 @@ impl IoPathWorld {
     /// Assembles a world from its parts (see `AfaSystem::run` for the
     /// construction of each). The caller clones the assembled world
     /// into one replica per shard and brands each with
-    /// [`IoPathWorld::set_lp`].
+    /// [`IoPathWorld::set_lps`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         host: HostModel,
@@ -312,9 +321,9 @@ impl IoPathWorld {
             horizon,
             afa_socket,
             causes,
-            tracer,
-            ledger_log,
-            lp: 0,
+            tracers: tracer.map(|t| vec![t; WORKER_LPS]),
+            ledger_logs: ledger_log.map(|l| vec![l; WORKER_LPS]),
+            owned: 0,
             job_lp,
             job_of_device,
             next_allowed: vec![SimTime::ZERO; jobs_len],
@@ -325,9 +334,15 @@ impl IoPathWorld {
         }
     }
 
-    /// Brands this replica with its logical-process id.
-    pub(crate) fn set_lp(&mut self, lp: usize) {
-        self.lp = lp;
+    /// Brands this replica with the set of logical processes it owns
+    /// under the run's partition plan.
+    pub(crate) fn set_lps(&mut self, owned: u16) {
+        self.owned = owned;
+    }
+
+    /// True when this replica owns `lp`'s slice.
+    fn owns(&self, lp: usize) -> bool {
+        self.owned >> lp & 1 == 1
     }
 
     /// Worker lookahead: the minimum delay any worker send adds — a
@@ -367,7 +382,7 @@ impl IoPathWorld {
     /// stages 1–3 inline and schedules the [`Local::DeviceDone`] that
     /// resumes the path. Runs only on the job's owning worker.
     fn issue_burst(&mut self, job: usize, mut now: SimTime, ctx: &mut Ctx<'_>) {
-        debug_assert_eq!(self.lp, self.job_lp[job], "issue on a foreign shard");
+        debug_assert!(self.owns(self.job_lp[job]), "issue on a foreign shard");
         let cpu = self.geometry.cpu_of_ssd(self.jobs[job].spec().device());
         let issue_gap = self.jobs[job].spec().min_issue_gap();
         let mut busy_until = None;
@@ -387,8 +402,9 @@ impl IoPathWorld {
             let ledger = &mut self.ledger_slab[id as usize];
             let submit_end = submit::run(&mut self.host, cpu, now, ledger);
             busy_until = Some(submit_end);
-            if let Some(tracer) = &mut self.tracer {
-                ledger.set_trace(tracer.begin(device, op.lba, now));
+            if let Some(tracers) = &mut self.tracers {
+                let lp = self.job_lp[job];
+                ledger.set_trace(tracers[lp].begin(device, op.lba, now));
             }
             // The doorbell slot on the shared down-legs is claimed
             // the moment the thread is *woken* (the driver's
@@ -666,12 +682,12 @@ impl ShardWorld for IoPathWorld {
             Local::BgArrival => {
                 let now = ctx.now();
                 let start = now + BG_PLACE_LATENCY;
-                if let Some(placement) = self.host.decide_background(start) {
-                    // Mirror the install on the hub replica so the
-                    // next decision's idle test sees this burst; the
-                    // CPU's owner performs the authoritative install
-                    // at the same instant.
-                    self.host.install_background(placement.clone(), start);
+                if let Some(placement) = self.host.decide_background_remote(start) {
+                    // Mirror the install on the hub-owned placement
+                    // view so the next decision's idle test sees this
+                    // burst; the CPU's owner performs the
+                    // authoritative install at the same instant.
+                    self.host.mirror_background(&placement, start);
                     ctx.send(
                         lp_of_cpu(placement.cpu),
                         start,
@@ -716,7 +732,7 @@ impl ShardWorld for IoPathWorld {
                 issued_at,
                 at_entry,
             } => {
-                debug_assert_eq!(self.lp, self.job_lp[job], "device leg on a foreign shard");
+                debug_assert!(self.owns(self.job_lp[job]), "device leg on a foreign shard");
                 let device = self.jobs[job].spec().device();
                 let bytes = self.jobs[job].spec().block_size();
                 let led = &mut self.ledger_slab[ledger as usize];

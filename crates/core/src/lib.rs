@@ -42,11 +42,13 @@ mod config;
 pub mod experiment;
 mod geometry;
 pub mod io_path;
+pub mod partition;
 pub mod profiler;
 mod system;
 mod tuning;
 
 pub use config::{AfaConfig, IrqCoalescing};
 pub use geometry::{CpuSsdGeometry, Table2Row};
+pub use partition::{PlanOverride, PlanSpec};
 pub use system::{AfaSystem, RunResult, ThreadsOverride};
 pub use tuning::{Tuning, TuningStage};

@@ -1,0 +1,307 @@
+//! The partition planner: decides how the nine I/O-path logical
+//! processes (eight workers + the hub, see [`crate::io_path`]) are
+//! grouped into shards for one run.
+//!
+//! The plan is a **pure function** of three inputs — which worker LPs
+//! actually carry jobs (from the geometry), the requested thread
+//! count, and the host's available cores — so a run's partition is
+//! reproducible from its configuration. Crucially, the partition can
+//! only affect wall-clock time: the engine's merge contract
+//! ([`afa_sim::shard`]) makes every plan produce byte-identical
+//! artifacts, which `scripts/ci.sh` and the `--features proptest`
+//! suite verify.
+//!
+//! Policy: threads only pay when there is parallel work to feed them,
+//! and every extra shard buys channel + watermark overhead. So:
+//!
+//! * one effective thread (the default) → the **single** plan: all
+//!   LPs fused into one shard, which both drivers run as a plain
+//!   single-wheel loop with zero synchronization;
+//! * `T > 1` effective threads → up to `T − 1` shards of job-bearing
+//!   worker LPs (round-robin), plus one shard fusing the hub with the
+//!   idle workers. The hub handles ~40 % of all events, so it always
+//!   gets its own lane before workers split further;
+//! * worker groups never outnumber the job-bearing LPs — fusing idle
+//!   LPs is free, splitting them is pure overhead.
+//!
+//! `AFA_SHARD_PLAN` (env) and [`PlanOverride`] (programmatic, wins
+//! over the env) force a specific fusion level for debugging and
+//! differential tests: `single`, `fused-N` (N shards, 2 ≤ N ≤ 9), or
+//! `full-9`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use afa_sim::PartitionPlan;
+
+use crate::io_path::{HUB_LP, LP_COUNT, WORKER_LPS};
+
+/// A forced fusion level, parsed from `AFA_SHARD_PLAN` or pinned by a
+/// [`PlanOverride`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSpec {
+    /// Everything in one shard (`single`, `1`, `fused-1`).
+    Single,
+    /// `N` shards: workers round-robin over `N − 1`, hub alone
+    /// (`fused-N`).
+    Fused(usize),
+    /// One shard per LP (`full`, `full-9`, `9`).
+    Full,
+}
+
+impl PlanSpec {
+    /// Parses a spec string; `None` for unrecognized input.
+    pub fn parse(s: &str) -> Option<PlanSpec> {
+        match s.trim() {
+            "single" | "1" | "fused-1" => Some(PlanSpec::Single),
+            "full" | "full-9" | "9" | "fused-9" => Some(PlanSpec::Full),
+            other => {
+                let n: usize = other.strip_prefix("fused-")?.parse().ok()?;
+                match n {
+                    1 => Some(PlanSpec::Single),
+                    2..=8 => Some(PlanSpec::Fused(n)),
+                    9 => Some(PlanSpec::Full),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Materializes the spec over the fixed 9-LP topology.
+    fn plan(self) -> PartitionPlan {
+        match self {
+            PlanSpec::Single => PartitionPlan::single(LP_COUNT),
+            PlanSpec::Full => PartitionPlan::identity(LP_COUNT),
+            PlanSpec::Fused(n) => {
+                let groups = n - 1;
+                let mut assignment = vec![0usize; LP_COUNT];
+                for (lp, slot) in assignment.iter_mut().enumerate().take(WORKER_LPS) {
+                    *slot = lp % groups;
+                }
+                assignment[HUB_LP] = groups;
+                PartitionPlan::from_assignment(assignment)
+            }
+        }
+    }
+}
+
+/// Encoded [`PlanSpec`] override: 0 = none, 1 = single, 2 = full,
+/// `3 + n` = fused-n.
+static PLAN_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn encode(spec: Option<PlanSpec>) -> usize {
+    match spec {
+        None => 0,
+        Some(PlanSpec::Single) => 1,
+        Some(PlanSpec::Full) => 2,
+        Some(PlanSpec::Fused(n)) => 3 + n,
+    }
+}
+
+fn decode(raw: usize) -> Option<PlanSpec> {
+    match raw {
+        0 => None,
+        1 => Some(PlanSpec::Single),
+        2 => Some(PlanSpec::Full),
+        n => Some(PlanSpec::Fused(n - 3)),
+    }
+}
+
+/// RAII scope pinning the partition plan, taking precedence over
+/// `AFA_SHARD_PLAN`. Because results are byte-identical under every
+/// plan, overlapping overrides from concurrent tests cannot change any
+/// outcome — only which topology does the work (same contract as
+/// [`crate::ThreadsOverride`]).
+pub struct PlanOverride {
+    prev: usize,
+}
+
+impl PlanOverride {
+    /// Pins the plan until the guard drops.
+    pub fn set(spec: PlanSpec) -> Self {
+        let prev = PLAN_OVERRIDE.swap(encode(Some(spec)), Ordering::Relaxed);
+        PlanOverride { prev }
+    }
+}
+
+impl Drop for PlanOverride {
+    fn drop(&mut self) {
+        PLAN_OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// A resolved partition decision: the plan plus a stable label for
+/// logs and benches.
+#[derive(Clone, Debug)]
+pub struct ResolvedPlan {
+    /// The partition the run executes under.
+    pub plan: PartitionPlan,
+    /// `single`, `fused-N`, or `full-9`.
+    pub label: String,
+}
+
+/// Labels a plan by its fusion level.
+fn label_of(plan: &PartitionPlan) -> String {
+    match plan.shard_count() {
+        1 => "single".into(),
+        n if plan.is_identity() => format!("full-{n}"),
+        n => format!("fused-{n}"),
+    }
+}
+
+/// The pure planning function: given the set of job-bearing worker LPs
+/// (as a bitmask), the requested thread count, and the host's
+/// available cores, returns the partition the run should use. No
+/// environment, no globals — the proptest suite checks determinism
+/// over random inputs.
+pub fn plan_for(job_lp_mask: u16, threads: usize, cores: usize) -> PartitionPlan {
+    let effective = threads.min(cores.max(1));
+    if effective <= 1 {
+        return PartitionPlan::single(LP_COUNT);
+    }
+    let job_lps: Vec<usize> = (0..WORKER_LPS)
+        .filter(|&lp| job_lp_mask >> lp & 1 == 1)
+        .collect();
+    // One lane is reserved for the hub shard; job-bearing workers
+    // round-robin over the rest, and splitting beyond their count
+    // would only mint empty shards.
+    let groups = job_lps.len().max(1).min(effective - 1);
+    let mut assignment = vec![groups; LP_COUNT];
+    for (rank, &lp) in job_lps.iter().enumerate() {
+        assignment[lp] = rank % groups;
+    }
+    PartitionPlan::from_assignment(assignment)
+}
+
+/// Resolves the plan for one run: a [`PlanOverride`] wins, then a
+/// valid `AFA_SHARD_PLAN`, then the computed [`plan_for`].
+pub(crate) fn resolve(job_lp_mask: u16, threads: usize, cores: usize) -> ResolvedPlan {
+    let spec = decode(PLAN_OVERRIDE.load(Ordering::Relaxed)).or_else(|| {
+        std::env::var("AFA_SHARD_PLAN")
+            .ok()
+            .and_then(|v| PlanSpec::parse(&v))
+    });
+    let plan = match spec {
+        Some(spec) => spec.plan(),
+        None => plan_for(job_lp_mask, threads, cores),
+    };
+    let label = label_of(&plan);
+    ResolvedPlan { plan, label }
+}
+
+/// The host's available cores (1 when undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The job-bearing worker-LP mask of a paper-geometry run with `ssds`
+/// devices.
+fn job_mask(ssds: usize) -> u16 {
+    let geometry = crate::CpuSsdGeometry::paper(ssds);
+    let mut mask = 0u16;
+    for d in 0..ssds {
+        mask |= 1 << crate::io_path::lp_of_cpu(geometry.cpu_of_ssd(d));
+    }
+    mask
+}
+
+/// The label (`single` / `fused-N` / `full-9`) of the plan a run with
+/// `ssds` devices and `threads` workers would use right now — for
+/// bench tables that record which topology did the work.
+pub fn plan_label(ssds: usize, threads: usize) -> String {
+    resolve(job_mask(ssds), threads, host_cores()).label
+}
+
+/// Human-readable summary of the plan a run with `ssds` devices would
+/// use right now (honoring overrides, env, and the host) — what
+/// `afactl exp --plan` echoes.
+pub fn plan_summary(ssds: usize, threads: usize) -> String {
+    let mask = job_mask(ssds);
+    let cores = host_cores();
+    let resolved = resolve(mask, threads, cores);
+    format!(
+        "plan {} ({} shards over {} LPs, {} thread(s), {} core(s) available)",
+        resolved.label,
+        resolved.plan.shard_count(),
+        resolved.plan.lp_count(),
+        threads.min(resolved.plan.shard_count()).max(1),
+        cores
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_thread_fuses_everything() {
+        for cores in [1, 4, 64] {
+            assert_eq!(plan_for(0xFF, 1, cores).shard_count(), 1);
+        }
+        // Plenty of threads requested, but only one core to run on.
+        assert_eq!(plan_for(0xFF, 8, 1).shard_count(), 1);
+    }
+
+    #[test]
+    fn threads_split_jobs_and_reserve_a_hub_lane() {
+        let plan = plan_for(0xFF, 4, 8);
+        assert_eq!(plan.shard_count(), 4);
+        // Hub fused with nothing else here (all workers carry jobs).
+        assert_eq!(plan.members(3), vec![HUB_LP]);
+        // Workers round-robin over the three job lanes.
+        assert_eq!(plan.members(0), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn idle_workers_fuse_into_the_hub_shard() {
+        // Two job-bearing LPs (0 and 1): even with many threads the
+        // plan stops at 3 shards, idle workers riding with the hub.
+        let plan = plan_for(0b11, 8, 8);
+        assert_eq!(plan.shard_count(), 3);
+        assert_eq!(plan.members(0), vec![0]);
+        assert_eq!(plan.members(1), vec![1]);
+        assert_eq!(plan.members(2), vec![2, 3, 4, 5, 6, 7, HUB_LP]);
+    }
+
+    #[test]
+    fn full_fanout_matches_identity() {
+        let plan = plan_for(0xFF, 9, 16);
+        assert_eq!(plan.shard_count(), 9);
+        assert!(plan.is_identity());
+    }
+
+    #[test]
+    fn spec_parsing_and_materialization() {
+        assert_eq!(PlanSpec::parse("single"), Some(PlanSpec::Single));
+        assert_eq!(PlanSpec::parse("1"), Some(PlanSpec::Single));
+        assert_eq!(PlanSpec::parse("full-9"), Some(PlanSpec::Full));
+        assert_eq!(PlanSpec::parse("fused-4"), Some(PlanSpec::Fused(4)));
+        assert_eq!(PlanSpec::parse("fused-10"), None);
+        assert_eq!(PlanSpec::parse("bogus"), None);
+        let fused4 = PlanSpec::Fused(4).plan();
+        assert_eq!(fused4.shard_count(), 4);
+        assert_eq!(fused4.members(3), vec![HUB_LP]);
+        assert_eq!(PlanSpec::Single.plan().shard_count(), 1);
+        assert!(PlanSpec::Full.plan().is_identity());
+    }
+
+    #[test]
+    fn override_wins_and_restores() {
+        {
+            let _guard = PlanOverride::set(PlanSpec::Fused(3));
+            let resolved = resolve(0xFF, 1, 1);
+            assert_eq!(resolved.plan.shard_count(), 3);
+            assert_eq!(resolved.label, "fused-3");
+        }
+        // Back to computed policy after the guard drops.
+        let resolved = resolve(0xFF, 1, 1);
+        assert_eq!(resolved.plan.shard_count(), 1);
+        assert_eq!(resolved.label, "single");
+    }
+
+    #[test]
+    fn labels_cover_the_three_shapes() {
+        assert_eq!(label_of(&PartitionPlan::single(LP_COUNT)), "single");
+        assert_eq!(label_of(&PartitionPlan::identity(LP_COUNT)), "full-9");
+        assert_eq!(label_of(&PlanSpec::Fused(4).plan()), "fused-4");
+    }
+}

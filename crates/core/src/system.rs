@@ -21,7 +21,7 @@ use afa_workload::{JobReport, JobSpec, JobState};
 
 use crate::config::AfaConfig;
 use crate::geometry::CpuSsdGeometry;
-use crate::io_path::{lp_of_cpu, IoPathWorld, LedgerLog, Local, HUB_LP, LP_COUNT, WORKER_LPS};
+use crate::io_path::{lp_of_cpu, IoPathWorld, LedgerLog, Local, HUB_LP};
 
 /// Live [`SequentialGuard`] count: while non-zero, every run in the
 /// process stays on the sequential driver regardless of
@@ -266,7 +266,7 @@ impl AfaSystem {
             .iter()
             .map(|j| lp_of_cpu(geometry.cpu_of_ssd(j.spec().device())))
             .collect();
-        let mut proto = IoPathWorld::new(
+        let proto = IoPathWorld::new(
             host,
             fabric,
             devices,
@@ -282,20 +282,42 @@ impl AfaSystem {
             config.irq_coalescing,
         );
 
-        // Replicate the world across the fixed shard topology: eight
-        // workers plus the hub. The partition never depends on the
-        // thread count, so any `AFA_THREADS` produces the same bytes.
+        // Resolve the partition plan and replicate the world across
+        // it: one replica per shard, branded with the LPs it owns,
+        // with the shard lookahead the minimum over its members. The
+        // engine's merge contract orders events by LP — never by
+        // shard — so every plan × thread count produces the same
+        // bytes; the plan only decides how much parallel machinery a
+        // run pays for.
+        let threads = configured_threads();
+        let job_lp_mask = job_lps.iter().fold(0u16, |m, &lp| m | 1 << lp);
+        let resolved =
+            crate::partition::resolve(job_lp_mask, threads, crate::partition::host_cores());
+        let plan = resolved.plan;
         let worker_la = proto.worker_lookahead();
         let hub_la = proto.hub_lookahead();
-        let mut shards = Vec::with_capacity(LP_COUNT);
-        for lp in 0..WORKER_LPS {
-            let mut world = proto.clone();
-            world.set_lp(lp);
-            shards.push((world, worker_la));
+        let mut proto = Some(proto);
+        let shard_count = plan.shard_count();
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let members = plan.members(shard);
+            let mask = members.iter().fold(0u16, |m, &lp| m | 1 << lp);
+            let lookahead = if members.contains(&HUB_LP) && members.len() == 1 {
+                hub_la
+            } else if members.contains(&HUB_LP) {
+                hub_la.min(worker_la)
+            } else {
+                worker_la
+            };
+            let mut world = if shard + 1 == shard_count {
+                proto.take().expect("proto consumed once")
+            } else {
+                proto.as_ref().expect("proto alive").clone()
+            };
+            world.set_lps(mask);
+            shards.push((world, lookahead));
         }
-        proto.set_lp(HUB_LP);
-        shards.push((proto, hub_la));
-        let mut sim = ShardedSim::new(shards);
+        let mut sim = ShardedSim::with_plan(plan.clone(), shards);
 
         // fio staggers thread start-up by a few µs per thread; the
         // stagger also prevents an artificial phase-lock between
@@ -308,55 +330,93 @@ impl AfaSystem {
             );
         }
         sim.schedule(HUB_LP, SimTime::ZERO, Local::BgArrival);
-        sim.run_threaded(configured_threads());
+        sim.run_threaded(threads);
 
         let elapsed = sim.now();
         let events_processed = sim.events_processed();
         let clamped_past_schedules = sim.clamped_past_schedules();
-        let mut worlds = sim.into_worlds();
-        let hub = worlds.pop().expect("hub shard");
+        let worlds = sim.into_worlds();
+        let hub_shard = plan.shard_of(HUB_LP);
 
-        // Stitch the owned slices back together. The hub is the
-        // authority on shared state (vector table, balancer, bg
-        // placement, shared fabric legs); each worker on its CPUs,
-        // devices and jobs.
+        // Stitch the owned slices back together, one pass per *world*
+        // (a fused world already holds its member LPs' slices in
+        // place). The hub's world is the authority on shared state
+        // (vector table, balancer, bg placement, shared fabric legs);
+        // every merge below is an associative absorb of disjoint
+        // activity, so the stitched result is plan-invariant.
+        let device_stats: Vec<(DeviceStats, FtlStats)> = (0..n)
+            .map(|d| {
+                let owner = &worlds[plan.shard_of(device_lps[d])].devices[d];
+                (owner.stats(), owner.ftl_stats())
+            })
+            .collect();
+        let mut fabric_stats = worlds[hub_shard].fabric.stats();
+        for (shard, world) in worlds.iter().enumerate() {
+            if shard != hub_shard {
+                fabric_stats.absorb(world.fabric.stats());
+            }
+        }
+        let mut worlds: Vec<Option<IoPathWorld>> = worlds.into_iter().map(Some).collect();
+        let hub = worlds[hub_shard].take().expect("hub world");
         let mut host = hub.host;
         let all_cpus: Vec<CpuId> = host.topology().all_cpus().iter().collect();
-        for (lp, world) in worlds.iter().enumerate() {
+        for (shard, world) in worlds.iter().enumerate() {
+            let Some(world) = world else { continue };
             let owned: Vec<CpuId> = all_cpus
                 .iter()
                 .copied()
-                .filter(|&c| lp_of_cpu(c) == lp)
+                .filter(|&c| plan.shard_of(lp_of_cpu(c)) == shard)
                 .collect();
             host.adopt_cpu_states(&world.host, &owned);
             host.absorb_stats(&world.host);
         }
-        let mut fabric_stats = hub.fabric.stats();
-        for world in &worlds {
-            fabric_stats.absorb(world.fabric.stats());
-        }
-        let device_stats: Vec<(DeviceStats, FtlStats)> = (0..n)
-            .map(|d| {
-                let owner = &worlds[device_lps[d]].devices[d];
-                (owner.stats(), owner.ftl_stats())
-            })
-            .collect();
         let mut causes = hub.causes;
         let mut trace_parts = Vec::new();
         let mut ledger_parts = Vec::new();
         let mut reports: Vec<Option<JobReport>> = (0..jobs_len).map(|_| None).collect();
-        for (lp, world) in worlds.into_iter().enumerate() {
+        // Capture windows are per worker LP (see `IoPathWorld`), so
+        // each shard contributes exactly its owned LPs' windows and the
+        // union is plan-invariant.
+        if let Some(tracers) = hub.tracers {
+            for (lp, rec) in tracers.into_iter().enumerate() {
+                if plan.shard_of(lp) == hub_shard {
+                    trace_parts.push(rec);
+                }
+            }
+        }
+        if let Some(logs) = hub.ledger_logs {
+            for (lp, log) in logs.into_iter().enumerate() {
+                if plan.shard_of(lp) == hub_shard {
+                    ledger_parts.push(log);
+                }
+            }
+        }
+        for (j, job) in hub.jobs.into_iter().enumerate() {
+            if plan.shard_of(job_lps[j]) == hub_shard {
+                reports[j] = Some(job.into_report());
+            }
+        }
+        for (shard, world) in worlds.into_iter().enumerate() {
+            let Some(world) = world else { continue };
             if let (Some(acc), Some(part)) = (&mut causes, &world.causes) {
                 acc.merge(part);
             }
-            if let Some(tracer) = world.tracer {
-                trace_parts.push(tracer);
+            if let Some(tracers) = world.tracers {
+                for (lp, rec) in tracers.into_iter().enumerate() {
+                    if plan.shard_of(lp) == shard {
+                        trace_parts.push(rec);
+                    }
+                }
             }
-            if let Some(log) = world.ledger_log {
-                ledger_parts.push(log);
+            if let Some(logs) = world.ledger_logs {
+                for (lp, log) in logs.into_iter().enumerate() {
+                    if plan.shard_of(lp) == shard {
+                        ledger_parts.push(log);
+                    }
+                }
             }
             for (j, job) in world.jobs.into_iter().enumerate() {
-                if job_lps[j] == lp {
+                if plan.shard_of(job_lps[j]) == shard {
                     reports[j] = Some(job.into_report());
                 }
             }

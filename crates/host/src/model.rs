@@ -200,6 +200,20 @@ impl CpuState {
     }
 }
 
+/// The hub's placement view of one CPU: the slice of per-CPU state
+/// the background-placement logic is allowed to read. Deliberately
+/// *not* the live [`CpuState`] — the hub learns about I/O business
+/// only through [`HostModel::note_io_busy`] reports (one cross-shard
+/// lookahead stale) and about bursts through its own
+/// [`HostModel::mirror_background`] installs, so placement decisions
+/// are identical under every partition plan, including plans that
+/// fuse the hub with the CPUs' owners.
+#[derive(Clone, Debug, Default)]
+struct BgView {
+    bg: Option<BgBurst>,
+    io_busy_until: SimTime,
+}
+
 /// A hub-side background-placement decision, handed to the CPU-owning
 /// shard for installation (see [`HostModel::decide_background`]).
 #[derive(Clone, Debug)]
@@ -223,6 +237,8 @@ pub struct HostModel {
     bg_config: BackgroundConfig,
     costs: SchedCosts,
     cpus: Vec<CpuState>,
+    /// Hub-owned placement view, one slot per CPU (see [`BgView`]).
+    bg_view: Vec<BgView>,
     /// Relative likelihood of each CPU attracting background work.
     /// A random ~20 % of CPUs are "hot" (persistent daemons such as
     /// llvmpipe park threads there), which is what spreads the
@@ -253,6 +269,7 @@ impl HostModel {
             bg_config,
             costs: SchedCosts::default(),
             cpus: (0..n).map(|c| CpuState::new(seed, c)).collect(),
+            bg_view: vec![BgView::default(); n],
             bg_weight,
             vectors: None,
             bg_rng,
@@ -335,12 +352,27 @@ impl HostModel {
     /// limits — automatic isolation without the boot option (falling
     /// back to all allowed CPUs if that empties the set).
     ///
-    /// On the hub shard the idle test reads the placement view of
-    /// each CPU: installs are mirrored locally and workers report
-    /// their I/O charges via [`note_io_busy`](Self::note_io_busy), so
-    /// the view lags true CPU state by at most the cross-shard
-    /// lookahead. Returns `None` when no CPU is allowed.
+    /// Reads the *live* per-CPU state, so it is only sound where one
+    /// replica owns every CPU (single-world drivers; see
+    /// [`decide_background_remote`](Self::decide_background_remote)
+    /// for the sharded hub). Returns `None` when no CPU is allowed.
     pub fn decide_background(&mut self, start: SimTime) -> Option<BgPlacement> {
+        self.decide_background_with(start, false)
+    }
+
+    /// The sharded-hub variant of
+    /// [`decide_background`](Self::decide_background): the idle test
+    /// reads only the hub-owned placement view — installs mirrored via
+    /// [`mirror_background`](Self::mirror_background), I/O charges
+    /// reported via [`note_io_busy`](Self::note_io_busy) — so the
+    /// decision never touches state owned by other logical processes
+    /// and is byte-identical under every partition plan. The view lags
+    /// true CPU state by at most the cross-shard lookahead.
+    pub fn decide_background_remote(&mut self, start: SimTime) -> Option<BgPlacement> {
+        self.decide_background_with(start, true)
+    }
+
+    fn decide_background_with(&mut self, start: SimTime, remote: bool) -> Option<BgPlacement> {
         let allowed: Vec<CpuId> = self
             .topo
             .all_cpus()
@@ -350,17 +382,29 @@ impl HostModel {
         if allowed.is_empty() {
             return None;
         }
-        for c in &allowed {
-            self.sync(*c, start);
+        for &c in &allowed {
+            if remote {
+                self.sync_view(c, start);
+            } else {
+                self.sync(c, start);
+            }
         }
+        // (has a burst?, busy with I/O until) as the placement logic
+        // is allowed to see it: live state locally, the view remotely.
+        let seen = |this: &HostModel, c: CpuId| -> (bool, SimTime) {
+            if remote {
+                let v = &this.bg_view[c.0 as usize];
+                (v.bg.is_some(), v.io_busy_until)
+            } else {
+                let s = &this.cpus[c.0 as usize];
+                (s.bg.is_some(), s.io_busy_until)
+            }
+        };
         let allowed: Vec<CpuId> = if self.config.sched_profile == SchedProfile::IoAggressive {
             let quiet: Vec<CpuId> = allowed
                 .iter()
                 .copied()
-                .filter(|c| {
-                    let s = &self.cpus[c.0 as usize];
-                    s.io_busy_until + SimDuration::millis(5) <= start
-                })
+                .filter(|&c| seen(self, c).1 + SimDuration::millis(5) <= start)
                 .collect();
             if quiet.is_empty() {
                 allowed
@@ -373,9 +417,9 @@ impl HostModel {
         let idle: Vec<CpuId> = allowed
             .iter()
             .copied()
-            .filter(|c| {
-                let s = &self.cpus[c.0 as usize];
-                s.bg.is_none() && s.io_busy_until <= start
+            .filter(|&c| {
+                let (has_bg, busy_until) = seen(self, c);
+                !has_bg && busy_until <= start
             })
             .collect();
         let candidates = if idle.is_empty() { &allowed } else { &idle };
@@ -406,15 +450,30 @@ impl HostModel {
         }
     }
 
-    /// Records on this replica that `cpu` ran I/O work through
-    /// `until`. Worker shards report their charges to the hub so its
-    /// placement view keeps seeing I/O CPUs as busy while they run;
-    /// the report arrives one cross-shard lookahead after the charge,
-    /// so the hub's view is never more than that much stale.
+    /// Mirrors a placement decision into the hub-owned view so the
+    /// next [`decide_background_remote`](Self::decide_background_remote)
+    /// sees the burst; the CPU's owner performs the authoritative
+    /// [`install_background`](Self::install_background) separately.
+    pub fn mirror_background(&mut self, placement: &BgPlacement, now: SimTime) {
+        self.sync_view(placement.cpu, now);
+        let view = &mut self.bg_view[placement.cpu.0 as usize];
+        match &mut view.bg {
+            Some(burst) if burst.active_at(now) => burst.stack(placement.len),
+            _ => view.bg = Some(placement.burst.clone()),
+        }
+    }
+
+    /// Records in the hub-owned placement view that `cpu` ran I/O work
+    /// through `until`. Worker shards report their charges to the hub
+    /// so its placement view keeps seeing I/O CPUs as busy while they
+    /// run; the report arrives one cross-shard lookahead after the
+    /// charge, so the hub's view is never more than that much stale.
+    /// Touches only the view — never the live [`CpuState`] — so the
+    /// report cannot perturb the owner's scheduler even when a fused
+    /// plan co-locates the hub with the CPU's owner.
     pub fn note_io_busy(&mut self, cpu: CpuId, until: SimTime) {
-        let state = &mut self.cpus[cpu.0 as usize];
-        state.io_busy_until = state.io_busy_until.max(until);
-        state.last_busy_end = state.last_busy_end.max(until);
+        let view = &mut self.bg_view[cpu.0 as usize];
+        view.io_busy_until = view.io_busy_until.max(until);
     }
 
     /// Weighted random choice among candidate CPUs (hot CPUs attract
@@ -433,6 +492,16 @@ impl HostModel {
             }
         }
         *candidates.last().expect("non-empty")
+    }
+
+    /// Retires a finished burst from the hub-owned placement view.
+    fn sync_view(&mut self, cpu: CpuId, now: SimTime) {
+        let view = &mut self.bg_view[cpu.0 as usize];
+        if let Some(bg) = &view.bg {
+            if bg.end() <= now {
+                view.bg = None;
+            }
+        }
     }
 
     /// Lazily retires finished background bursts and updates idle

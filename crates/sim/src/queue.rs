@@ -37,6 +37,32 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
+/// Merge key of a cross-partition event: `(source LP, destination LP,
+/// per-channel send sequence)`. Together with the timestamp this is a
+/// total order over cross events that depends only on the logical
+/// processes involved — never on how LPs are grouped into shards or on
+/// thread interleaving — which is what lets the sharded engine promise
+/// byte-identical results for every partition plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MergeKey {
+    /// Source logical process.
+    pub src: u16,
+    /// Destination logical process.
+    pub dst: u16,
+    /// Per-`(src, dst)` channel send counter.
+    pub seq: u64,
+}
+
+/// An event type that can carry a [`MergeKey`]. Events returning
+/// `Some` sort *before* plain (`None`) events at the same instant and
+/// among themselves by key; plain events keep wheel FIFO order. Only
+/// [`EventQueue::push_keyed`] consults this — the plain
+/// [`EventQueue::push`] path never calls it.
+pub trait KeyedEvent {
+    /// The merge key, or `None` for an event ordered by FIFO alone.
+    fn merge_key(&self) -> Option<MergeKey>;
+}
+
 /// Bits of the timestamp consumed per wheel level.
 const LEVEL_BITS: u32 = 6;
 /// Buckets per level; `u64` occupancy bitmaps require exactly 64.
@@ -60,13 +86,31 @@ fn level_of(time: u64, cur: u64) -> usize {
 /// old heap.
 struct PastEntry<E> {
     time: u64,
+    /// `Some` for keyed (cross) events, `None` for plain pushes.
+    key: Option<MergeKey>,
     seq: u64,
     event: E,
 }
 
+impl<E> PastEntry<E> {
+    /// Ascending-order rank: time, then keyed-before-plain, then key
+    /// (keyed) or insertion seq (plain) — the same order the wheel's
+    /// buckets realize structurally.
+    fn rank(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| match (&self.key, &other.key) {
+                (Some(a), Some(b)) => a.cmp(b),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => self.seq.cmp(&other.seq),
+            })
+    }
+}
+
 impl<E> PartialEq for PastEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.rank(other) == Ordering::Equal
     }
 }
 
@@ -81,10 +125,7 @@ impl<E> PartialOrd for PastEntry<E> {
 impl<E> Ord for PastEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event wins.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.rank(self)
     }
 }
 
@@ -181,12 +222,82 @@ impl<E> EventQueue<E> {
             self.past_seq += 1;
             self.past.push(PastEntry {
                 time: t,
+                key: None,
                 seq,
                 event,
             });
         } else {
             self.insert(t, event);
         }
+        self.len += 1;
+    }
+
+    /// Schedules a keyed event at the absolute instant `time`, placed
+    /// so that at every instant all keyed events pop in [`MergeKey`]
+    /// order *before* any plain events sharing the timestamp.
+    ///
+    /// The position is found by a backward scan of the target bucket:
+    /// same-instant keyed entries are maintained key-sorted as a
+    /// subsequence of the bucket, an invariant cascades preserve
+    /// (same-instant events always share buckets at every level and
+    /// cascades keep relative order). Same-instant groups are tiny in
+    /// practice — a handful of cross arrivals — so the scan is short;
+    /// the plain [`EventQueue::push`] path is untouched and pays
+    /// nothing for this.
+    ///
+    /// The caller must not push a keyed event at or before an instant
+    /// it has already drained past (the sharded engine's lookahead
+    /// discipline guarantees arrivals are strictly in each receiver's
+    /// future); a keyed event landing in the past-overflow heap is
+    /// still ordered correctly against everything pending.
+    pub fn push_keyed(&mut self, time: SimTime, event: E)
+    where
+        E: KeyedEvent,
+    {
+        let key = event.merge_key().expect("push_keyed requires a merge key");
+        let t = time.as_nanos();
+        if self.len == 0 {
+            self.cur = t;
+        }
+        if t < self.cur {
+            let seq = self.past_seq;
+            self.past_seq += 1;
+            self.past.push(PastEntry {
+                time: t,
+                key: Some(key),
+                seq,
+                event,
+            });
+            self.len += 1;
+            return;
+        }
+        let level = level_of(t, self.cur);
+        let slot = ((t >> (level as u32 * LEVEL_BITS)) & SLOT_MASK) as usize;
+        let bucket = &mut self.wheel[level * SLOTS + slot];
+        self.occupied[level] |= 1 << slot;
+        // Scan backward for the last same-instant keyed entry with a
+        // key below ours (insert right after it); failing that, before
+        // the earliest same-instant entry; failing that, append.
+        let mut before: Option<usize> = None;
+        let mut pos = bucket.len();
+        for i in (0..bucket.len()).rev() {
+            let (bt, ref e) = bucket[i];
+            if bt != t {
+                continue;
+            }
+            match e.merge_key() {
+                Some(k) if k <= key => {
+                    pos = i + 1;
+                    before = None;
+                    break;
+                }
+                _ => before = Some(i),
+            }
+        }
+        if let Some(i) = before {
+            pos = i;
+        }
+        bucket.insert(pos, (t, event));
         self.len += 1;
     }
 
@@ -535,6 +646,73 @@ mod tests {
             let (popped, _) = q.pop().expect("non-empty");
             assert_eq!(Some(popped), peeked);
         }
+    }
+
+    /// Keyed-path test event: `Some(key)` sorts before plain `None`.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    struct KE(Option<(u16, u16, u64)>, u32);
+
+    impl KeyedEvent for KE {
+        fn merge_key(&self) -> Option<MergeKey> {
+            self.0.map(|(src, dst, seq)| MergeKey { src, dst, seq })
+        }
+    }
+
+    fn push_ke(q: &mut EventQueue<KE>, time: u64, e: KE) {
+        match e.0 {
+            Some(_) => q.push_keyed(t(time), e),
+            None => q.push(t(time), e),
+        }
+    }
+
+    #[test]
+    fn keyed_events_sort_by_key_before_plain() {
+        let mut q = EventQueue::new();
+        // Out-of-key-order pushes at one instant, interleaved with
+        // plain events and a different instant.
+        push_ke(&mut q, 50, KE(None, 0));
+        push_ke(&mut q, 50, KE(Some((2, 0, 0)), 1));
+        push_ke(&mut q, 40, KE(Some((9, 9, 9)), 2));
+        push_ke(&mut q, 50, KE(Some((1, 1, 1)), 3));
+        push_ke(&mut q, 50, KE(Some((1, 1, 0)), 4));
+        push_ke(&mut q, 50, KE(None, 5));
+        push_ke(&mut q, 50, KE(Some((2, 0, 5)), 6));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e.1)).collect();
+        // 40 first; then the t=50 keyed events by (src, dst, seq);
+        // then the plain events in FIFO order.
+        assert_eq!(order, vec![2, 4, 3, 1, 6, 0, 5]);
+    }
+
+    #[test]
+    fn keyed_order_survives_cascades() {
+        let mut q = EventQueue::new();
+        q.push(t(1), KE(None, 99));
+        // Same far-future instant, pushed in reverse key order, so the
+        // group must cascade down several levels intact.
+        let far = 5_000_000;
+        for seq in (0..10u64).rev() {
+            q.push_keyed(t(far), KE(Some((0, 0, seq)), seq as u32));
+        }
+        push_ke(&mut q, far, KE(None, 50));
+        assert_eq!(q.pop(), Some((t(1), KE(None, 99))));
+        for seq in 0..10u32 {
+            assert_eq!(q.pop(), Some((t(far), KE(Some((0, 0, seq as u64)), seq))));
+        }
+        assert_eq!(q.pop(), Some((t(far), KE(None, 50))));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn keyed_past_pushes_order_against_plain() {
+        let mut q = EventQueue::new();
+        q.push(t(1_000), KE(None, 0));
+        assert!(q.pop().is_some()); // origin now 1000
+        push_ke(&mut q, 500, KE(None, 1));
+        push_ke(&mut q, 500, KE(Some((3, 0, 0)), 2));
+        push_ke(&mut q, 500, KE(Some((1, 0, 7)), 3));
+        push_ke(&mut q, 400, KE(None, 4));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e.1)).collect();
+        assert_eq!(order, vec![4, 3, 2, 1]);
     }
 
     /// The differential ordering test the timing wheel's correctness

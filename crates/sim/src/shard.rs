@@ -1,55 +1,174 @@
-//! Conservative (lookahead/null-message style) parallel DES.
+//! Conservative (lookahead/null-message style) parallel DES over an
+//! explicit **partition plan**.
 //!
-//! The world is partitioned into a *fixed* set of shards (logical
-//! processes). Each shard owns a slice of the model state, runs its
-//! own [`EventQueue`] timing wheel, and exchanges timestamped *cross*
-//! events with other shards. Two drivers execute the same shard set:
+//! The model is a fixed set of *logical processes* (LPs), each owning
+//! a disjoint slice of world state. A [`PartitionPlan`] groups the LPs
+//! into *shards*: the unit of concurrency. Each shard runs one
+//! [`EventQueue`] timing wheel holding the events of all its member
+//! LPs and exchanges timestamped *cross* events with other shards. Two
+//! drivers execute any plan:
 //!
 //! * [`ShardedSim::run_sequential`] multiplexes every shard on the
-//!   calling thread, always processing the globally earliest event;
+//!   calling thread, always processing the globally earliest event.
+//!   Under the degenerate single-shard plan this collapses to a tight
+//!   pop/handle loop on one wheel — no channels, no watermarks, no
+//!   cross-shard bookkeeping — recovering single-wheel driver speed.
 //! * [`ShardedSim::run_threaded`] runs shards on worker threads under
 //!   the conservative watermark protocol: each shard *i* publishes a
 //!   promise `W_i` ("I will never again send a cross event with
 //!   timestamp `< W_i`"), derived from its next event and the other
 //!   shards' promises plus its *lookahead* (the minimum latency any of
 //!   its sends adds — a fabric hop, an interrupt entry). A shard may
-//!   safely process any event strictly earlier than
-//!   `min_{j≠i} W_j`.
+//!   safely process any event strictly earlier than `min_{j≠i} W_j`.
+//!   Cross events are exchanged in per-round batches: one mutex
+//!   acquisition per non-empty channel per sync round, not per event,
+//!   and the safe horizon is computed once per round instead of once
+//!   per event (sound because watermarks only ever grow).
 //!
 //! # The deterministic merge contract
 //!
-//! Both drivers process each shard's events in exactly the same order:
+//! Every plan and every thread count processes each **LP's**
+//! subsequence of events in exactly the same order:
 //!
 //! 1. earliest timestamp first;
 //! 2. at equal timestamps, cross events before local events;
-//! 3. cross events tie-break by `(time, source shard id, insertion
-//!    seq)`, where the seq is a per-(source, destination) send
-//!    counter;
-//! 4. local events at equal times keep timing-wheel FIFO order.
+//! 3. cross events tie-break by [`MergeKey`] — `(source LP,
+//!    destination LP, per-channel send seq)` — which mentions only
+//!    LPs, never shards, so the order is partition-invariant;
+//! 4. local events at equal times keep timing-wheel FIFO order, and an
+//!    LP's locals are only ever scheduled by its own handlers, so the
+//!    per-LP restriction of the wheel's FIFO is plan-invariant too.
+//!
+//! The merge itself is realized *structurally* by
+//! [`EventQueue::push_keyed`]: cross events are placed key-sorted
+//! among same-instant entries at insertion time, so the hot pop path
+//! is the plain wheel pop — there is no side ordering structure to
+//! consult per event.
 //!
 //! Because every cross send must satisfy `ts ≥ now + lookahead` with
-//! `lookahead > 0`, same-timestamp events on *different* shards are
-//! causally independent, so the processing order of each shard depends
-//! only on the ordering keys — never on thread interleaving. A
-//! threaded run therefore produces bit-identical shard states to the
-//! sequential multiplexer, which is what lets `afa-core` promise
-//! byte-identical experiment artifacts for any `AFA_THREADS`.
+//! `lookahead > 0`, same-timestamp events on *different* LPs are
+//! causally independent, and each LP mutates only its own slice; any
+//! interleaving that preserves per-LP order therefore yields identical
+//! world slices. That is what lets `afa-core` promise byte-identical
+//! experiment artifacts for any partition plan × any `AFA_THREADS`.
+//!
+//! # Threaded round protocol
+//!
+//! Each pump round per shard runs in a fixed order whose soundness the
+//! watermark argument depends on:
+//!
+//! 1. read the safe horizon (the other shards' watermarks, Acquire);
+//! 2. drain inbound channels — a sender enqueues and flags a channel
+//!    *before* publishing the watermark that covers the message
+//!    (Release), so step 1's loads make every message below the
+//!    horizon visible to this drain;
+//! 3. process events strictly below the horizon;
+//! 4. flush outbound sends, batched per destination channel;
+//! 5. publish the new watermark promise (Release), after the sends it
+//!    covers are visible.
+//!
+//! Reading the horizon *before* draining is load-bearing: a message
+//! below a watermark read at step 1 is guaranteed drained at step 2,
+//! whereas a horizon read after the drain could admit a message that
+//! arrived between the two and would be processed out of order.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, KeyedEvent, MergeKey};
 use crate::time::{SimDuration, SimTime};
+
+/// A grouping of logical processes into shards — the unit the drivers
+/// schedule. Plans are pure data: equal plans behave identically, and
+/// *every* plan produces byte-identical simulation results (the merge
+/// contract orders events by LP, not by shard).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// `assignment[lp]` = owning shard.
+    assignment: Vec<u16>,
+    shards: usize,
+}
+
+impl PartitionPlan {
+    /// One shard per LP — the finest plan (PR 5's fixed topology).
+    pub fn identity(lps: usize) -> Self {
+        Self::from_assignment((0..lps).collect())
+    }
+
+    /// All LPs fused into one shard — the degenerate plan that turns
+    /// both drivers into a single-wheel loop.
+    pub fn single(lps: usize) -> Self {
+        Self::from_assignment(vec![0; lps])
+    }
+
+    /// Builds a plan from an explicit `lp → shard` map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty or the shard ids do not cover
+    /// `0..=max` contiguously (every shard must own at least one LP).
+    pub fn from_assignment(assignment: Vec<usize>) -> Self {
+        assert!(!assignment.is_empty(), "plan needs at least one LP");
+        let shards = assignment.iter().max().map_or(0, |&s| s + 1);
+        assert!(shards <= u16::MAX as usize, "too many shards");
+        let mut seen = vec![false; shards];
+        for &s in &assignment {
+            seen[s] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "shard ids must be contiguous from 0 (every shard non-empty)"
+        );
+        PartitionPlan {
+            assignment: assignment.into_iter().map(|s| s as u16).collect(),
+            shards,
+        }
+    }
+
+    /// Number of logical processes.
+    pub fn lp_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `lp`.
+    pub fn shard_of(&self, lp: usize) -> usize {
+        self.assignment[lp] as usize
+    }
+
+    /// The LPs owned by `shard`, in ascending order.
+    pub fn members(&self, shard: usize) -> Vec<usize> {
+        (0..self.assignment.len())
+            .filter(|&lp| self.assignment[lp] as usize == shard)
+            .collect()
+    }
+
+    /// True when every LP is its own shard.
+    pub fn is_identity(&self) -> bool {
+        self.shards == self.assignment.len()
+    }
+
+    /// The raw LP → shard assignment (one entry per LP).
+    pub fn assignment(&self) -> &[u16] {
+        &self.assignment
+    }
+}
 
 /// One partition of a sharded world.
 ///
-/// Implementations own their slice of model state and react to their
-/// own (local) events and to cross events arriving from other shards.
+/// Implementations own the slices of model state belonging to their
+/// shard's member LPs and react to their own (local) events and to
+/// cross events arriving from other LPs. Under a fused plan one world
+/// instance serves several LPs; [`ShardCtx::lp`] names the LP the
+/// current event belongs to.
 pub trait ShardWorld: Send {
-    /// Events a shard schedules for itself.
+    /// Events an LP schedules for itself.
     type Local: Send;
-    /// Events exchanged between shards.
+    /// Events exchanged between LPs.
     type Cross: Send;
 
     /// Handles one local event popped from this shard's wheel.
@@ -59,7 +178,7 @@ pub trait ShardWorld: Send {
         ctx: &mut ShardCtx<'_, Self::Local, Self::Cross>,
     );
 
-    /// Handles one cross event sent by shard `src`.
+    /// Handles one cross event sent by LP `src`.
     fn handle_cross(
         &mut self,
         src: usize,
@@ -68,13 +187,53 @@ pub trait ShardWorld: Send {
     );
 }
 
+/// A wheel entry of a sharded run: a local event tagged with its LP,
+/// or a cross arrival whose payload is parked in the shard's slab
+/// (keeping the wheel entry small and `Copy`-cheap to cascade).
+enum Item<L> {
+    Local {
+        lp: u16,
+        event: L,
+    },
+    Cross {
+        src: u16,
+        dst: u16,
+        seq: u64,
+        slot: u32,
+    },
+}
+
+impl<L> KeyedEvent for Item<L> {
+    fn merge_key(&self) -> Option<MergeKey> {
+        match *self {
+            Item::Local { .. } => None,
+            Item::Cross { src, dst, seq, .. } => Some(MergeKey { src, dst, seq }),
+        }
+    }
+}
+
+/// A cross event in flight between two shards.
+struct CrossMsg<C> {
+    dst_shard: u32,
+    time_ns: u64,
+    src: u16,
+    dst: u16,
+    seq: u64,
+    payload: C,
+}
+
 /// Scheduling context handed to a shard while it processes one event.
 pub struct ShardCtx<'a, L, C> {
+    lp: usize,
     shard: usize,
     now: SimTime,
     lookahead: SimDuration,
-    queue: &'a mut EventQueue<L>,
-    outbox: &'a mut Vec<(usize, SimTime, C)>,
+    plan: &'a PartitionPlan,
+    queue: &'a mut EventQueue<Item<L>>,
+    slab: &'a mut Vec<Option<C>>,
+    slab_free: &'a mut Vec<u32>,
+    send_seq: &'a mut [u64],
+    outbox: &'a mut Vec<CrossMsg<C>>,
     clamped: &'a mut u64,
 }
 
@@ -84,28 +243,42 @@ impl<L, C> ShardCtx<'_, L, C> {
         self.now
     }
 
-    /// This shard's stable id.
-    pub fn shard(&self) -> usize {
-        self.shard
+    /// The logical process the current event belongs to.
+    pub fn lp(&self) -> usize {
+        self.lp
     }
 
-    /// Schedules a local event at an absolute time. Past instants
-    /// clamp to the clock and count, exactly like
+    /// Schedules a local event for the current LP at an absolute time.
+    /// Past instants clamp to the clock and count, exactly like
     /// [`Scheduler::at`](crate::Scheduler::at).
     pub fn at(&mut self, time: SimTime, event: L) {
         if time < self.now {
             crate::driver::note_past_schedule(self.clamped, self.now, time);
         }
-        self.queue.push(time.max(self.now), event);
+        self.queue.push(
+            time.max(self.now),
+            Item::Local {
+                lp: self.lp as u16,
+                event,
+            },
+        );
     }
 
     /// Schedules a local event `delay` after the current instant.
     pub fn after(&mut self, delay: SimDuration, event: L) {
-        self.queue.push(self.now + delay, event);
+        self.queue.push(
+            self.now + delay,
+            Item::Local {
+                lp: self.lp as u16,
+                event,
+            },
+        );
     }
 
-    /// Sends a cross event to shard `dst` (self-sends are allowed and
-    /// ordered like any other cross event).
+    /// Sends a cross event to LP `dst` (self-sends are allowed and
+    /// ordered like any other cross event). When `dst` lives on the
+    /// same shard the event goes straight into the local wheel in
+    /// merge-key position — fused plans never touch a channel.
     ///
     /// # Panics
     ///
@@ -120,21 +293,61 @@ impl<L, C> ShardCtx<'_, L, C> {
             self.now,
             self.lookahead.as_nanos(),
         );
-        self.outbox.push((dst, time, event));
+        let n = self.plan.lp_count();
+        let channel = &mut self.send_seq[self.lp * n + dst];
+        let seq = *channel;
+        *channel += 1;
+        let dst_shard = self.plan.shard_of(dst);
+        if dst_shard == self.shard {
+            let slot = park(self.slab, self.slab_free, event);
+            self.queue.push_keyed(
+                time,
+                Item::Cross {
+                    src: self.lp as u16,
+                    dst: dst as u16,
+                    seq,
+                    slot,
+                },
+            );
+        } else {
+            self.outbox.push(CrossMsg {
+                dst_shard: dst_shard as u32,
+                time_ns: time.as_nanos(),
+                src: self.lp as u16,
+                dst: dst as u16,
+                seq,
+                payload: event,
+            });
+        }
     }
 }
 
-/// Merge key of a received cross event — the contract's clause 3.
-type CrossKey = (u64, u32, u64); // (time ns, src shard, per-channel seq)
+/// Parks a cross payload in the shard's slab, recycling a freed slot.
+fn park<C>(slab: &mut Vec<Option<C>>, free: &mut Vec<u32>, payload: C) -> u32 {
+    match free.pop() {
+        Some(slot) => {
+            slab[slot as usize] = Some(payload);
+            slot
+        }
+        None => {
+            slab.push(Some(payload));
+            (slab.len() - 1) as u32
+        }
+    }
+}
 
 struct ShardState<W: ShardWorld> {
     world: W,
-    queue: EventQueue<W::Local>,
-    /// Received-but-unprocessed cross events in merge-key order.
-    pending: BTreeMap<CrossKey, W::Cross>,
-    /// This shard's stable id.
+    queue: EventQueue<Item<W::Local>>,
+    /// Parked cross payloads referenced by wheel-resident
+    /// `Item::Cross` entries.
+    slab: Vec<Option<W::Cross>>,
+    slab_free: Vec<u32>,
+    /// This shard's stable id under the run's plan.
     id: usize,
-    /// Per-destination send sequence counters.
+    /// Per-`(src LP, dst LP)` send counters, `lp_count²` flattened;
+    /// only the rows of this shard's member LPs are ever touched, so
+    /// counters are a property of the LP channel, not of the plan.
     send_seq: Vec<u64>,
     lookahead: SimDuration,
     now: SimTime,
@@ -145,90 +358,122 @@ struct ShardState<W: ShardWorld> {
 impl<W: ShardWorld> ShardState<W> {
     /// Timestamp of the earliest unprocessed event (local or cross).
     fn next_time_ns(&mut self) -> Option<u64> {
-        let local = self.queue.next_time().map(SimTime::as_nanos);
-        let cross = self.pending.keys().next().map(|k| k.0);
-        match (local, cross) {
-            (None, c) => c,
-            (l, None) => l,
-            (Some(l), Some(c)) => Some(l.min(c)),
-        }
+        self.queue.next_time().map(SimTime::as_nanos)
     }
 
-    /// Processes the earliest event (cross wins timestamp ties).
-    /// Returns false when nothing is queued.
-    fn step(&mut self, outbox: &mut Vec<(usize, SimTime, W::Cross)>) -> bool {
-        let local = self.queue.next_time().map(SimTime::as_nanos);
-        let cross = self.pending.keys().next().copied();
-        let take_cross = match (local, cross) {
-            (None, None) => return false,
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
-            (Some(l), Some(c)) => c.0 <= l,
+    /// Accepts a cross event from another shard, placing it in
+    /// merge-key position.
+    fn receive(&mut self, msg: CrossMsg<W::Cross>) {
+        debug_assert!(
+            msg.time_ns > self.now.as_nanos(),
+            "cross arrival must be in the receiver's strict future"
+        );
+        let slot = park(&mut self.slab, &mut self.slab_free, msg.payload);
+        self.queue.push_keyed(
+            SimTime::from_nanos(msg.time_ns),
+            Item::Cross {
+                src: msg.src,
+                dst: msg.dst,
+                seq: msg.seq,
+                slot,
+            },
+        );
+    }
+
+    /// Processes the earliest event. Returns false when nothing is
+    /// queued. Ties are fully resolved by the wheel (clause 2–4 of the
+    /// merge contract are structural), so this is a plain pop.
+    fn step(&mut self, plan: &PartitionPlan, outbox: &mut Vec<CrossMsg<W::Cross>>) -> bool {
+        let Some((time, item)) = self.queue.pop() else {
+            return false;
         };
-        if take_cross {
-            let (key, event) = self.pending.pop_first().expect("cross head");
-            self.now = SimTime::from_nanos(key.0);
-            self.processed += 1;
-            let mut ctx = ShardCtx {
-                shard: self.id,
-                now: self.now,
-                lookahead: self.lookahead,
-                queue: &mut self.queue,
-                outbox,
-                clamped: &mut self.clamped,
-            };
-            self.world.handle_cross(key.1 as usize, event, &mut ctx);
-        } else {
-            let (time, event) = self.queue.pop().expect("local head");
-            self.now = time;
-            self.processed += 1;
-            let mut ctx = ShardCtx {
-                shard: self.id,
-                now: self.now,
-                lookahead: self.lookahead,
-                queue: &mut self.queue,
-                outbox,
-                clamped: &mut self.clamped,
-            };
-            self.world.handle_local(event, &mut ctx);
+        self.now = time;
+        self.processed += 1;
+        match item {
+            Item::Local { lp, event } => {
+                let mut ctx = ShardCtx {
+                    lp: lp as usize,
+                    shard: self.id,
+                    now: time,
+                    lookahead: self.lookahead,
+                    plan,
+                    queue: &mut self.queue,
+                    slab: &mut self.slab,
+                    slab_free: &mut self.slab_free,
+                    send_seq: &mut self.send_seq,
+                    outbox,
+                    clamped: &mut self.clamped,
+                };
+                self.world.handle_local(event, &mut ctx);
+            }
+            Item::Cross { src, dst, slot, .. } => {
+                let payload = self.slab[slot as usize].take().expect("parked cross");
+                self.slab_free.push(slot);
+                let mut ctx = ShardCtx {
+                    lp: dst as usize,
+                    shard: self.id,
+                    now: time,
+                    lookahead: self.lookahead,
+                    plan,
+                    queue: &mut self.queue,
+                    slab: &mut self.slab,
+                    slab_free: &mut self.slab_free,
+                    send_seq: &mut self.send_seq,
+                    outbox,
+                    clamped: &mut self.clamped,
+                };
+                self.world.handle_cross(src as usize, payload, &mut ctx);
+            }
         }
         true
     }
 }
 
-/// In-flight cross message in a parallel run.
-struct InMsg<C> {
-    key: CrossKey,
-    payload: C,
-}
-
-/// A bounded SPSC mailbox: exactly one producer (shard `src`) and one
-/// consumer (shard `dst`) touch each slot.
-struct Mailbox<C> {
-    slot: Mutex<Vec<InMsg<C>>>,
+/// One inter-shard channel: a batch vector plus a dirty flag so idle
+/// shards skip the lock entirely when nothing arrived.
+struct Channel<C> {
+    data: Mutex<Vec<CrossMsg<C>>>,
+    flagged: AtomicBool,
 }
 
 /// Soft bound on undrained messages per channel; producers spin until
 /// the consumer drains (the consumer drains unconditionally on every
-/// pump iteration, so this cannot deadlock).
+/// pump round, so this cannot deadlock). A batch append may overshoot
+/// the bound — it is back-pressure, not a capacity guarantee.
 const MAILBOX_CAP: usize = 8192;
 
-/// A sharded simulation: a fixed set of [`ShardWorld`] partitions plus
-/// the two drivers that execute them.
+/// A sharded simulation: a [`PartitionPlan`], one [`ShardWorld`] per
+/// shard, and the two drivers that execute them.
 pub struct ShardedSim<W: ShardWorld> {
+    plan: PartitionPlan,
     shards: Vec<ShardState<W>>,
-    outbox: Vec<(usize, SimTime, W::Cross)>,
+    outbox: Vec<CrossMsg<W::Cross>>,
     flushed_events: u64,
     flushed_clamped: u64,
 }
 
 impl<W: ShardWorld> ShardedSim<W> {
-    /// Builds a simulation from `(world, lookahead)` pairs, one per
-    /// shard. Shard ids are the vector indices and must stay stable
-    /// across runs — they are part of the merge contract.
+    /// Builds a simulation on the identity plan from `(world,
+    /// lookahead)` pairs, one per LP. LP ids are the vector indices
+    /// and must stay stable across runs — they are part of the merge
+    /// contract.
     pub fn new(shards: Vec<(W, SimDuration)>) -> Self {
-        let n = shards.len();
-        assert!(n > 0, "need at least one shard");
+        let plan = PartitionPlan::identity(shards.len());
+        Self::with_plan(plan, shards)
+    }
+
+    /// Builds a simulation on an explicit plan from `(world,
+    /// lookahead)` pairs, one per **shard** (in shard-id order). Each
+    /// world must own the state slices of all its shard's member LPs,
+    /// and each lookahead must be the minimum over those LPs — fusing
+    /// can only tighten lookahead, never loosen it.
+    pub fn with_plan(plan: PartitionPlan, shards: Vec<(W, SimDuration)>) -> Self {
+        assert_eq!(
+            shards.len(),
+            plan.shard_count(),
+            "one world per shard of the plan"
+        );
+        let lps = plan.lp_count();
         let shards = shards
             .into_iter()
             .enumerate()
@@ -240,9 +485,10 @@ impl<W: ShardWorld> ShardedSim<W> {
                 ShardState {
                     world,
                     queue: EventQueue::new(),
-                    pending: BTreeMap::new(),
+                    slab: Vec::new(),
+                    slab_free: Vec::new(),
                     id,
-                    send_seq: vec![0; n],
+                    send_seq: vec![0; lps * lps],
                     lookahead,
                     now: SimTime::ZERO,
                     processed: 0,
@@ -251,6 +497,7 @@ impl<W: ShardWorld> ShardedSim<W> {
             })
             .collect();
         ShardedSim {
+            plan,
             shards,
             outbox: Vec::new(),
             flushed_events: 0,
@@ -258,14 +505,26 @@ impl<W: ShardWorld> ShardedSim<W> {
         }
     }
 
+    /// The plan this simulation runs under.
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
-    /// Seeds an initial local event on `shard`.
-    pub fn schedule(&mut self, shard: usize, time: SimTime, event: W::Local) {
-        self.shards[shard].queue.push(time, event);
+    /// Seeds an initial local event on `lp`.
+    pub fn schedule(&mut self, lp: usize, time: SimTime, event: W::Local) {
+        let shard = self.plan.shard_of(lp);
+        self.shards[shard].queue.push(
+            time,
+            Item::Local {
+                lp: lp as u16,
+                event,
+            },
+        );
     }
 
     /// The latest instant any shard has reached (equals the timestamp
@@ -287,8 +546,8 @@ impl<W: ShardWorld> ShardedSim<W> {
         self.shards.iter().map(|s| s.clamped).sum()
     }
 
-    /// Consumes the simulation, returning the shard worlds in id
-    /// order.
+    /// Consumes the simulation, returning the shard worlds in shard-id
+    /// order (one per shard of the plan).
     pub fn into_worlds(self) -> Vec<W> {
         self.shards.into_iter().map(|s| s.world).collect()
     }
@@ -305,49 +564,78 @@ impl<W: ShardWorld> ShardedSim<W> {
         self.flushed_clamped = clamped;
     }
 
-    /// Delivers this shard's outbox, assigning per-channel sequence
-    /// numbers (identical in both drivers) and inserting straight into
-    /// the destinations' pending sets.
-    fn deliver_outbox_sequential(&mut self, src: usize) {
-        // Drain into a scratch Vec to end the borrow of `src`.
-        let msgs = std::mem::take(&mut self.outbox);
-        for (dst, ts, payload) in msgs {
-            let seq = self.shards[src].send_seq[dst];
-            self.shards[src].send_seq[dst] += 1;
-            let key = (ts.as_nanos(), src as u32, seq);
-            self.shards[dst].pending.insert(key, payload);
-        }
-    }
-
     /// Runs every shard to completion on the calling thread, always
     /// advancing the shard holding the globally earliest event (ties
     /// to the lowest shard id — which cannot matter, because
-    /// equal-time events on different shards are causally
-    /// independent under the lookahead discipline).
+    /// equal-time events on different LPs are causally independent
+    /// under the lookahead discipline).
+    ///
+    /// The scan caches the *runner-up* time: after picking the
+    /// earliest shard it keeps stepping that same shard until its next
+    /// event would pass the runner-up (or a delivery lands below it),
+    /// so the common pattern — one shard briefly hot — costs one pop
+    /// per event, not one full scan per event. A single-shard plan
+    /// never leaves the inner loop.
     pub fn run_sequential(&mut self) {
+        let Self {
+            plan,
+            shards,
+            outbox,
+            ..
+        } = self;
+        let n = shards.len();
+        if n == 1 {
+            let shard = &mut shards[0];
+            while shard.step(plan, outbox) {
+                debug_assert!(outbox.is_empty(), "single-shard sends are all intra-shard");
+            }
+            self.flush_metrics();
+            return;
+        }
         loop {
             let mut best: Option<(u64, usize)> = None;
-            for i in 0..self.shards.len() {
-                if let Some(t) = self.shards[i].next_time_ns() {
-                    if best.is_none_or(|(bt, _)| t < bt) {
-                        best = Some((t, i));
+            let mut runner = u64::MAX;
+            for (i, shard) in shards.iter_mut().enumerate() {
+                if let Some(t) = shard.next_time_ns() {
+                    match best {
+                        None => best = Some((t, i)),
+                        Some((bt, _)) if t < bt => {
+                            runner = bt;
+                            best = Some((t, i));
+                        }
+                        Some(_) => runner = runner.min(t),
                     }
                 }
             }
             let Some((_, i)) = best else { break };
-            let mut outbox = std::mem::take(&mut self.outbox);
-            self.shards[i].step(&mut outbox);
-            self.outbox = outbox;
-            self.deliver_outbox_sequential(i);
+            loop {
+                let stepped = shards[i].step(plan, outbox);
+                debug_assert!(stepped, "scan found an event");
+                // Deliver sends; one landing below the runner-up may
+                // create an earlier event on another shard, so the
+                // cached horizon is stale and we rescan.
+                let mut stale = false;
+                for msg in outbox.drain(..) {
+                    stale |= msg.time_ns < runner;
+                    shards[msg.dst_shard as usize].receive(msg);
+                }
+                if stale {
+                    break;
+                }
+                match shards[i].next_time_ns() {
+                    Some(t) if t < runner => {}
+                    _ => break,
+                }
+            }
         }
         self.flush_metrics();
     }
 
     /// Runs the shards on `threads` worker threads under the
     /// conservative watermark protocol. `threads` is clamped to
-    /// `1..=shard_count`; one thread degenerates to (a slower form
-    /// of) the sequential driver and produces identical results, as
-    /// does any other thread count.
+    /// `1..=shard_count`; one thread falls back to the sequential
+    /// driver and produces identical results, as does any other thread
+    /// count.
     pub fn run_threaded(&mut self, threads: usize) {
         let n = self.shards.len();
         let threads = threads.clamp(1, n);
@@ -361,38 +649,39 @@ impl<W: ShardWorld> ShardedSim<W> {
         let sent = AtomicU64::new(0);
         let received = AtomicU64::new(0);
         let done = AtomicBool::new(false);
-        let mailboxes: Vec<Vec<Mailbox<W::Cross>>> = (0..n)
+        let channels: Vec<Vec<Channel<W::Cross>>> = (0..n)
             .map(|_| {
                 (0..n)
-                    .map(|_| Mailbox {
-                        slot: Mutex::new(Vec::new()),
+                    .map(|_| Channel {
+                        data: Mutex::new(Vec::new()),
+                        flagged: AtomicBool::new(false),
                     })
                     .collect()
             })
             .collect();
 
         // Partition shards round-robin across threads, preserving ids.
-        let mut groups: Vec<Vec<(usize, ShardState<W>)>> =
-            (0..threads).map(|_| Vec::new()).collect();
+        let mut groups: Vec<Vec<ShardState<W>>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, shard) in self.shards.drain(..).enumerate() {
-            groups[i % threads].push((i, shard));
+            groups[i % threads].push(shard);
         }
 
+        let plan = &self.plan;
         let watermarks = &watermarks;
         let idle = &idle;
         let sent = &sent;
         let received = &received;
         let done = &done;
-        let mailboxes = &mailboxes;
+        let channels = &channels;
 
-        let finished: Vec<Vec<(usize, ShardState<W>)>> = std::thread::scope(|scope| {
+        let finished: Vec<Vec<ShardState<W>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .into_iter()
                 .enumerate()
                 .map(|(tid, group)| {
                     scope.spawn(move || {
                         pump_group(
-                            tid, group, n, watermarks, idle, sent, received, done, mailboxes,
+                            tid, group, plan, watermarks, idle, sent, received, done, channels,
                         )
                     })
                 })
@@ -405,8 +694,9 @@ impl<W: ShardWorld> ShardedSim<W> {
 
         let mut shards: Vec<Option<ShardState<W>>> = (0..n).map(|_| None).collect();
         for group in finished {
-            for (i, shard) in group {
-                shards[i] = Some(shard);
+            for shard in group {
+                let id = shard.id;
+                shards[id] = Some(shard);
             }
         }
         self.shards = shards
@@ -417,77 +707,91 @@ impl<W: ShardWorld> ShardedSim<W> {
     }
 }
 
-/// The per-thread pump loop of the parallel driver.
+/// The per-thread pump loop of the parallel driver. See the module
+/// docs for the round protocol and why its step order is load-bearing.
 #[allow(clippy::too_many_arguments)]
 fn pump_group<W: ShardWorld>(
     tid: usize,
-    mut group: Vec<(usize, ShardState<W>)>,
-    n: usize,
+    mut group: Vec<ShardState<W>>,
+    plan: &PartitionPlan,
     watermarks: &[AtomicU64],
     idle: &[AtomicBool],
     sent: &AtomicU64,
     received: &AtomicU64,
     done: &AtomicBool,
-    mailboxes: &[Vec<Mailbox<W::Cross>>],
-) -> Vec<(usize, ShardState<W>)> {
-    let mut outbox: Vec<(usize, SimTime, W::Cross)> = Vec::new();
-    let mut drained: Vec<InMsg<W::Cross>> = Vec::new();
+    channels: &[Vec<Channel<W::Cross>>],
+) -> Vec<ShardState<W>> {
+    let n = watermarks.len();
+    let mut outbox: Vec<CrossMsg<W::Cross>> = Vec::new();
+    let mut drained: Vec<CrossMsg<W::Cross>> = Vec::new();
+    // Per-destination flush batches, reused across rounds.
+    let mut batches: Vec<Vec<CrossMsg<W::Cross>>> = (0..n).map(|_| Vec::new()).collect();
     while !done.load(Ordering::Acquire) {
         let mut progress = false;
-        for (id, shard) in &mut group {
-            let id = *id;
-            // Drain inboxes: senders enqueue *before* publishing
-            // watermarks, so everything a watermark promises visible
-            // is visible after this drain.
+        for shard in &mut group {
+            let id = shard.id;
+            // 1. Safe horizon, read *before* the drain.
+            let safe = min_other_watermark(watermarks, id);
+
+            // 2. Drain inbound channels; the dirty flag lets quiescent
+            // rounds skip every lock.
             let mut got = 0u64;
-            for inbox in mailboxes[id].iter().take(n) {
-                let mut slot = inbox.slot.lock().expect("mailbox");
-                if !slot.is_empty() {
-                    drained.append(&mut slot);
+            for channel in &channels[id][..n] {
+                if !channel.flagged.swap(false, Ordering::Acquire) {
+                    continue;
                 }
-                drop(slot);
+                let mut data = channel.data.lock().expect("channel");
+                drained.append(&mut data);
+                drop(data);
             }
             for msg in drained.drain(..) {
-                shard.pending.insert(msg.key, msg.payload);
+                shard.receive(msg);
                 got += 1;
             }
             if got > 0 {
                 received.fetch_add(got, Ordering::AcqRel);
             }
 
-            // Process every event strictly below the safe horizon.
-            loop {
-                let safe = min_other_watermark(watermarks, id);
-                let Some(next) = shard.next_time_ns() else {
-                    break;
-                };
+            // 3. Process every event strictly below the horizon. The
+            // snapshot is conservative — watermarks only grow — so no
+            // per-event recomputation is needed.
+            while let Some(next) = shard.next_time_ns() {
                 if next >= safe {
                     break;
                 }
-                shard.step(&mut outbox);
+                shard.step(plan, &mut outbox);
                 progress = true;
-                // Flush sends promptly so downstream shards advance.
-                for (dst, ts, payload) in outbox.drain(..) {
-                    let seq = shard.send_seq[dst];
-                    shard.send_seq[dst] += 1;
-                    let key = (ts.as_nanos(), id as u32, seq);
-                    loop {
-                        let mut slot = mailboxes[dst][id].slot.lock().expect("mailbox");
-                        if slot.len() < MAILBOX_CAP {
-                            slot.push(InMsg { key, payload });
-                            break;
-                        }
-                        drop(slot);
-                        std::hint::spin_loop();
-                    }
-                    sent.fetch_add(1, Ordering::AcqRel);
+                for msg in outbox.drain(..) {
+                    batches[msg.dst_shard as usize].push(msg);
                 }
             }
 
-            // Publish the new promise: nothing this shard ever sends
-            // again can be earlier than its next event (or the
-            // earliest event another shard could still send it),
-            // plus its lookahead.
+            // 4. Flush sends: one lock per non-empty destination
+            // channel per round.
+            for batch in batches.iter_mut() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let dst = batch[0].dst_shard as usize;
+                let count = batch.len() as u64;
+                loop {
+                    let mut data = channels[dst][id].data.lock().expect("channel");
+                    if data.len() < MAILBOX_CAP {
+                        data.append(batch);
+                        break;
+                    }
+                    drop(data);
+                    std::hint::spin_loop();
+                }
+                channels[dst][id].flagged.store(true, Ordering::Release);
+                sent.fetch_add(count, Ordering::AcqRel);
+            }
+
+            // 5. Publish the new promise: nothing this shard ever
+            // sends again can be earlier than its next event (or the
+            // earliest event another shard could still send it), plus
+            // its lookahead. A fresh horizon read here is sound — a
+            // not-yet-drained arrival has a timestamp at or above it.
             let safe = min_other_watermark(watermarks, id);
             let head = shard.next_time_ns().unwrap_or(u64::MAX);
             let promise = head.min(safe).saturating_add(shard.lookahead.as_nanos());
@@ -707,5 +1011,126 @@ mod tests {
         let la: Vec<_> = a.into_worlds().into_iter().map(|w| w.log).collect();
         let lb: Vec<_> = b.into_worlds().into_iter().map(|w| w.log).collect();
         assert_eq!(la, lb);
+    }
+
+    /// A *fusible* ring world: state is held per LP, so one instance
+    /// can serve any subset of the LPs — the shape `afa-core`'s world
+    /// replicas take. Used to pin the plan-invariance contract at the
+    /// engine level.
+    #[derive(Clone)]
+    struct MultiRing {
+        lps: usize,
+        logs: Vec<Vec<(u64, usize, u64)>>, // per-LP (time, src, value)
+        hops_left: Vec<u64>,
+    }
+
+    impl MultiRing {
+        fn fresh(lps: usize) -> Self {
+            MultiRing {
+                lps,
+                logs: vec![Vec::new(); lps],
+                hops_left: vec![4; lps],
+            }
+        }
+    }
+
+    impl ShardWorld for MultiRing {
+        type Local = Local;
+        type Cross = u64;
+
+        fn handle_local(&mut self, event: Local, ctx: &mut ShardCtx<'_, Local, u64>) {
+            let Local::Tick(v) = event;
+            let lp = ctx.lp();
+            self.logs[lp].push((ctx.now().as_nanos(), usize::MAX, v));
+            if self.hops_left[lp] > 0 {
+                self.hops_left[lp] -= 1;
+                ctx.send(
+                    (lp + 1) % self.lps,
+                    ctx.now() + SimDuration::nanos(700),
+                    v + 1,
+                );
+            }
+        }
+
+        fn handle_cross(&mut self, src: usize, event: u64, ctx: &mut ShardCtx<'_, Local, u64>) {
+            let lp = ctx.lp();
+            self.logs[lp].push((ctx.now().as_nanos(), src, event));
+            if event < 300 {
+                ctx.send(
+                    (lp + 1) % self.lps,
+                    ctx.now() + SimDuration::nanos(700),
+                    event + 1,
+                );
+                ctx.at(ctx.now() + SimDuration::nanos(700), Local::Tick(event));
+            }
+        }
+    }
+
+    /// Runs the MultiRing under `plan` × `threads` and returns the
+    /// per-LP logs stitched from each LP's owning shard.
+    fn run_multi(plan: PartitionPlan, threads: usize) -> (Vec<RingLog>, u64, SimTime) {
+        const LPS: usize = 6;
+        assert_eq!(plan.lp_count(), LPS);
+        let shards = (0..plan.shard_count())
+            .map(|_| (MultiRing::fresh(LPS), SimDuration::nanos(500)))
+            .collect();
+        let mut sim = ShardedSim::with_plan(plan.clone(), shards);
+        for lp in 0..LPS {
+            sim.schedule(
+                lp,
+                SimTime::ZERO + SimDuration::nanos(13 * lp as u64),
+                Local::Tick(lp as u64 * 1000),
+            );
+        }
+        sim.run_threaded(threads);
+        let events = sim.events_processed();
+        let now = sim.now();
+        let worlds = sim.into_worlds();
+        let logs = (0..LPS)
+            .map(|lp| worlds[plan.shard_of(lp)].logs[lp].clone())
+            .collect();
+        (logs, events, now)
+    }
+
+    #[test]
+    fn every_plan_and_thread_count_agrees_per_lp() {
+        let (base_logs, base_events, base_now) = run_multi(PartitionPlan::single(6), 1);
+        assert!(base_events > 0);
+        let plans = [
+            PartitionPlan::identity(6),
+            PartitionPlan::single(6),
+            PartitionPlan::from_assignment(vec![0, 1, 0, 1, 0, 1]),
+            PartitionPlan::from_assignment(vec![0, 0, 0, 1, 1, 2]),
+        ];
+        for plan in plans {
+            for threads in [1, 2, 4] {
+                let (logs, events, now) = run_multi(plan.clone(), threads);
+                assert_eq!(
+                    logs, base_logs,
+                    "per-LP streams diverged under {plan:?} × {threads} threads"
+                );
+                assert_eq!(events, base_events);
+                assert_eq!(now, base_now);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_accessors_are_consistent() {
+        let plan = PartitionPlan::from_assignment(vec![0, 1, 0, 2, 1]);
+        assert_eq!(plan.lp_count(), 5);
+        assert_eq!(plan.shard_count(), 3);
+        assert_eq!(plan.members(0), vec![0, 2]);
+        assert_eq!(plan.members(1), vec![1, 4]);
+        assert_eq!(plan.members(2), vec![3]);
+        assert!(!plan.is_identity());
+        assert!(PartitionPlan::identity(4).is_identity());
+        assert_eq!(PartitionPlan::single(4).shard_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gappy_shard_ids_are_rejected() {
+        let _ = PartitionPlan::from_assignment(vec![0, 2]);
     }
 }

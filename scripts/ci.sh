@@ -52,17 +52,24 @@ for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tail
     echo "golden OK: $fig"
 done
 
-echo "==> parallel-vs-sequential byte-compare (fig06 at AFA_THREADS=4)"
-# The conservative parallel engine must be invisible in the artifacts:
-# the 9-LP partition is fixed regardless of thread count, so a 4-thread
-# run has to produce byte-identical JSON to the sequential driver.
-AFA_THREADS=4 ./target/release/afactl exp fig06 --seconds 0.25 --ssds 8 --seed 42 \
-    --json > "$golden_tmp/fig06-par.json"
-if ! cmp -s "tests/golden/fig06.json" "$golden_tmp/fig06-par.json"; then
-    echo "parallel mismatch: AFA_THREADS=4 fig06 differs from the sequential golden" >&2
-    exit 1
-fi
-echo "parallel OK: fig06 (AFA_THREADS=4 == sequential)"
+echo "==> partition-plan byte-compare (fig06 under single/fused-4/full-9 x 1/4 threads)"
+# The partition plan and the thread count must both be invisible in
+# the artifacts: the 9-LP decomposition is part of the deterministic
+# merge contract, so every fusion level — from the fully-fused
+# single-wheel fast path to one shard per LP — has to produce
+# byte-identical JSON, sequential or threaded.
+for plan in single fused-4 full-9; do
+    for threads in 1 4; do
+        AFA_SHARD_PLAN=$plan AFA_THREADS=$threads \
+            ./target/release/afactl exp fig06 --seconds 0.25 --ssds 8 --seed 42 \
+            --json > "$golden_tmp/fig06-$plan-$threads.json"
+        if ! cmp -s "tests/golden/fig06.json" "$golden_tmp/fig06-$plan-$threads.json"; then
+            echo "plan mismatch: fig06 under AFA_SHARD_PLAN=$plan AFA_THREADS=$threads differs from the golden" >&2
+            exit 1
+        fi
+    done
+    echo "plan OK: fig06 ($plan at 1 and 4 threads == golden)"
+done
 
 echo "==> desperf regression check (pinned-scale fig06 events/sec)"
 # Fails if DES throughput fell more than 10% below the most recent

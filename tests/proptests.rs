@@ -11,7 +11,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use afa::core::{AfaConfig, AfaSystem, ThreadsOverride, TuningStage};
+use afa::core::partition::plan_for;
+use afa::core::{AfaConfig, AfaSystem, PlanOverride, PlanSpec, ThreadsOverride, TuningStage};
 use afa::sim::check::run_cases;
 use afa::sim::{EventQueue, ShardCtx, ShardWorld, ShardedSim, SimDuration, SimTime};
 use afa::stats::NinesPoint;
@@ -217,6 +218,96 @@ fn parallel_driver_matches_sequential_bytes() {
         assert_eq!(
             sequential, parallel,
             "{} artifact diverged at {threads} threads",
+            def.name,
+        );
+    });
+}
+
+/// The partition planner is a deterministic pure function of its
+/// three inputs, and every plan it emits is a valid partition of the
+/// nine I/O-path LPs: contiguous shard ids, every LP in exactly one
+/// shard, never more shards than effective threads, and a reserved
+/// hub lane on every multi-shard plan.
+#[test]
+fn planner_is_a_pure_function() {
+    run_cases("planner_is_a_pure_function", 64, |g| {
+        let mask = g.u64_in(0, 0xFF) as u16;
+        let threads = g.usize_in(0, 16);
+        let cores = g.usize_in(0, 32);
+        let plan = plan_for(mask, threads, cores);
+        // Purity: same inputs, same plan — no environment, no globals.
+        assert_eq!(
+            plan.assignment(),
+            plan_for(mask, threads, cores).assignment(),
+            "planner output varied across calls"
+        );
+        assert_eq!(plan.lp_count(), 9);
+        let shards = plan.shard_count();
+        assert!(shards >= 1);
+        assert!(shards <= threads.min(cores.max(1)).max(1));
+        // Partition validity: the per-shard member lists are disjoint
+        // and cover every LP exactly once.
+        let mut owner_count = vec![0usize; plan.lp_count()];
+        for shard in 0..shards {
+            for lp in plan.members(shard) {
+                assert_eq!(plan.shard_of(lp), shard);
+                owner_count[lp] += 1;
+            }
+        }
+        assert!(owner_count.iter().all(|&n| n == 1), "LP owned != once");
+        if shards > 1 {
+            // The hub (LP 8) never shares a shard with a job-bearing
+            // worker: its lane only ever absorbs idle workers.
+            let hub_shard = plan.shard_of(8);
+            for lp in plan.members(hub_shard) {
+                assert!(
+                    lp == 8 || mask >> lp & 1 == 0,
+                    "job-bearing LP {lp} fused into the hub lane"
+                );
+            }
+        }
+    });
+}
+
+/// Every fusion level is invisible in the artifacts: for any
+/// experiment, scale, forced plan and thread count, the run
+/// serializes to exactly the bytes of the fully-fused single-wheel
+/// plan. This is the differential form of the ci.sh plan matrix —
+/// the matrix pins one (experiment, scale) point, this samples the
+/// space.
+#[test]
+fn every_fusion_level_matches_single_plan_bytes() {
+    let names = ["fig06", "fig07", "fig09", "fig12"];
+    run_cases("every_fusion_level_matches_single_plan_bytes", 6, |g| {
+        let def = afa::core::experiment::find(names[g.usize_in(0, names.len() - 1)])
+            .expect("experiment registered");
+        let scale = afa::core::experiment::ExperimentScale::new(
+            SimDuration::millis(g.u64_in(10, 30)),
+            g.usize_in(1, 6),
+            g.u64_in(0, 10_000),
+        );
+        let baseline = {
+            let _plan = PlanOverride::set(PlanSpec::Single);
+            let _pin = ThreadsOverride::set(1);
+            afa::core::experiment::run_experiment(def, scale)
+                .to_json()
+                .to_string()
+        };
+        let spec = match g.usize_in(0, 8) {
+            8 => PlanSpec::Full,
+            n => PlanSpec::Fused(n.max(2)),
+        };
+        let threads = g.usize_in(1, 4);
+        let fused = {
+            let _plan = PlanOverride::set(spec);
+            let _pin = ThreadsOverride::set(threads);
+            afa::core::experiment::run_experiment(def, scale)
+                .to_json()
+                .to_string()
+        };
+        assert_eq!(
+            baseline, fused,
+            "{} artifact diverged under {spec:?} at {threads} thread(s)",
             def.name,
         );
     });
