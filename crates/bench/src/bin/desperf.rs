@@ -4,9 +4,12 @@
 //! Each entry captures the substrate hot-path micro-benches
 //! (`queue_push_pop_1k`, `queue_push_pop_64k`, `histogram_record`,
 //! `frontend_fanout_64` — the exact same bodies
-//! `cargo bench --bench micro` runs) plus two pinned end-to-end runs:
-//! fig06 (10 s × 64 SSDs, seed 42) and the request-serving
-//! tailscale-fanout sweep (0.5 s × 16 SSDs, seed 42), each with its
+//! `cargo bench --bench micro` runs) plus three pinned end-to-end
+//! runs: fig06 (10 s × 64 SSDs, seed 42), the request-serving
+//! tailscale-fanout sweep (0.5 s × 16 SSDs, seed 42), and the
+//! fleet-arrival tenant ladder (1 s × 8 SSDs, seed 42 — the
+//! million-tenant rung plus its peak slab footprint, the serving
+//! path's RSS proxy), each with its
 //! wall-clock and events/sec, plus a threads-scaling sweep of the
 //! pinned fig06 run at 1/2/4/8 engine workers (recorded alongside the
 //! host's core count, since scaling numbers are meaningless without
@@ -24,7 +27,10 @@
 //! `desperf --check` is the CI regression gate: it skips the
 //! micro-benches, re-measures the pinned fig06 run, and exits non-zero
 //! if events/sec fell more than 10% below the most recent committed
-//! entry (nothing is appended). On hosts with enough cores it also
+//! entry (nothing is appended). It also re-measures the fleet ladder
+//! and gates both its events/sec (90% floor) and its peak slab bytes
+//! (110% ceiling), skipping gracefully when the committed trajectory
+//! predates the fleet keys. On hosts with enough cores it also
 //! gates the threads-scaling table: threads must *pay* — a 2- or
 //! 4-thread run slower than 95% of the sequential run fails the gate
 //! (on smaller hosts the partition planner fuses everything into the
@@ -48,6 +54,66 @@ fn trajectory_scale() -> ExperimentScale {
 /// [`trajectory_scale`].
 fn frontend_scale() -> ExperimentScale {
     ExperimentScale::new(SimDuration::from_secs_f64(0.5), 16, 42)
+}
+
+/// The pinned fleet-serving scale: 1 s keeps the tenant ladder's full
+/// 10³ → 10⁶ climb in the trajectory, so the 1M rung is exercised on
+/// every measurement. Same comparability rule as [`trajectory_scale`].
+fn fleet_scale() -> ExperimentScale {
+    ExperimentScale::new(SimDuration::from_secs_f64(1.0), 8, 42)
+}
+
+/// Runs the pinned fleet-arrival ladder once; returns
+/// `(events_per_sec, peak_slab_bytes, rate_ratio_1m_vs_10k)`. The
+/// slab bytes are the serving path's peak-RSS proxy; the rate ratio
+/// compares the 1M rung's per-rung events/sec against the 10k rung's
+/// (flat-memory serving should hold it near 1.0).
+fn run_fleet_ladder() -> (f64, u64, f64) {
+    let scale = fleet_scale();
+    println!(
+        "fleet-arrival ladder at {:.1}s x {} SSDs, seed {} ...",
+        scale.runtime.as_secs_f64(),
+        scale.ssds,
+        scale.seed
+    );
+    // Three passes: best-of for throughput, median for the rung
+    // ratio. The whole ladder finishes in a fraction of a second, and
+    // a single pass on a shared host picks up enough scheduler/cache
+    // noise to swing the 1M/10k ratio by ±30 %.
+    let mut events_per_sec = 0.0f64;
+    let mut peak_slab_bytes = 0u64;
+    let mut ratios: Vec<f64> = Vec::new();
+    for _ in 0..3 {
+        let events_before = afa_sim::metrics::events_processed_total();
+        let t0 = Instant::now();
+        let result = experiment::fleet_arrival(scale);
+        let wall = t0.elapsed().as_secs_f64();
+        let events = afa_sim::metrics::events_processed_total() - events_before;
+        events_per_sec = events_per_sec.max(events as f64 / wall.max(1e-9));
+        peak_slab_bytes = result
+            .cells
+            .iter()
+            .map(|c| c.slab_footprint_bytes)
+            .max()
+            .unwrap_or(0);
+        let rung_rate = |tenants: u64| {
+            result
+                .cell(tenants)
+                .map(|c| c.sim_events as f64 / c.wall.as_secs_f64().max(1e-9))
+        };
+        if let (Some(big), Some(small)) = (rung_rate(1_000_000), rung_rate(10_000)) {
+            if small > 0.0 {
+                ratios.push(big / small);
+            }
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    let rate_ratio = ratios.get(ratios.len() / 2).copied().unwrap_or(1.0);
+    println!(
+        "fleet-arrival: best of 3 passes, {events_per_sec:.0} events/sec, \
+         {peak_slab_bytes} peak slab bytes, 1M/10k rate ratio {rate_ratio:.2} (median)"
+    );
+    (events_per_sec, peak_slab_bytes, rate_ratio)
 }
 
 fn median_ns(harness: &Harness, name: &str) -> f64 {
@@ -87,6 +153,7 @@ fn main() {
             100.0 * (measured / baseline - 1.0)
         );
         check_threads_scaling(measured);
+        check_fleet(&std::fs::read_to_string(path).unwrap_or_default());
         return;
     }
 
@@ -169,6 +236,9 @@ fn main() {
         fe_events_per_sec
     );
 
+    println!();
+    let (fleet_eps, fleet_slab_bytes, fleet_rate_ratio) = run_fleet_ladder();
+
     let entry = Json::obj([
         ("label", Json::str(&label)),
         (
@@ -197,6 +267,9 @@ fn main() {
         ("frontend_samples", Json::u64(fe_result.samples())),
         ("frontend_events", Json::u64(fe_events)),
         ("frontend_events_per_sec", Json::f64(fe_events_per_sec)),
+        ("fleet_events_per_sec", Json::f64(fleet_eps)),
+        ("fleet_slab_peak_bytes", Json::u64(fleet_slab_bytes)),
+        ("fleet_rate_ratio_1m_vs_10k", Json::f64(fleet_rate_ratio)),
     ]);
 
     let rendered = append_entry(&std::fs::read_to_string(path).unwrap_or_default(), &entry);
@@ -281,11 +354,52 @@ fn run_trajectory_fig06() -> f64 {
     events_per_sec
 }
 
+/// The fleet gate: events/sec must hold 90% of the last committed
+/// fleet measurement, and the peak slab footprint (the serving path's
+/// RSS proxy) must not grow more than 10%. Skipped with a note when
+/// the trajectory predates the fleet keys.
+fn check_fleet(existing: &str) {
+    let (Some(base_eps), Some(base_bytes)) = (
+        last_f64_key(existing, "\"fleet_events_per_sec\":"),
+        last_f64_key(existing, "\"fleet_slab_peak_bytes\":"),
+    ) else {
+        println!("fleet gate: skipped (no fleet keys in the committed trajectory yet)");
+        return;
+    };
+    let (eps, slab_bytes, _) = run_fleet_ladder();
+    let eps_floor = 0.9 * base_eps;
+    if eps < eps_floor {
+        eprintln!(
+            "fleet regression: {eps:.0} events/sec is more than 10% below the \
+             committed baseline {base_eps:.0} (floor {eps_floor:.0})"
+        );
+        std::process::exit(1);
+    }
+    let bytes_ceiling = 1.1 * base_bytes;
+    if slab_bytes as f64 > bytes_ceiling {
+        eprintln!(
+            "fleet slab regression: {slab_bytes} peak slab bytes is more than 10% above \
+             the committed baseline {base_bytes:.0} (ceiling {bytes_ceiling:.0})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "fleet OK: {eps:.0} events/sec ({:+.1}% vs baseline), {slab_bytes} peak slab bytes \
+         ({:+.1}% vs baseline)",
+        100.0 * (eps / base_eps - 1.0),
+        100.0 * (slab_bytes as f64 / base_bytes - 1.0)
+    );
+}
+
 /// Extracts the last entry's `fig06_events_per_sec` from the
-/// trajectory document — same no-parser discipline as [`append_entry`]:
-/// find the final occurrence of the key and read the number after it.
+/// trajectory document.
 fn last_events_per_sec(existing: &str) -> Option<f64> {
-    let key = "\"fig06_events_per_sec\":";
+    last_f64_key(existing, "\"fig06_events_per_sec\":")
+}
+
+/// Extracts the number after the final occurrence of `key` — same
+/// no-parser discipline as [`append_entry`].
+fn last_f64_key(existing: &str, key: &str) -> Option<f64> {
     let at = existing.rfind(key)? + key.len();
     let rest = &existing[at..];
     let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());

@@ -385,7 +385,10 @@ fn run_cell(
         write_rng: SimRng::from_seed_and_stream(scale.seed, 0x0B01),
         worker_busy: vec![false; WORKERS],
         worker_cpus: (0..WORKERS).map(|w| geometry.io_cpus()[w]).collect(),
-        settles: std::collections::HashMap::new(),
+        settles: Vec::new(),
+        has_work: Vec::with_capacity(specs.len()),
+        sub_scratch: Vec::new(),
+        req_ledger: RequestLedger::new(),
         policy: tuning.fio_policy(),
         hist: LatencyHistogram::new(),
         ledger: RequestLedger::new(),
@@ -415,6 +418,10 @@ fn run_cell(
         requests_shed: world.queues.iter().map(AdmissionQueue::shed).sum(),
         hedges_fired: world.hedges_fired,
         hedges_won: world.hedges_won,
+        // Slab/sketch occupancy is the fleet experiment's story; the
+        // tailscale cells leave the fields zero so their committed
+        // artifacts keep the original four-key "frontend" object.
+        ..FrontendCounters::default()
     };
     afa_sim::metrics::add_frontend(counters);
     ServeCell {
@@ -512,7 +519,20 @@ struct FrontendWorld {
     write_rng: SimRng,
     worker_busy: Vec<bool>,
     worker_cpus: Vec<CpuId>,
-    settles: std::collections::HashMap<u64, SubTimeline>,
+    /// Settle timeline of the latest-reaping sub per open request,
+    /// shadow-indexed by the request handle's dense slot index
+    /// ([`afa_frontend::Handle::index`]) — slots recycle with the
+    /// book's slab, so this never rehashes or grows past peak
+    /// concurrency.
+    settles: Vec<Option<SubTimeline>>,
+    /// Scratch for the WDRR pick (reused across dispatches).
+    has_work: Vec<bool>,
+    /// Scratch for the striped fan-out mapping (reused across
+    /// dispatches).
+    sub_scratch: Vec<afa_volume::SubIo>,
+    /// Scratch ledger reset per finished request instead of
+    /// reconstructed.
+    req_ledger: RequestLedger,
     policy: SchedPolicy,
     hist: LatencyHistogram,
     ledger: RequestLedger,
@@ -530,14 +550,18 @@ impl FrontendWorld {
     /// with the latest `reap_end` — the one the request's latency is
     /// attributed to.
     fn note_settle(&mut self, request: u64, timeline: SubTimeline) {
-        self.settles
-            .entry(request)
-            .and_modify(|best| {
+        let idx = (request & 0xffff_ffff) as usize;
+        if idx >= self.settles.len() {
+            self.settles.resize(idx + 1, None);
+        }
+        match &mut self.settles[idx] {
+            Some(best) => {
                 if timeline.reap_end > best.reap_end {
                     *best = timeline;
                 }
-            })
-            .or_insert(timeline);
+            }
+            slot => *slot = Some(timeline),
+        }
     }
 
     /// Wakes an idle dispatch worker, if any.
@@ -616,21 +640,25 @@ impl World for FrontendWorld {
             }
             FeEvent::TryDispatch { worker } => {
                 let now = sched.now();
-                let has_work: Vec<bool> = self.queues.iter().map(|q| !q.is_empty()).collect();
-                let Some(tenant) = self.wdrr.pick(&has_work) else {
+                self.has_work.clear();
+                self.has_work
+                    .extend(self.queues.iter().map(|q| !q.is_empty()));
+                let Some(tenant) = self.wdrr.pick(&self.has_work) else {
                     self.worker_busy[worker] = false;
                     return;
                 };
                 let item = self.queues[tenant].pop().expect("picked tenant has work");
                 let bytes = 4096 * self.volume.width() as u32;
-                let subs = self.volume.map_read(item.page, bytes);
+                let mut subs = std::mem::take(&mut self.sub_scratch);
+                self.volume.map_read_into(item.page, bytes, &mut subs);
                 let cpu = self.worker_cpus[worker];
                 let submit_cost = SUBMIT_BASE + SUBMIT_PER_SUB * subs.len() as u64;
                 let submit_end = self.host.charge_cpu(cpu, now, submit_cost);
                 let request = self.book.begin(tenant, item.arrived_at, now, &subs);
-                for (i, io) in subs.into_iter().enumerate() {
+                for (i, &io) in subs.iter().enumerate() {
                     self.submit_sub(request, i, io, submit_end, submit_end, false, sched);
                 }
+                self.sub_scratch = subs;
                 if let Some(delay) = self.hedge.as_ref().and_then(HedgePolicy::delay) {
                     sched.at(
                         submit_end + delay,
@@ -734,9 +762,8 @@ impl World for FrontendWorld {
                             self.hedges_won += 1;
                         }
                         self.note_settle(request, timeline);
-                        let best = self
-                            .settles
-                            .remove(&request)
+                        let best = self.settles[(request & 0xffff_ffff) as usize]
+                            .take()
                             .expect("settle timeline recorded");
                         let latency = fin.latency();
                         self.hist.record(latency.as_nanos());
@@ -744,7 +771,8 @@ impl World for FrontendWorld {
                         // Exact attribution of the slowest winning
                         // sub-I/O's path — the charges tile `latency`
                         // to the nanosecond.
-                        let mut ledger = RequestLedger::new();
+                        let ledger = &mut self.req_ledger;
+                        ledger.reset();
                         ledger.charge(Cause::FrontendQueue, fin.queueing());
                         ledger.charge(
                             Cause::CpuWork,

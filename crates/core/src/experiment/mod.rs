@@ -12,6 +12,7 @@
 mod ablations;
 mod characterize;
 mod figures;
+mod fleet;
 mod frontend;
 mod futurework;
 mod iotrace;
@@ -34,6 +35,7 @@ pub use figures::{
     fig10, fig11, fig12, fig13, fig13_and_14, fig14, fig6, fig7, fig8, fig9, render_fig14,
     run_stage, Fig10Scatter, Fig12Comparison, Fig13Results, Fig14Result, FigureDistributions,
 };
+pub use fleet::{fleet_arrival, FleetArrivalResult, FleetCell};
 pub use frontend::{
     tailscale_fanout, tailscale_hedge, FrontendServeResult, ServeCell, TenantReport,
 };

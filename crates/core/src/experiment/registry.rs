@@ -107,7 +107,7 @@ impl Experiment for ExperimentDef {
     }
 }
 
-static REGISTRY: [ExperimentDef; 29] = [
+static REGISTRY: [ExperimentDef; 30] = [
     ExperimentDef {
         name: "fig06",
         description: "Fig. 6: per-SSD latency distributions, default configuration",
@@ -274,6 +274,13 @@ static REGISTRY: [ExperimentDef; 29] = [
         runner: |s| Box::new(experiment::tailscale_hedge(s)),
     },
     ExperimentDef {
+        name: "fleet-arrival",
+        description: "Serving fleet: tenant ladder at fixed rate, sketched tails, slab book",
+        stage: Some(TuningStage::IrqAffinity),
+        parallel: false,
+        runner: |s| Box::new(experiment::fleet_arrival(s)),
+    },
+    ExperimentDef {
         name: "saturation",
         description: "Uplink saturation: sequential vs. QD1 random throughput",
         stage: Some(TuningStage::IrqAffinity),
@@ -404,6 +411,12 @@ impl RunManifest {
                 self.frontend.hedges_fired,
                 self.frontend.hedges_won
             ));
+            if self.frontend.slab_peak_live > 0 || self.frontend.sketch_merges > 0 {
+                out.push_str(&format!(
+                    "fleet   : {} peak live slab slots, {} sketch merges\n",
+                    self.frontend.slab_peak_live, self.frontend.sketch_merges
+                ));
+            }
         }
         out.push_str(&format!(
             "latency budget (probe: '{}' at {:.3}s x {} SSDs):\n",
@@ -434,18 +447,25 @@ impl RunManifest {
         // Conditional so experiments that never touch the serving
         // layer keep their pre-frontend byte-identical artifacts.
         if self.frontend.any() {
-            doc.push(
-                "frontend",
-                Json::obj([
-                    (
-                        "requests_admitted",
-                        Json::u64(self.frontend.requests_admitted),
-                    ),
-                    ("requests_shed", Json::u64(self.frontend.requests_shed)),
-                    ("hedges_fired", Json::u64(self.frontend.hedges_fired)),
-                    ("hedges_won", Json::u64(self.frontend.hedges_won)),
-                ]),
-            );
+            let mut fe = Json::obj([
+                (
+                    "requests_admitted",
+                    Json::u64(self.frontend.requests_admitted),
+                ),
+                ("requests_shed", Json::u64(self.frontend.requests_shed)),
+                ("hedges_fired", Json::u64(self.frontend.hedges_fired)),
+                ("hedges_won", Json::u64(self.frontend.hedges_won)),
+            ]);
+            // Per-field conditional: the fleet experiment's slab/sketch
+            // counters appear only when they moved, so the tailscale
+            // artifacts keep their original four-key object.
+            if self.frontend.slab_peak_live > 0 {
+                fe.push("slab_peak_live", Json::u64(self.frontend.slab_peak_live));
+            }
+            if self.frontend.sketch_merges > 0 {
+                fe.push("sketch_merges", Json::u64(self.frontend.sketch_merges));
+            }
+            doc.push("frontend", fe);
         }
         doc
     }

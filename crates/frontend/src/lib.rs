@@ -19,9 +19,13 @@
 //!   the admission/QoS path: lazy-refill rate limiting, shed-on-overflow
 //!   accounting, weighted deficit round-robin dequeue,
 //! * [`RequestBook`] / [`HedgePolicy`] — striped fan-out bookkeeping
-//!   over [`afa_volume::RequestTracker`] with first-completion-wins
+//!   parked on a free-listed [`HandleSlab`] with first-completion-wins
 //!   hedged reads, plus the per-request cause ledger
 //!   ([`RequestLedger`]),
+//! * [`HandleSlab`] / [`Handle`] — the generation-checked slab the
+//!   book (and any fleet-scale side table) parks state on,
+//! * [`ArrivalWheel`] — the batched arrival calendar that turns a
+//!   million pending tenant arrivals into one tick per slot boundary,
 //! * [`SloTarget`] / [`SloTracker`] / [`SloReport`] — per-tenant online
 //!   p50/p99/p99.9/6-nines accounting against configured targets.
 //!
@@ -36,11 +40,15 @@
 mod arrival;
 mod qos;
 mod request;
+mod slab;
 mod slo;
 mod tenant;
+mod wheel;
 
 pub use arrival::ArrivalGen;
 pub use qos::{AdmissionQueue, TokenBucket, WeightedScheduler};
 pub use request::{FinishedSummary, HedgePolicy, RequestBook, RequestLedger, SubCompletion};
+pub use slab::{Handle, HandleSlab};
 pub use slo::{SloReport, SloTarget, SloTracker};
 pub use tenant::TenantSpec;
+pub use wheel::{ArrivalEntry, ArrivalWheel};

@@ -3,19 +3,28 @@
 //!
 //! A client request maps through
 //! [`StripedVolume`](afa_volume::StripedVolume) into per-SSD sub-I/Os;
-//! [`RequestBook`] tracks them over
-//! [`afa_volume::RequestTracker`] with first-completion-wins semantics
-//! so a hedged duplicate and its original can race. The request's
+//! [`RequestBook`] tracks them with first-completion-wins semantics so
+//! a hedged duplicate and its original can race. The request's
 //! latency is, exactly, its frontend queueing delay plus the settle
 //! time of the slowest winning sub-I/O — the invariant
 //! [`RequestLedger`] makes checkable per request.
+//!
+//! In-flight requests live on a [`HandleSlab`]: request ids are
+//! generation-checked handles, so the book performs no hashing and —
+//! once warm — no allocation per request, and a hedge loser's late
+//! completion addresses a stale generation instead of needing a side
+//! set. This is what lets the fleet experiments hold 10⁵–10⁶ tenants'
+//! worth of traffic on a book whose footprint is the *concurrency*
+//! high-water mark, not the tenant count.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 use afa_sim::trace::Cause;
 use afa_sim::{SimDuration, SimTime};
 use afa_stats::LatencyHistogram;
-use afa_volume::{RequestTracker, SubIo};
+use afa_volume::SubIo;
+
+use crate::slab::{Handle, HandleSlab};
 
 /// Per-request wall-clock attribution over the shared [`Cause`]
 /// vocabulary: where this request's latency went.
@@ -36,6 +45,12 @@ impl RequestLedger {
         RequestLedger {
             acc: [SimDuration::ZERO; Cause::COUNT],
         }
+    }
+
+    /// Resets every charge to zero — in-place reuse when ledgers park
+    /// on recycled slab slots.
+    pub fn reset(&mut self) {
+        self.acc = [SimDuration::ZERO; Cause::COUNT];
     }
 
     /// Charges `d` to `cause`.
@@ -107,12 +122,19 @@ impl FinishedSummary {
     }
 }
 
-#[derive(Clone, Debug)]
+/// Slab-parked per-request state. The `subs` vector is the only heap
+/// the request owns, and the slab recycles it with the slot.
+#[derive(Debug, Default)]
 struct OpenRequest {
     tenant: usize,
     arrived_at: SimTime,
     dispatched_at: SimTime,
     subs: Vec<SubState>,
+    /// Winning completions still owed before the request finishes.
+    remaining: u32,
+    /// Latest winning completion seen so far (the running max that
+    /// becomes `finished_at`).
+    latest: SimTime,
     hedge_fired: bool,
     hedge_won: bool,
     /// The hedge loser already arrived (and was dropped) before the
@@ -128,16 +150,19 @@ struct SubState {
 }
 
 /// Tracks in-flight client requests above the volume layer: striped
-/// fan-out via [`RequestTracker`], first-completion-wins hedging, and
-/// the arrival/dispatch timeline.
-#[derive(Clone, Debug, Default)]
+/// fan-out with first-completion-wins hedging and the arrival/dispatch
+/// timeline, parked on a free-listed [`HandleSlab`].
+#[derive(Debug, Default)]
 pub struct RequestBook {
-    tracker: RequestTracker,
-    open: HashMap<u64, OpenRequest>,
+    open: HandleSlab<OpenRequest>,
     /// Requests that finished while their hedge duplicate's loser was
-    /// still in flight: exactly one more completion will arrive for
-    /// each and must be dropped, not treated as unknown.
-    awaiting_loser: std::collections::HashSet<u64>,
+    /// still in flight: exactly this many more completions will arrive
+    /// addressed to stale generations and must be dropped, not treated
+    /// as unknown.
+    pending_losers: u32,
+    /// Bytes held across all slots' sub-I/O buffers (growth-only:
+    /// vacated buffers stay allocated for reuse).
+    subs_cap_bytes: usize,
 }
 
 impl RequestBook {
@@ -147,7 +172,8 @@ impl RequestBook {
     }
 
     /// Registers a dispatched request fanning out into `subs`;
-    /// returns its id.
+    /// returns its id (a [`Handle`] in raw form — dense slot index in
+    /// the low 32 bits via [`Handle::index`]).
     ///
     /// # Panics
     ///
@@ -160,27 +186,25 @@ impl RequestBook {
         subs: &[SubIo],
     ) -> u64 {
         assert!(!subs.is_empty(), "a request needs at least one sub-I/O");
-        let id = self.tracker.begin(tenant, dispatched_at, subs.len() as u32);
-        self.open.insert(
-            id,
-            OpenRequest {
-                tenant,
-                arrived_at,
-                dispatched_at,
-                subs: subs
-                    .iter()
-                    .map(|&io| SubState {
-                        io,
-                        done: false,
-                        hedged: false,
-                    })
-                    .collect(),
-                hedge_fired: false,
-                hedge_won: false,
-                hedge_resolved: false,
-            },
-        );
-        id
+        let (handle, open) = self.open.claim(OpenRequest::default);
+        open.tenant = tenant;
+        open.arrived_at = arrived_at;
+        open.dispatched_at = dispatched_at;
+        let cap_before = open.subs.capacity();
+        open.subs.clear();
+        open.subs.extend(subs.iter().map(|&io| SubState {
+            io,
+            done: false,
+            hedged: false,
+        }));
+        self.subs_cap_bytes +=
+            (open.subs.capacity() - cap_before) * std::mem::size_of::<SubState>();
+        open.remaining = subs.len() as u32;
+        open.latest = SimTime::ZERO;
+        open.hedge_fired = false;
+        open.hedge_won = false;
+        open.hedge_resolved = false;
+        handle.raw()
     }
 
     /// Delivers the completion of sub `sub` of request `id` at time
@@ -190,7 +214,8 @@ impl RequestBook {
     ///
     /// # Panics
     ///
-    /// Panics for an unknown request id or sub index.
+    /// Panics for a completion addressed to no live request when no
+    /// hedge loser is owed — an unknown id is a bug, not a race.
     pub fn complete_sub(
         &mut self,
         id: u64,
@@ -198,13 +223,17 @@ impl RequestBook {
         at: SimTime,
         from_hedge: bool,
     ) -> SubCompletion {
-        if self.awaiting_loser.remove(&id) {
+        let handle = Handle::from_raw(id);
+        let Some(open) = self.open.get_mut(handle) else {
+            // The slot generation moved on: the request already
+            // finished, and this is its hedge loser limping home.
+            assert!(
+                self.pending_losers > 0,
+                "completion for unknown request {id:#x}"
+            );
+            self.pending_losers -= 1;
             return SubCompletion::Duplicate;
-        }
-        let open = self
-            .open
-            .get_mut(&id)
-            .expect("completion for unknown request");
+        };
         let state = &mut open.subs[sub];
         if state.done {
             open.hedge_resolved = true;
@@ -214,24 +243,25 @@ impl RequestBook {
         if from_hedge {
             open.hedge_won = true;
         }
-        match self.tracker.complete_sub_at(id, at) {
-            Some(fin) => {
-                let open = self.open.remove(&id).expect("open entry exists");
-                if open.hedge_fired && !open.hedge_resolved {
-                    self.awaiting_loser.insert(id);
-                }
-                SubCompletion::Finished(FinishedSummary {
-                    tenant: open.tenant,
-                    arrived_at: open.arrived_at,
-                    dispatched_at: open.dispatched_at,
-                    finished_at: fin.finished_at,
-                    fanout: fin.fanout,
-                    hedge_fired: open.hedge_fired,
-                    hedge_won: open.hedge_won,
-                })
-            }
-            None => SubCompletion::Pending,
+        open.latest = open.latest.max(at);
+        open.remaining -= 1;
+        if open.remaining > 0 {
+            return SubCompletion::Pending;
         }
+        let fin = FinishedSummary {
+            tenant: open.tenant,
+            arrived_at: open.arrived_at,
+            dispatched_at: open.dispatched_at,
+            finished_at: open.latest,
+            fanout: open.subs.len() as u32,
+            hedge_fired: open.hedge_fired,
+            hedge_won: open.hedge_won,
+        };
+        if open.hedge_fired && !open.hedge_resolved {
+            self.pending_losers += 1;
+        }
+        self.open.free(handle);
+        SubCompletion::Finished(fin)
     }
 
     /// Fires a hedge for request `id` if it is still in flight with
@@ -239,7 +269,7 @@ impl RequestBook {
     /// hedged: marks it hedged and returns `(sub_index, sub_io)` for
     /// the duplicate submission. Returns `None` otherwise.
     pub fn hedge_straggler(&mut self, id: u64) -> Option<(usize, SubIo)> {
-        let open = self.open.get_mut(&id)?;
+        let open = self.open.get_mut(Handle::from_raw(id))?;
         let mut outstanding = open.subs.iter().enumerate().filter(|(_, s)| !s.done);
         let (idx, state) = outstanding.next()?;
         if outstanding.next().is_some() || state.hedged {
@@ -254,20 +284,40 @@ impl RequestBook {
     /// When request `id` was dispatched, while it is still in flight
     /// (used to measure per-sub settle times for the hedge policy).
     pub fn dispatched_at(&self, id: u64) -> Option<SimTime> {
-        self.open.get(&id).map(|o| o.dispatched_at)
+        self.open.get(Handle::from_raw(id)).map(|o| o.dispatched_at)
     }
 
     /// Sub-I/Os of request `id` not yet completed (0 once finished or
     /// for an unknown id). A hedger watches for this hitting one.
     pub fn outstanding(&self, id: u64) -> usize {
         self.open
-            .get(&id)
+            .get(Handle::from_raw(id))
             .map_or(0, |o| o.subs.iter().filter(|s| !s.done).count())
     }
 
     /// Requests currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.open.len()
+        self.open.live()
+    }
+
+    /// High-water mark of concurrently in-flight requests — the slab's
+    /// occupancy story: memory scales with this, not with tenant
+    /// count.
+    pub fn peak_in_flight(&self) -> usize {
+        self.open.peak_live()
+    }
+
+    /// Slots the book has ever allocated (its footprint never exceeds
+    /// what peak concurrency demanded).
+    pub fn slots(&self) -> usize {
+        self.open.slots()
+    }
+
+    /// Resident bytes of the book: the slab's structures plus every
+    /// slot's sub-I/O buffer (vacated buffers stay allocated for
+    /// reuse, so they count too).
+    pub fn footprint_bytes(&self) -> usize {
+        self.open.footprint_bytes() + self.subs_cap_bytes
     }
 }
 
@@ -280,6 +330,10 @@ pub struct HedgePolicy {
     percentile: f64,
     min_samples: u64,
     hist: LatencyHistogram,
+    /// Memoized percentile scan, invalidated by `observe`. Re-arming
+    /// a hedge between observations costs a cache read instead of a
+    /// 6,400-bucket histogram walk.
+    cached_delay: Cell<Option<SimDuration>>,
 }
 
 impl HedgePolicy {
@@ -298,12 +352,14 @@ impl HedgePolicy {
             percentile,
             min_samples: 100,
             hist: LatencyHistogram::new(),
+            cached_delay: Cell::new(None),
         }
     }
 
     /// Feeds one observed sub-I/O settle time.
     pub fn observe(&mut self, settle: SimDuration) {
         self.hist.record(settle.as_nanos());
+        self.cached_delay.set(None);
     }
 
     /// The current hedge delay: the tracked percentile of observed
@@ -312,9 +368,12 @@ impl HedgePolicy {
         if self.hist.count() < self.min_samples {
             return None;
         }
-        Some(SimDuration::nanos(
-            self.hist.value_at_percentile(self.percentile),
-        ))
+        if let Some(cached) = self.cached_delay.get() {
+            return Some(cached);
+        }
+        let delay = SimDuration::nanos(self.hist.value_at_percentile(self.percentile));
+        self.cached_delay.set(Some(delay));
+        Some(delay)
     }
 
     /// Observations seen so far.
@@ -424,6 +483,36 @@ mod tests {
     }
 
     #[test]
+    fn slots_recycle_and_stale_ids_miss() {
+        let mut book = RequestBook::new();
+        let id1 = book.begin(0, SimTime::ZERO, SimTime::ZERO, &subs(&[0]));
+        book.complete_sub(id1, 0, SimTime::from_nanos(500), false);
+        let id2 = book.begin(1, SimTime::ZERO, SimTime::ZERO, &subs(&[0, 1]));
+        assert_eq!(
+            id1 & 0xffff_ffff,
+            id2 & 0xffff_ffff,
+            "slot is recycled through the free list"
+        );
+        assert_ne!(id1, id2, "but the generation differs");
+        assert_eq!(book.outstanding(id1), 0, "stale id resolves to nothing");
+        assert_eq!(book.outstanding(id2), 2);
+        assert_eq!(book.slots(), 1, "footprint equals peak concurrency");
+        assert_eq!(book.peak_in_flight(), 1);
+        assert!(book.footprint_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion for unknown request")]
+    fn unknown_completion_still_panics() {
+        let mut book = RequestBook::new();
+        let id = book.begin(0, SimTime::ZERO, SimTime::ZERO, &subs(&[0]));
+        book.complete_sub(id, 0, SimTime::from_nanos(500), false);
+        // No hedge was fired, so no loser is owed: a second completion
+        // for the dead id is a bug and must be caught.
+        book.complete_sub(id, 0, SimTime::from_nanos(900), false);
+    }
+
+    #[test]
     fn ledger_tiles_request_latency_exactly() {
         // The invariant the experiment asserts per request: frontend
         // queueing + the slowest sub's settle segments == latency.
@@ -446,6 +535,8 @@ mod tests {
         assert_eq!(ledger.total(), fin.latency());
         assert_eq!(ledger.get(Cause::FrontendQueue), SimDuration::nanos(2_500));
         assert!(ledger.iter().count() >= 2);
+        ledger.reset();
+        assert_eq!(ledger.total(), SimDuration::ZERO);
     }
 
     #[test]
@@ -461,5 +552,10 @@ mod tests {
             (180..=200).contains(&delay_us),
             "p95 of 1..=200us was {delay_us}us"
         );
+        // Re-arms between observations hit the memoized value; a new
+        // observation invalidates it.
+        assert_eq!(p.delay(), Some(delay));
+        p.observe(SimDuration::micros(500));
+        assert!(p.delay().expect("still warm") >= delay);
     }
 }

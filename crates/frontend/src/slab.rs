@@ -1,0 +1,225 @@
+//! Free-listed slab with generation-checked handles — the serving
+//! layer's allocation-free parking lot for in-flight request state.
+//!
+//! The pre-fleet [`RequestBook`](crate::RequestBook) kept every open
+//! request in a `HashMap<u64, OpenRequest>` plus a side `HashSet` for
+//! hedge losers: two hash probes per completion and a heap
+//! allocation per request. This slab replaces both. Slots are
+//! recycled through a free list and **keep their values allocated
+//! when vacated**, so a request's `Vec` of sub-I/O states is reused by
+//! the next request that lands in the slot — after warm-up the book
+//! allocates nothing. Handles embed a 32-bit generation stamped into
+//! the slot at insert and bumped at free, so a completion addressed to
+//! a dead request (the loser of a hedge race) misses cleanly instead
+//! of corrupting the slot's new occupant — the same discipline the
+//! core engine's event slab has used since the timing-wheel PR.
+
+/// A generation-checked reference to a slab slot: slot index in the
+/// low 32 bits, generation in the high 32. Stale handles (the slot
+/// was freed, maybe reoccupied) fail the generation check and resolve
+/// to `None` rather than aliasing the new occupant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Handle(u64);
+
+impl Handle {
+    /// The raw 64-bit encoding (stable for the handle's lifetime);
+    /// round-trips through [`Handle::from_raw`].
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`Handle::raw`]'s encoding.
+    pub fn from_raw(raw: u64) -> Self {
+        Handle(raw)
+    }
+
+    /// The slot index this handle points at — dense in `0..slots()`,
+    /// usable as a direct index into side tables that shadow the slab.
+    pub fn index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn new(index: u32, gen: u32) -> Self {
+        Handle(u64::from(gen) << 32 | u64::from(index))
+    }
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    gen: u32,
+    occupied: bool,
+    value: T,
+}
+
+/// A free-listed slab of `T` handing out generation-checked
+/// [`Handle`]s. Vacated slots keep their `T` allocated for reuse;
+/// steady state performs no allocation once the high-water mark is
+/// reached.
+#[derive(Debug)]
+pub struct HandleSlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+    peak_live: usize,
+}
+
+impl<T> Default for HandleSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> HandleSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        HandleSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            peak_live: 0,
+        }
+    }
+
+    /// Claims a slot — recycling a vacated one (its previous `T`
+    /// intact, ready for in-place reuse) or growing the slab with
+    /// `fresh()` — and returns its handle plus the value to fill in.
+    pub fn claim(&mut self, fresh: impl FnOnce() -> T) -> (Handle, &mut T) {
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "slab full");
+                self.slots.push(Slot {
+                    gen: 0,
+                    occupied: false,
+                    value: fresh(),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[index as usize];
+        debug_assert!(!slot.occupied);
+        slot.occupied = true;
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        (Handle::new(index, slot.gen), &mut slot.value)
+    }
+
+    /// Resolves a handle to its value, or `None` if the handle is
+    /// stale (freed, possibly reoccupied by a later claim).
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        let slot = self.slots.get(h.index())?;
+        (slot.occupied && slot.gen == h.gen()).then_some(&slot.value)
+    }
+
+    /// Mutable [`HandleSlab::get`].
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        let slot = self.slots.get_mut(h.index())?;
+        (slot.occupied && slot.gen == h.gen()).then_some(&mut slot.value)
+    }
+
+    /// Frees the slot behind `h`, bumping its generation so `h` (and
+    /// any copy of it) goes stale. The value stays allocated for the
+    /// next claim. Returns `false` if the handle was already stale.
+    pub fn free(&mut self, h: Handle) -> bool {
+        let index = h.index();
+        let Some(slot) = self.slots.get_mut(index) else {
+            return false;
+        };
+        if !slot.occupied || slot.gen != h.gen() {
+            return false;
+        }
+        slot.occupied = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(index as u32);
+        self.live -= 1;
+        true
+    }
+
+    /// Occupied slots right now.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of concurrently occupied slots.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Total slots ever allocated (the slab's footprint; never
+    /// shrinks).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Resident bytes of the slab's own structures (slot array + free
+    /// list), excluding any heap owned by the `T`s themselves.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slots.capacity() * std::mem::size_of::<Slot<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_get_free_roundtrip() {
+        let mut slab: HandleSlab<Vec<u32>> = HandleSlab::new();
+        let (h, v) = slab.claim(Vec::new);
+        v.extend([1, 2, 3]);
+        assert_eq!(slab.get(h).unwrap(), &[1, 2, 3]);
+        assert_eq!(slab.live(), 1);
+        assert!(slab.free(h));
+        assert_eq!(slab.live(), 0);
+        assert!(slab.get(h).is_none(), "freed handle is stale");
+        assert!(!slab.free(h), "double free is a miss, not a panic");
+    }
+
+    #[test]
+    fn recycled_slot_keeps_allocation_and_changes_generation() {
+        let mut slab: HandleSlab<Vec<u32>> = HandleSlab::new();
+        let (h1, v) = slab.claim(Vec::new);
+        v.extend([7; 64]);
+        let cap = slab.get(h1).unwrap().capacity();
+        slab.free(h1);
+        let (h2, v2) = slab.claim(Vec::new);
+        assert_eq!(h1.index(), h2.index(), "free list recycles the slot");
+        assert_ne!(h1.raw(), h2.raw(), "generation differs");
+        assert!(v2.capacity() >= cap, "vacated value kept its buffer");
+        v2.clear();
+        assert!(slab.get(h1).is_none(), "old handle misses new occupant");
+        assert!(slab.get(h2).is_some());
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water_mark() {
+        let mut slab: HandleSlab<u64> = HandleSlab::new();
+        let hs: Vec<_> = (0..10).map(|i| slab.claim(|| i).0).collect();
+        assert_eq!(slab.peak_live(), 10);
+        for h in &hs[..8] {
+            slab.free(*h);
+        }
+        assert_eq!(slab.live(), 2);
+        slab.claim(|| 99);
+        assert_eq!(slab.peak_live(), 10, "peak survives drain");
+        assert_eq!(slab.slots(), 10, "no growth while free slots exist");
+    }
+
+    #[test]
+    fn handle_raw_roundtrip() {
+        let mut slab: HandleSlab<()> = HandleSlab::new();
+        let (h, ()) = slab.claim(|| ());
+        slab.free(h);
+        let (h2, ()) = slab.claim(|| ());
+        let back = Handle::from_raw(h2.raw());
+        assert_eq!(back, h2);
+        assert!(slab.get(back).is_some());
+        assert!(slab.get(Handle::from_raw(h.raw())).is_none());
+    }
+}

@@ -2,12 +2,16 @@
 //!
 //! Each tenant is judged online against a configured latency target at
 //! p50/p99/p99.9/6-nines. The tracker is a thin deterministic layer
-//! over [`afa_stats::LatencyHistogram`], so the report is a pure
-//! function of the recorded samples and serializes byte-stably.
+//! over [`afa_stats::TailStats`] — the exact histogram by default (so
+//! the report is a pure function of the recorded samples and
+//! serializes byte-stably), or a [`QuantileSketch`] per tenant in the
+//! fleet experiments, where 10⁵–10⁶ trackers must fit in memory.
+//!
+//! [`QuantileSketch`]: afa_stats::QuantileSketch
 
 use afa_sim::SimDuration;
 use afa_stats::json::Json;
-use afa_stats::LatencyHistogram;
+use afa_stats::TailStats;
 
 /// The percentile points an SLO is judged at, with stable keys.
 const SLO_POINTS: [(&str, f64); 4] = [
@@ -53,26 +57,59 @@ impl SloTarget {
 #[derive(Clone, Debug)]
 pub struct SloTracker {
     target: SloTarget,
-    hist: LatencyHistogram,
+    stats: TailStats,
 }
 
 impl SloTracker {
-    /// Creates a tracker judging against `target`.
+    /// Creates a tracker judging against `target` over the exact
+    /// histogram (the byte-stable default).
     pub fn new(target: SloTarget) -> Self {
         SloTracker {
             target,
-            hist: LatencyHistogram::new(),
+            stats: TailStats::exact(),
         }
+    }
+
+    /// Creates a tracker judging against `target` over a streaming
+    /// quantile sketch: <1 KiB per tenant instead of ~50 KiB, at the
+    /// sketch's bounded relative error. The fleet experiments use this
+    /// mode for their per-tenant trackers.
+    pub fn sketched(target: SloTarget) -> Self {
+        SloTracker {
+            target,
+            stats: TailStats::sketched(),
+        }
+    }
+
+    /// Whether this tracker runs on the sketch rather than the exact
+    /// histogram.
+    pub fn is_sketch(&self) -> bool {
+        self.stats.is_sketch()
     }
 
     /// Records one request latency.
     pub fn record(&mut self, latency: SimDuration) {
-        self.hist.record(latency.as_nanos());
+        self.stats.record(latency.as_nanos());
     }
 
     /// Requests recorded so far.
     pub fn count(&self) -> u64 {
-        self.hist.count()
+        self.stats.count()
+    }
+
+    /// Folds another same-mode tracker's samples into this one (O(1)
+    /// in sample count for sketch mode) — cross-tenant rollups.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the modes differ.
+    pub fn absorb(&mut self, other: &SloTracker) {
+        self.stats.merge(&other.stats);
+    }
+
+    /// This tracker's resident footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<SloTarget>() + self.stats.size_bytes()
     }
 
     /// Snapshots the achieved-vs-target report.
@@ -80,11 +117,11 @@ impl SloTracker {
         let mut achieved_ns = [0u64; 4];
         let mut met = [true; 4];
         for (i, &(_, pct)) in SLO_POINTS.iter().enumerate() {
-            achieved_ns[i] = self.hist.value_at_percentile(pct);
+            achieved_ns[i] = self.stats.value_at_percentile(pct);
             met[i] = achieved_ns[i] <= self.target.target_ns(i);
         }
         SloReport {
-            samples: self.hist.count(),
+            samples: self.stats.count(),
             target: self.target,
             achieved_ns,
             met,
@@ -163,6 +200,29 @@ mod tests {
         assert!(r.met[1], "p99 met");
         assert!(!r.met[2], "p99.9 violated by the 8ms tail");
         assert!(!r.all_met());
+    }
+
+    #[test]
+    fn sketched_tracker_is_small_and_close() {
+        let mut exact = SloTracker::new(SloTarget::default_read());
+        let mut lean = SloTracker::sketched(SloTarget::default_read());
+        assert!(lean.is_sketch() && !exact.is_sketch());
+        for i in 1..=20_000u64 {
+            let lat = SimDuration::micros(50 + i % 400);
+            exact.record(lat);
+            lean.record(lat);
+        }
+        let (re, rl) = (exact.report(), lean.report());
+        assert_eq!(re.samples, rl.samples);
+        for i in 0..4 {
+            let (e, l) = (re.achieved_ns[i] as f64, rl.achieved_ns[i] as f64);
+            assert!((e - l).abs() / e < 0.06, "point {i}: {e} vs {l}");
+        }
+        assert!(lean.size_bytes() < 1024, "{} bytes", lean.size_bytes());
+        // Rollup: absorbing doubles the count.
+        let snapshot = lean.clone();
+        lean.absorb(&snapshot);
+        assert_eq!(lean.count(), 40_000);
     }
 
     #[test]

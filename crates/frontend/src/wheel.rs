@@ -1,0 +1,356 @@
+//! Batched arrival wheel: a rotating calendar that feeds admission in
+//! slot-batched time order.
+//!
+//! The pre-fleet experiments schedule **one simulator event per tenant
+//! arrival**. At 10⁴ open-loop tenants that is already most of the
+//! event budget; at 10⁶ it is the scaling wall — a million idle
+//! tenants would sit as a million queued events. The wheel inverts
+//! that: arrivals are plain 16-byte entries in calendar slots, the
+//! simulator carries **one** tick event per non-empty slot boundary,
+//! and a drain hands the slot's arrivals to admission sorted by
+//! `(arrival time, insertion order)`. A million idle tenants cost a
+//! calendar entry each — and tenants whose next arrival falls beyond
+//! the run deadline cost nothing at all, because the caller simply
+//! never inserts them.
+//!
+//! Far-future arrivals (beyond the current rotation's span) park in
+//! per-rotation overflow buckets and are distributed into slots when
+//! the wheel wraps — O(1) amortized per entry, no rescans.
+//!
+//! The slot width is the admission quantum: an arrival is *processed*
+//! at its slot's end boundary but carries its true arrival time, so
+//! queueing-delay accounting stays exact while the event count drops
+//! to one per slot.
+
+use std::collections::VecDeque;
+
+use afa_sim::{SimDuration, SimTime};
+
+/// One pending arrival: when, which tenant, and the tenant's arrival
+/// sequence number (`k`-th arrival), which the caller uses to derive
+/// the next inter-arrival gap statelessly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrivalEntry {
+    /// The arrival's true timestamp.
+    pub at: SimTime,
+    /// Tenant index.
+    pub tenant: u32,
+    /// Per-tenant arrival sequence number.
+    pub k: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Parked {
+    at: SimTime,
+    seq: u64,
+    tenant: u32,
+    k: u32,
+}
+
+/// A rotating calendar wheel of pending tenant arrivals.
+#[derive(Debug)]
+pub struct ArrivalWheel {
+    slot_ns: u64,
+    /// Current rotation, indexed by slot.
+    slots: Vec<Vec<Parked>>,
+    /// Overflow for future rotations: `far[r]` holds entries landing
+    /// `r + 1` rotations ahead of the current one.
+    far: VecDeque<Vec<Parked>>,
+    /// Slot index the wheel has drained up to (entries only land in
+    /// `cursor..` within the current rotation).
+    cursor: usize,
+    /// Sim-time of the current rotation's slot 0 start.
+    origin: SimTime,
+    /// Monotone insertion counter for stable within-slot ordering.
+    seq: u64,
+    len: usize,
+    /// Pushes whose timestamp fell at or before the drained horizon;
+    /// they clamp into the cursor slot instead of being lost.
+    clamped: u64,
+    scratch: Vec<Parked>,
+}
+
+impl ArrivalWheel {
+    /// Creates a wheel of `slots` slots of `slot_ns` nanoseconds each,
+    /// starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_ns` or `slots` is zero.
+    pub fn new(slot_ns: u64, slots: usize) -> Self {
+        assert!(slot_ns > 0, "slot width must be positive");
+        assert!(slots > 0, "need at least one slot");
+        ArrivalWheel {
+            slot_ns,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            far: VecDeque::new(),
+            cursor: 0,
+            origin: SimTime::ZERO,
+            seq: 0,
+            len: 0,
+            clamped: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wheel's slot width in nanoseconds — the admission quantum.
+    pub fn slot_ns(&self) -> u64 {
+        self.slot_ns
+    }
+
+    /// Pending arrivals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no arrivals are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes whose timestamps were already behind the drain horizon
+    /// (clamped into the next drain rather than dropped).
+    pub fn clamped_past(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Resident bytes of the wheel's slot ring, overflow buckets, and
+    /// scratch — the wheel's contribution to the fleet memory story.
+    pub fn footprint_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Parked>();
+        std::mem::size_of::<Self>()
+            + self.slots.capacity() * std::mem::size_of::<Vec<Parked>>()
+            + self
+                .slots
+                .iter()
+                .map(|s| s.capacity() * entry)
+                .sum::<usize>()
+            + self.far.capacity() * std::mem::size_of::<Vec<Parked>>()
+            + self.far.iter().map(|s| s.capacity() * entry).sum::<usize>()
+            + self.scratch.capacity() * entry
+    }
+
+    /// Inserts an arrival. Timestamps behind the drain horizon clamp
+    /// into the cursor slot (and count in [`ArrivalWheel::clamped_past`]);
+    /// everything else lands in the slot containing `at`, parking in a
+    /// per-rotation overflow bucket when `at` is beyond the current
+    /// rotation.
+    pub fn push(&mut self, at: SimTime, tenant: u32, k: u32) {
+        let entry = Parked {
+            at,
+            seq: self.seq,
+            tenant,
+            k,
+        };
+        self.seq += 1;
+        self.len += 1;
+        let rel = (at.as_nanos().saturating_sub(self.origin.as_nanos()) / self.slot_ns) as usize;
+        let n = self.slots.len();
+        if rel < self.cursor {
+            self.clamped += 1;
+            self.slots[self.cursor].push(entry);
+        } else if rel < n {
+            self.slots[rel].push(entry);
+        } else {
+            let rotation = rel / n - 1;
+            if rotation >= self.far.len() {
+                self.far.resize_with(rotation + 1, Vec::new);
+            }
+            self.far[rotation].push(entry);
+        }
+    }
+
+    /// Drains every arrival with `at <= now` into `out`, sorted by
+    /// `(at, insertion order)`, advancing the cursor (and rotating,
+    /// promoting overflow buckets) as slot boundaries pass. Entries
+    /// pushed during processing with timestamps at or before `now`
+    /// are picked up by the next call — callers drive
+    /// `drain_due` in a loop until it returns 0.
+    pub fn drain_due(&mut self, now: SimTime, out: &mut Vec<ArrivalEntry>) -> usize {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.is_empty());
+        loop {
+            let end = self.origin + SimDuration::nanos((self.cursor as u64 + 1) * self.slot_ns);
+            if end > now {
+                break;
+            }
+            scratch.append(&mut self.slots[self.cursor]);
+            self.cursor += 1;
+            if self.cursor == self.slots.len() {
+                self.cursor = 0;
+                self.origin += SimDuration::nanos(self.slots.len() as u64 * self.slot_ns);
+                if let Some(mut bucket) = self.far.pop_front() {
+                    for e in bucket.drain(..) {
+                        let rel =
+                            ((e.at.as_nanos() - self.origin.as_nanos()) / self.slot_ns) as usize;
+                        debug_assert!(rel < self.slots.len());
+                        self.slots[rel].push(e);
+                    }
+                    // Keep the emptied bucket's allocation for reuse
+                    // at the back of the overflow queue.
+                    self.far.push_back(bucket);
+                }
+            }
+        }
+        // Partial drain of the cursor slot: clamped (or sub-slot)
+        // entries that are already due even though the slot's end
+        // boundary has not passed.
+        let slot = &mut self.slots[self.cursor];
+        let mut i = 0;
+        while i < slot.len() {
+            if slot[i].at <= now {
+                scratch.push(slot.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        scratch.sort_unstable_by_key(|e| (e.at, e.seq));
+        let drained = scratch.len();
+        self.len -= drained;
+        out.extend(scratch.iter().map(|e| ArrivalEntry {
+            at: e.at,
+            tenant: e.tenant,
+            k: e.k,
+        }));
+        scratch.clear();
+        self.scratch = scratch;
+        drained
+    }
+
+    /// The next tick time: the end boundary of the first slot that
+    /// could hold a due arrival, or `None` when the wheel is empty.
+    /// Guaranteed to be in the future of any `now` already passed to
+    /// [`ArrivalWheel::drain_due`].
+    pub fn next_due(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        for s in self.cursor..self.slots.len() {
+            if !self.slots[s].is_empty() {
+                return Some(self.origin + SimDuration::nanos((s as u64 + 1) * self.slot_ns));
+            }
+        }
+        // The current rotation is clear; hop to the wrap boundary,
+        // where the next overflow bucket is promoted into slots.
+        Some(self.origin + SimDuration::nanos(self.slots.len() as u64 * self.slot_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn drains_in_time_then_insertion_order() {
+        let mut w = ArrivalWheel::new(1_000, 16);
+        w.push(t(2_500), 1, 0);
+        w.push(t(500), 2, 0);
+        w.push(t(2_500), 3, 0);
+        let mut out = Vec::new();
+        assert_eq!(w.drain_due(t(3_000), &mut out), 3);
+        let got: Vec<_> = out.iter().map(|e| (e.at.as_nanos(), e.tenant)).collect();
+        assert_eq!(got, vec![(500, 2), (2_500, 1), (2_500, 3)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_entries_survive_rotation() {
+        let mut w = ArrivalWheel::new(1_000, 4); // 4 µs span
+        w.push(t(9_500), 7, 3); // two rotations ahead
+        w.push(t(1_500), 1, 0);
+        let mut out = Vec::new();
+        assert_eq!(w.drain_due(t(2_000), &mut out), 1);
+        assert_eq!(out[0].tenant, 1);
+        out.clear();
+        // Walk boundaries until the far entry surfaces.
+        let mut now = t(2_000);
+        while out.is_empty() {
+            now = w.next_due().expect("entry still pending");
+            w.drain_due(now, &mut out);
+        }
+        assert_eq!(
+            out[0],
+            ArrivalEntry {
+                at: t(9_500),
+                tenant: 7,
+                k: 3
+            }
+        );
+        assert!(now.as_nanos() >= 9_500 && now.as_nanos() <= 10_000);
+    }
+
+    #[test]
+    fn past_pushes_clamp_into_next_drain() {
+        let mut w = ArrivalWheel::new(1_000, 8);
+        let mut out = Vec::new();
+        w.push(t(1_500), 1, 0);
+        w.drain_due(t(2_000), &mut out);
+        out.clear();
+        w.push(t(100), 9, 1); // behind the horizon
+        assert_eq!(w.clamped_past(), 1);
+        assert_eq!(w.drain_due(t(2_000), &mut out), 1, "due immediately");
+        assert_eq!(out[0].tenant, 9);
+    }
+
+    #[test]
+    fn sub_slot_chained_pushes_drain_same_tick() {
+        let mut w = ArrivalWheel::new(1_000, 8);
+        let mut out = Vec::new();
+        w.push(t(900), 1, 0);
+        assert_eq!(w.drain_due(t(1_000), &mut out), 1);
+        // Processing the arrival schedules the tenant's next one
+        // inside the already-elapsed window; a second drain pass at
+        // the same tick picks it up.
+        w.push(t(950), 1, 1);
+        out.clear();
+        assert_eq!(w.drain_due(t(1_000), &mut out), 1);
+        assert_eq!(out[0].k, 1);
+        assert_eq!(w.drain_due(t(1_000), &mut out), 0, "then dry");
+    }
+
+    #[test]
+    fn next_due_is_always_ahead_of_the_drain_horizon() {
+        let mut w = ArrivalWheel::new(1_000, 4);
+        let mut out = Vec::new();
+        w.push(t(700), 1, 0);
+        w.push(t(6_200), 2, 0);
+        w.push(t(33_100), 3, 0);
+        let mut now = SimTime::ZERO;
+        let mut seen = Vec::new();
+        while let Some(due) = w.next_due() {
+            assert!(due > now, "due {due:?} must advance past {now:?}");
+            now = due;
+            w.drain_due(now, &mut out);
+            seen.extend(out.drain(..).map(|e| e.tenant));
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn million_idle_entries_cost_memory_not_events() {
+        // 100k parked arrivals spread over ~100 rotations: the wheel
+        // holds them all, and next_due still answers from the slot
+        // ring without touching the parked mass.
+        let mut w = ArrivalWheel::new(1_000, 64);
+        for i in 0..100_000u64 {
+            w.push(t(1_000 + i * 61), (i % 7) as u32, 0);
+        }
+        assert_eq!(w.len(), 100_000);
+        let mut out = Vec::new();
+        let mut drained = 0;
+        let mut now = SimTime::ZERO;
+        while let Some(due) = w.next_due() {
+            now = due;
+            drained += w.drain_due(now, &mut out);
+            out.clear();
+        }
+        assert_eq!(drained, 100_000);
+        assert_eq!(w.clamped_past(), 0);
+        assert!(w.footprint_bytes() > 0);
+        let _ = now;
+    }
+}

@@ -26,6 +26,8 @@ static REQUESTS_ADMITTED: AtomicU64 = AtomicU64::new(0);
 static REQUESTS_SHED: AtomicU64 = AtomicU64::new(0);
 static HEDGES_FIRED: AtomicU64 = AtomicU64::new(0);
 static HEDGES_WON: AtomicU64 = AtomicU64::new(0);
+static SLAB_PEAK_LIVE: AtomicU64 = AtomicU64::new(0);
+static SKETCH_MERGES: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` processed events to the process-wide total.
 pub fn add_events(n: u64) {
@@ -66,6 +68,12 @@ pub struct FrontendCounters {
     pub hedges_fired: u64,
     /// Hedges whose duplicate finished before the original.
     pub hedges_won: u64,
+    /// Request-book slab occupancy high-water marks, summed across
+    /// flushes — the cumulative total is not meaningful on its own,
+    /// but the delta around a single run is that run's peak.
+    pub slab_peak_live: u64,
+    /// Cross-tenant quantile-sketch rollup merges performed.
+    pub sketch_merges: u64,
 }
 
 impl FrontendCounters {
@@ -77,12 +85,20 @@ impl FrontendCounters {
             requests_shed: self.requests_shed - earlier.requests_shed,
             hedges_fired: self.hedges_fired - earlier.hedges_fired,
             hedges_won: self.hedges_won - earlier.hedges_won,
+            slab_peak_live: self.slab_peak_live - earlier.slab_peak_live,
+            sketch_merges: self.sketch_merges - earlier.sketch_merges,
         }
     }
 
     /// Whether any counter moved.
     pub fn any(&self) -> bool {
-        self.requests_admitted | self.requests_shed | self.hedges_fired | self.hedges_won != 0
+        self.requests_admitted
+            | self.requests_shed
+            | self.hedges_fired
+            | self.hedges_won
+            | self.slab_peak_live
+            | self.sketch_merges
+            != 0
     }
 }
 
@@ -103,6 +119,12 @@ pub fn add_frontend(delta: FrontendCounters) {
     if delta.hedges_won > 0 {
         HEDGES_WON.fetch_add(delta.hedges_won, Ordering::Relaxed);
     }
+    if delta.slab_peak_live > 0 {
+        SLAB_PEAK_LIVE.fetch_add(delta.slab_peak_live, Ordering::Relaxed);
+    }
+    if delta.sketch_merges > 0 {
+        SKETCH_MERGES.fetch_add(delta.sketch_merges, Ordering::Relaxed);
+    }
 }
 
 /// Snapshot of the cumulative frontend counters.
@@ -112,6 +134,8 @@ pub fn frontend_totals() -> FrontendCounters {
         requests_shed: REQUESTS_SHED.load(Ordering::Relaxed),
         hedges_fired: HEDGES_FIRED.load(Ordering::Relaxed),
         hedges_won: HEDGES_WON.load(Ordering::Relaxed),
+        slab_peak_live: SLAB_PEAK_LIVE.load(Ordering::Relaxed),
+        sketch_merges: SKETCH_MERGES.load(Ordering::Relaxed),
     }
 }
 
@@ -137,6 +161,8 @@ mod tests {
             requests_shed: 2,
             hedges_fired: 3,
             hedges_won: 1,
+            slab_peak_live: 7,
+            sketch_merges: 4,
         });
         let delta = frontend_totals().since(&before);
         assert!(delta.any());
@@ -144,6 +170,8 @@ mod tests {
         assert!(delta.requests_shed >= 2);
         assert!(delta.hedges_fired >= 3);
         assert!(delta.hedges_won >= 1);
+        assert!(delta.slab_peak_live >= 7);
+        assert!(delta.sketch_merges >= 4);
         assert!(!FrontendCounters::default().any());
     }
 

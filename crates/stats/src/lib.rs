@@ -10,6 +10,10 @@
 //!   bounded relative error, exact min/max/mean/std tracking and merge,
 //! * [`NinesPoint`] / [`LatencyProfile`] — the paper's fixed metric set
 //!   (average, 2-nines … 6-nines, max) extracted from a histogram,
+//! * [`QuantileSketch`] / [`TailStats`] — a fixed-size mergeable
+//!   streaming quantile sketch (DDSketch-style log buckets, bounded
+//!   relative error, <1 KiB) for fleet-scale per-tenant stats, with an
+//!   exact-histogram fallback,
 //! * [`OnlineStats`] — Welford streaming mean/variance,
 //! * [`ProfileSummary`] — mean ± std of each metric across devices,
 //! * [`series`] — per-sample latency logs for the Fig. 10 scatter plot,
@@ -39,6 +43,7 @@ pub mod json;
 mod online;
 mod percentile;
 pub mod series;
+mod sketch;
 mod summary;
 pub mod windowed;
 
@@ -46,4 +51,5 @@ pub use histogram::LatencyHistogram;
 pub use json::Json;
 pub use online::OnlineStats;
 pub use percentile::{LatencyProfile, NinesPoint};
+pub use sketch::{QuantileSketch, TailStats, DEFAULT_SKETCH_ERROR};
 pub use summary::{MetricSummary, ProfileSummary};

@@ -1,0 +1,447 @@
+//! Fixed-size streaming quantile sketch for fleet-scale per-tenant
+//! statistics.
+//!
+//! [`LatencyHistogram`](crate::LatencyHistogram) is the right tool for
+//! a few dozen devices: exact to 0.4 % but ~50 KiB of buckets each.
+//! At 10⁵–10⁶ tenants that footprint is the scaling wall, so the fleet
+//! serving path records per-tenant latency into a [`QuantileSketch`]
+//! instead: a DDSketch-style log-bucketed sketch with a *configured*
+//! relative-error bound, a fixed bucket array (under 1 KiB per
+//! instance), and an O(buckets) merge that is independent of how many
+//! samples either side absorbed — cross-tenant rollups cost the same
+//! whether a tenant served ten requests or ten million.
+//!
+//! Guarantee: for any recorded value `v` in the sketch's covered range
+//! (`>= FLOOR_NS` and below the top bucket's edge), the reported
+//! quantile that lands on `v`'s bucket is within `relative_error()` of
+//! `v`. Values below the floor collapse into the first bucket (they
+//! are reported as roughly the floor); values beyond the range
+//! saturate into the last bucket. Exact min/max tracking keeps p0 and
+//! p100 exact regardless.
+//!
+//! [`TailStats`] is the deployment switch: an enum over the exact
+//! histogram and the sketch with one recording/query surface, so a
+//! tracker can run *exact-match fallback* (existing experiments keep
+//! byte-identical artifacts) or sketch mode (fleet scale) without two
+//! code paths upstream.
+
+use crate::LatencyHistogram;
+
+/// Log-bucket count. With the default 5 % error bound the buckets
+/// span ~64 ns to ~10⁵ s — far beyond any latency this workspace can
+/// produce — while the counts array stays under 1 KiB.
+const BUCKETS: usize = 224;
+
+/// Values below this floor (nanoseconds) collapse into the first
+/// bucket. Nothing in the serving path completes in under 64 ns.
+const FLOOR_NS: f64 = 64.0;
+
+/// Default relative-error bound: 5 %. Far coarser than the exact
+/// histogram's 0.4 %, and precisely the trade the fleet path makes —
+/// the `fleet-arrival` manifest records the realized sketch-vs-exact
+/// error so the trade stays visible.
+pub const DEFAULT_SKETCH_ERROR: f64 = 0.05;
+
+/// A fixed-size mergeable streaming quantile sketch (DDSketch-style
+/// log buckets, bounded *relative* error, exact count/min/max/mean).
+///
+/// # Example
+///
+/// ```
+/// use afa_stats::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new();
+/// for us in 1..=1000u64 {
+///     s.record(us * 1_000); // nanoseconds
+/// }
+/// let p99 = s.value_at_percentile(99.0) as f64;
+/// assert!((p99 - 990_000.0).abs() / 990_000.0 <= s.relative_error());
+/// assert!(s.size_bytes() < 1024);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuantileSketch {
+    counts: Box<[u32; BUCKETS]>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: f64,
+    /// Configured relative-error bound α; γ = (1+α)/(1−α).
+    alpha: f64,
+    inv_ln_gamma: f64,
+    ln_gamma: f64,
+    gamma: f64,
+    /// Key of the first bucket (the floor's log-bucket key).
+    key_offset: i32,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch at the default 5 % error bound.
+    pub fn new() -> Self {
+        Self::with_relative_error(DEFAULT_SKETCH_ERROR)
+    }
+
+    /// Creates an empty sketch whose quantile estimates are within
+    /// `alpha` (relative) of the recorded values across the covered
+    /// range. Smaller bounds narrow the range: the bucket count is
+    /// fixed, so the top edge is `FLOOR_NS * gamma^BUCKETS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn with_relative_error(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "relative error must be in (0, 1)"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let ln_gamma = gamma.ln();
+        let key_offset = (FLOOR_NS.ln() / ln_gamma).ceil() as i32;
+        QuantileSketch {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0.0,
+            alpha,
+            inv_ln_gamma: 1.0 / ln_gamma,
+            ln_gamma,
+            gamma,
+            key_offset,
+        }
+    }
+
+    /// The configured relative-error bound.
+    pub fn relative_error(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Heap + inline footprint of this sketch in bytes — the number
+    /// the fleet experiments budget per tenant.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + std::mem::size_of::<[u32; BUCKETS]>()
+    }
+
+    /// Bucket index for `value`: `ceil(log_gamma(value))`, shifted so
+    /// the floor lands on bucket 0, clamped at both ends.
+    #[inline]
+    fn index_for(&self, value: u64) -> usize {
+        if (value as f64) < FLOOR_NS {
+            return 0;
+        }
+        let key = ((value as f64).ln() * self.inv_ln_gamma).ceil() as i32;
+        (key - self.key_offset).clamp(0, BUCKETS as i32 - 1) as usize
+    }
+
+    /// Reported value for bucket `index`: the γ-midpoint
+    /// `2·γ^key / (γ+1)`, within α of every value in the bucket.
+    fn value_for(&self, index: usize) -> u64 {
+        let key = index as i32 + self.key_offset;
+        let edge = (f64::from(key) * self.ln_gamma).exp();
+        (edge * 2.0 / (self.gamma + 1.0)).round() as u64
+    }
+
+    /// Records one sample (nanoseconds, like the histogram).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = self.index_for(value);
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as f64;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The exact largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// The smallest bucket value `v` such that at least `percentile`%
+    /// of samples are ≤ `v` (within the configured relative error).
+    /// Returns the exact maximum for `percentile == 100`, and 0 for an
+    /// empty sketch.
+    pub fn value_at_percentile(&self, percentile: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = percentile.clamp(0.0, 100.0);
+        if p >= 100.0 {
+            return self.max;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += u64::from(c);
+            if seen >= target {
+                return self.value_for(i).min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Merges another sketch into this one: element-wise bucket adds,
+    /// so the cost is the fixed bucket count — independent of how many
+    /// samples either sketch holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches were built with different error bounds
+    /// (their buckets would not line up).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.alpha.to_bits() == other.alpha.to_bits(),
+            "cannot merge sketches with different error bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.sum += other.sum;
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A tail-latency accumulator that is either the exact
+/// [`LatencyHistogram`] (the fallback every pre-fleet experiment uses,
+/// keeping their artifacts byte-identical) or a [`QuantileSketch`]
+/// (fleet scale: fixed small footprint, bounded relative error).
+#[derive(Clone, Debug)]
+pub enum TailStats {
+    /// Exact log-linear histogram (~50 KiB, 0.4 % error).
+    Exact(LatencyHistogram),
+    /// Streaming sketch (<1 KiB, configured error bound).
+    Sketch(QuantileSketch),
+}
+
+impl TailStats {
+    /// Exact-histogram mode — the byte-identical fallback.
+    pub fn exact() -> Self {
+        TailStats::Exact(LatencyHistogram::new())
+    }
+
+    /// Sketch mode at the default error bound.
+    pub fn sketched() -> Self {
+        TailStats::Sketch(QuantileSketch::new())
+    }
+
+    /// Whether this accumulator runs in sketch mode.
+    pub fn is_sketch(&self) -> bool {
+        matches!(self, TailStats::Sketch(_))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        match self {
+            TailStats::Exact(h) => h.record(value),
+            TailStats::Sketch(s) => s.record(value),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        match self {
+            TailStats::Exact(h) => h.count(),
+            TailStats::Sketch(s) => s.count(),
+        }
+    }
+
+    /// The exact largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        match self {
+            TailStats::Exact(h) => h.max(),
+            TailStats::Sketch(s) => s.max(),
+        }
+    }
+
+    /// Quantile query (see the variants' own semantics).
+    pub fn value_at_percentile(&self, percentile: f64) -> u64 {
+        match self {
+            TailStats::Exact(h) => h.value_at_percentile(percentile),
+            TailStats::Sketch(s) => s.value_at_percentile(percentile),
+        }
+    }
+
+    /// Merges a same-mode accumulator into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mode mismatch (exact into sketch or vice versa).
+    pub fn merge(&mut self, other: &TailStats) {
+        match (self, other) {
+            (TailStats::Exact(a), TailStats::Exact(b)) => a.merge(b),
+            (TailStats::Sketch(a), TailStats::Sketch(b)) => a.merge(b),
+            _ => panic!("cannot merge exact and sketch tail stats"),
+        }
+    }
+
+    /// Footprint in bytes (the exact histogram's bucket array, or the
+    /// sketch's fixed size).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            // 256 + 48 * 128 u64 buckets plus the struct itself.
+            TailStats::Exact(_) => std::mem::size_of::<LatencyHistogram>() + 6400 * 8,
+            TailStats::Sketch(s) => s.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_reports_zeros() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.value_at_percentile(99.0), 0);
+    }
+
+    #[test]
+    fn stays_under_one_kib() {
+        let s = QuantileSketch::new();
+        assert!(s.size_bytes() < 1024, "sketch is {} bytes", s.size_bytes());
+    }
+
+    #[test]
+    fn relative_error_is_bounded_across_magnitudes() {
+        // 3·2⁷ ns ≈ 384 ns up to 3·2³⁶ ns ≈ 206 s — inside the
+        // covered range (the default top edge is ~330 s).
+        let s = QuantileSketch::new();
+        for exp in 7..37u32 {
+            let v = 3u64 << exp;
+            let reported = s.value_for(s.index_for(v));
+            let err = (reported as f64 - v as f64).abs() / v as f64;
+            assert!(err <= s.relative_error() + 1e-9, "err {err} for {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp() {
+        let mut s = QuantileSketch::new();
+        for us in 1..=10_000u64 {
+            s.record(us * 1_000);
+        }
+        for (p, expect) in [(50.0, 5_000_000.0), (99.0, 9_900_000.0)] {
+            let got = s.value_at_percentile(p) as f64;
+            assert!(
+                (got - expect).abs() / expect <= s.relative_error() + 1e-9,
+                "p{p}: {got} vs {expect}"
+            );
+        }
+        assert_eq!(s.value_at_percentile(100.0), 10_000_000);
+    }
+
+    #[test]
+    fn merge_equals_concatenation_exactly() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut c = QuantileSketch::new();
+        let mut x = 0x9e37_79b9u64;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 100 + x % 50_000_000;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.counts, c.counts, "merged buckets must match concat");
+        for p in [1.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(a.value_at_percentile(p), c.value_at_percentile(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different error bounds")]
+    fn merging_mismatched_bounds_panics() {
+        let mut a = QuantileSketch::with_relative_error(0.05);
+        let b = QuantileSketch::with_relative_error(0.02);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn percentile_never_leaves_min_max() {
+        let mut s = QuantileSketch::new();
+        s.record(30_000);
+        s.record(5_000_000);
+        for p in [0.0, 1.0, 50.0, 99.0, 99.9999, 100.0] {
+            let v = s.value_at_percentile(p);
+            assert!(v >= s.min() && v <= s.max(), "p{p} -> {v}");
+        }
+    }
+
+    #[test]
+    fn tail_stats_modes_agree_within_bound() {
+        let mut exact = TailStats::exact();
+        let mut sketch = TailStats::sketched();
+        assert!(!exact.is_sketch());
+        assert!(sketch.is_sketch());
+        for us in 1..=5_000u64 {
+            exact.record(us * 2_000);
+            sketch.record(us * 2_000);
+        }
+        assert_eq!(exact.count(), sketch.count());
+        assert_eq!(exact.max(), sketch.max());
+        let e = exact.value_at_percentile(99.0) as f64;
+        let s = sketch.value_at_percentile(99.0) as f64;
+        assert!((e - s).abs() / e <= DEFAULT_SKETCH_ERROR + 0.004 + 1e-9);
+        assert!(sketch.size_bytes() < exact.size_bytes() / 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge exact and sketch")]
+    fn tail_stats_mode_mismatch_panics() {
+        let mut a = TailStats::exact();
+        a.merge(&TailStats::sketched());
+    }
+}

@@ -108,12 +108,25 @@ impl StripedVolume {
     ///
     /// Panics unless `bytes` is a positive multiple of 4096.
     pub fn map_read(&self, volume_page: u64, bytes: u32) -> Vec<SubIo> {
+        let mut out = Vec::new();
+        self.map_read_into(volume_page, bytes, &mut out);
+        out
+    }
+
+    /// [`StripedVolume::map_read`] into a caller-owned buffer, cleared
+    /// first — the serving hot path reuses one buffer across requests
+    /// instead of allocating per dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` is a positive multiple of 4096.
+    pub fn map_read_into(&self, volume_page: u64, bytes: u32, out: &mut Vec<SubIo>) {
         assert!(
             bytes > 0 && bytes.is_multiple_of(4096),
             "request must be a positive multiple of 4096"
         );
         let pages = (bytes / 4096) as u64;
-        let mut out: Vec<SubIo> = Vec::new();
+        out.clear();
         for p in volume_page..volume_page + pages {
             let (member, member_page) = self.map_page(p);
             if let Some(last) = out.last_mut() {
@@ -128,7 +141,6 @@ impl StripedVolume {
                 bytes: 4096,
             });
         }
-        out
     }
 }
 
@@ -182,6 +194,20 @@ mod tests {
         for s in &sub {
             assert_eq!(s.bytes, 65_536);
         }
+    }
+
+    #[test]
+    fn map_read_into_reuses_the_buffer() {
+        let v = vol(4, 16_384);
+        let mut buf = Vec::new();
+        v.map_read_into(2, 4 * 4096, &mut buf);
+        assert_eq!(buf, v.map_read(2, 4 * 4096));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        v.map_read_into(0, 4096, &mut buf);
+        assert_eq!(buf, v.map_read(0, 4096));
+        assert_eq!(buf.capacity(), cap, "no shrink");
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation on reuse");
     }
 
     #[test]

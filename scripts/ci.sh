@@ -33,7 +33,7 @@ echo "==> golden artifact byte-compare (scaled fig06-fig13 + request-serving)"
 # schema shows up here as a diff.
 golden_tmp="$(mktemp -d)"
 trap 'rm -rf "$golden_tmp"' EXIT
-for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tailscale-hedge; do
+for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tailscale-hedge fleet-arrival; do
     ./target/release/afactl exp "$fig" --seconds 0.25 --ssds 8 --seed 42 \
         --json > "$golden_tmp/$fig.json"
     if ! cmp -s "tests/golden/$fig.json" "$golden_tmp/$fig.json"; then
@@ -52,23 +52,27 @@ for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tail
     echo "golden OK: $fig"
 done
 
-echo "==> partition-plan byte-compare (fig06 under single/fused-4/full-9 x 1/4 threads)"
+echo "==> partition-plan byte-compare (fig06 + fleet-arrival under single/fused-4/full-9 x 1/4 threads)"
 # The partition plan and the thread count must both be invisible in
 # the artifacts: the 9-LP decomposition is part of the deterministic
 # merge contract, so every fusion level — from the fully-fused
 # single-wheel fast path to one shard per LP — has to produce
-# byte-identical JSON, sequential or threaded.
-for plan in single fused-4 full-9; do
-    for threads in 1 4; do
-        AFA_SHARD_PLAN=$plan AFA_THREADS=$threads \
-            ./target/release/afactl exp fig06 --seconds 0.25 --ssds 8 --seed 42 \
-            --json > "$golden_tmp/fig06-$plan-$threads.json"
-        if ! cmp -s "tests/golden/fig06.json" "$golden_tmp/fig06-$plan-$threads.json"; then
-            echo "plan mismatch: fig06 under AFA_SHARD_PLAN=$plan AFA_THREADS=$threads differs from the golden" >&2
-            exit 1
-        fi
+# byte-identical JSON, sequential or threaded. fleet-arrival drives
+# its own single-world loop (the SequentialGuard pins it), so for it
+# the matrix asserts the env knobs stay invisible end to end.
+for exp in fig06 fleet-arrival; do
+    for plan in single fused-4 full-9; do
+        for threads in 1 4; do
+            AFA_SHARD_PLAN=$plan AFA_THREADS=$threads \
+                ./target/release/afactl exp "$exp" --seconds 0.25 --ssds 8 --seed 42 \
+                --json > "$golden_tmp/$exp-$plan-$threads.json"
+            if ! cmp -s "tests/golden/$exp.json" "$golden_tmp/$exp-$plan-$threads.json"; then
+                echo "plan mismatch: $exp under AFA_SHARD_PLAN=$plan AFA_THREADS=$threads differs from the golden" >&2
+                exit 1
+            fi
+        done
+        echo "plan OK: $exp ($plan at 1 and 4 threads == golden)"
     done
-    echo "plan OK: fig06 ($plan at 1 and 4 threads == golden)"
 done
 
 echo "==> desperf regression check (pinned-scale fig06 events/sec)"

@@ -429,6 +429,88 @@ fn cross_merge_respects_time_src_seq_order() {
     });
 }
 
+/// The streaming quantile sketch honors its configured relative-error
+/// bound against a rank-exact oracle, for any workload shape the
+/// serving layer can produce: uniform bands, heavy tails, multi-modal
+/// mixtures and same-value bursts, spanning the sketch's whole covered
+/// range (~100 ns to ~100 s).
+#[test]
+fn sketch_tracks_exact_percentiles_within_bound() {
+    use afa::stats::QuantileSketch;
+    run_cases("sketch_tracks_exact_percentiles_within_bound", 24, |g| {
+        let mut sketch = QuantileSketch::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let n = g.usize_in(100, 5_000);
+        // A random mixture of magnitude bands, so one case can hold
+        // e.g. a microsecond body with a multi-second tail.
+        let bands: Vec<(u64, u64)> = (0..g.usize_in(1, 5))
+            .map(|_| {
+                // Cap the band top near 50 s: past the sketch's
+                // covered range (~330 s) estimates saturate by design.
+                let lo = 10u64.pow(g.u32_in(2, 10));
+                (lo, lo * g.u64_in(2, 51))
+            })
+            .collect();
+        for _ in 0..n {
+            let (lo, hi) = bands[g.usize_in(0, bands.len())];
+            let v = g.u64_in(lo, hi);
+            sketch.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        assert_eq!(sketch.count(), n as u64);
+        for &p in &[50.0, 90.0, 99.0, 99.9, 100.0] {
+            // Same rank rule the sketch uses, against the true sample.
+            let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+            let exact = samples[rank - 1] as f64;
+            let approx = sketch.value_at_percentile(p) as f64;
+            let err = (approx - exact).abs() / exact;
+            assert!(
+                err <= sketch.relative_error() + 1e-9,
+                "p{p}: sketch {approx} vs exact {exact} (err {err:.4}, bound {})",
+                sketch.relative_error()
+            );
+        }
+    });
+}
+
+/// Sketch merging is exactly stream concatenation: merge(a, b) answers
+/// every query with the same numbers as one sketch fed both streams,
+/// for any pair of workloads. This is the property that makes
+/// cross-tenant rollups O(1) instead of O(samples).
+#[test]
+fn sketch_merge_equals_concatenated_stream() {
+    use afa::stats::QuantileSketch;
+    run_cases("sketch_merge_equals_concatenated_stream", 24, |g| {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut both = QuantileSketch::new();
+        for sketch_half in [&mut a, &mut b] {
+            let n = g.usize_in(0, 2_000);
+            let lo = 10u64.pow(g.u32_in(2, 9));
+            let hi = lo * g.u64_in(2, 1_000);
+            for _ in 0..n {
+                let v = g.u64_in(lo, hi);
+                sketch_half.record(v);
+                both.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.mean().to_bits(), both.mean().to_bits());
+        for tenth in 0..=1_000u64 {
+            let p = tenth as f64 / 10.0;
+            assert_eq!(
+                a.value_at_percentile(p),
+                both.value_at_percentile(p),
+                "merge diverged from concatenation at p{p}"
+            );
+        }
+    });
+}
+
 /// Tuning never makes the worst case worse than default for the same
 /// seed (statistically certain at this scale).
 #[test]
