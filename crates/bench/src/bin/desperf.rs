@@ -6,10 +6,13 @@
 //! `frontend_fanout_64` — the exact same bodies
 //! `cargo bench --bench micro` runs) plus three pinned end-to-end
 //! runs: fig06 (10 s × 64 SSDs, seed 42), the request-serving
-//! tailscale-fanout sweep (0.5 s × 16 SSDs, seed 42), and the
+//! tailscale-fanout sweep (0.5 s × 16 SSDs, seed 42), the
 //! fleet-arrival tenant ladder (1 s × 8 SSDs, seed 42 — the
 //! million-tenant rung plus its peak slab footprint, the serving
-//! path's RSS proxy), each with its
+//! path's RSS proxy), and the ull-crossover completion-model grid
+//! (0.25 s × 8 SSDs, seed 42 — 30 runs spanning both device profiles
+//! and all three completion models, so the polled reap path stays in
+//! the trajectory), each with its
 //! wall-clock and events/sec, plus a threads-scaling sweep of the
 //! pinned fig06 run at 1/2/4/8 engine workers (recorded alongside the
 //! host's core count, since scaling numbers are meaningless without
@@ -29,8 +32,9 @@
 //! if events/sec fell more than 10% below the most recent committed
 //! entry (nothing is appended). It also re-measures the fleet ladder
 //! and gates both its events/sec (90% floor) and its peak slab bytes
-//! (110% ceiling), skipping gracefully when the committed trajectory
-//! predates the fleet keys. On hosts with enough cores it also
+//! (110% ceiling), and the ull-crossover grid's events/sec (90%
+//! floor), each skipping gracefully when the committed trajectory
+//! predates its keys. On hosts with enough cores it also
 //! gates the threads-scaling table: threads must *pay* — a 2- or
 //! 4-thread run slower than 95% of the sequential run fails the gate
 //! (on smaller hosts the partition planner fuses everything into the
@@ -116,6 +120,41 @@ fn run_fleet_ladder() -> (f64, u64, f64) {
     (events_per_sec, peak_slab_bytes, rate_ratio)
 }
 
+/// The pinned completion-model scale: the full ull-crossover grid (2
+/// device profiles × 5 tuning stages × 3 completion models) in a
+/// fraction of a second, so the polled and hybrid reap paths are
+/// measured on every trajectory entry. Same comparability rule as
+/// [`trajectory_scale`].
+fn ull_scale() -> ExperimentScale {
+    ExperimentScale::new(SimDuration::from_secs_f64(0.25), 8, 42)
+}
+
+/// Runs the pinned ull-crossover grid; returns best-of-2 events/sec.
+/// Two passes because the grid's 30 short runs amplify per-run
+/// scheduler noise on a shared host.
+fn run_ull_crossover() -> f64 {
+    let def = experiment::find("ull-crossover").expect("ull-crossover registered");
+    let scale = ull_scale();
+    println!(
+        "ull-crossover grid at {:.2}s x {} SSDs, seed {} ...",
+        scale.runtime.as_secs_f64(),
+        scale.ssds,
+        scale.seed
+    );
+    let mut events_per_sec = 0.0f64;
+    for _ in 0..2 {
+        let events_before = afa_sim::metrics::events_processed_total();
+        let t0 = Instant::now();
+        let result = def.run(scale);
+        let wall = t0.elapsed().as_secs_f64();
+        let events = afa_sim::metrics::events_processed_total() - events_before;
+        events_per_sec = events_per_sec.max(events as f64 / wall.max(1e-9));
+        std::hint::black_box(result.samples());
+    }
+    println!("ull-crossover: best of 2 passes, {events_per_sec:.0} events/sec");
+    events_per_sec
+}
+
 fn median_ns(harness: &Harness, name: &str) -> f64 {
     harness
         .results()
@@ -153,7 +192,9 @@ fn main() {
             100.0 * (measured / baseline - 1.0)
         );
         check_threads_scaling(measured);
-        check_fleet(&std::fs::read_to_string(path).unwrap_or_default());
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        check_fleet(&existing);
+        check_ull(&existing);
         return;
     }
 
@@ -239,6 +280,9 @@ fn main() {
     println!();
     let (fleet_eps, fleet_slab_bytes, fleet_rate_ratio) = run_fleet_ladder();
 
+    println!();
+    let ull_eps = run_ull_crossover();
+
     let entry = Json::obj([
         ("label", Json::str(&label)),
         (
@@ -270,6 +314,7 @@ fn main() {
         ("fleet_events_per_sec", Json::f64(fleet_eps)),
         ("fleet_slab_peak_bytes", Json::u64(fleet_slab_bytes)),
         ("fleet_rate_ratio_1m_vs_10k", Json::f64(fleet_rate_ratio)),
+        ("ull_crossover_events_per_sec", Json::f64(ull_eps)),
     ]);
 
     let rendered = append_entry(&std::fs::read_to_string(path).unwrap_or_default(), &entry);
@@ -388,6 +433,30 @@ fn check_fleet(existing: &str) {
          ({:+.1}% vs baseline)",
         100.0 * (eps / base_eps - 1.0),
         100.0 * (slab_bytes as f64 / base_bytes - 1.0)
+    );
+}
+
+/// The completion-model gate: the ull-crossover grid's events/sec
+/// must hold 90% of the last committed measurement — the polled reap
+/// path has no other throughput coverage in CI. Skipped with a note
+/// when the trajectory predates the key.
+fn check_ull(existing: &str) {
+    let Some(base_eps) = last_f64_key(existing, "\"ull_crossover_events_per_sec\":") else {
+        println!("ull gate: skipped (no ull-crossover key in the committed trajectory yet)");
+        return;
+    };
+    let eps = run_ull_crossover();
+    let floor = 0.9 * base_eps;
+    if eps < floor {
+        eprintln!(
+            "ull-crossover regression: {eps:.0} events/sec is more than 10% below the \
+             committed baseline {base_eps:.0} (floor {floor:.0})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ull OK: {eps:.0} events/sec ({:+.1}% vs baseline)",
+        100.0 * (eps / base_eps - 1.0)
     );
 }
 

@@ -2,6 +2,7 @@
 
 use afa_host::BackgroundConfig;
 use afa_sim::SimDuration;
+use afa_ssd::DeviceProfile;
 use afa_workload::{IoEngine, JobSpec, RwPattern};
 
 use crate::geometry::CpuSsdGeometry;
@@ -79,6 +80,15 @@ pub struct AfaConfig {
     /// socket 1, §III-A). fio threads on the other socket pay a
     /// cross-socket (NUMA) penalty on the completion path.
     pub afa_socket: u16,
+    /// Device class for every SSD in the array (Table-I 25 µs default,
+    /// or the ULL ~9 µs class). Also selects the queue-pair topology:
+    /// the ULL class models per-CPU NVMe SQ/CQ pairs.
+    pub device_profile: DeviceProfile,
+    /// Hybrid-poll sleep fraction: percent of the device profile's
+    /// nominal read latency the thread sleeps before it starts
+    /// spinning (io_uring's `hybrid_poll` knob). Integer percent keeps
+    /// the derived sleep deterministic across platforms.
+    pub hybrid_sleep_percent: u32,
 }
 
 impl AfaConfig {
@@ -108,7 +118,16 @@ impl AfaConfig {
             attribute_causes: false,
             ledger_log: 0,
             afa_socket: 1,
+            device_profile: DeviceProfile::Table1,
+            hybrid_sleep_percent: 50,
         }
+    }
+
+    /// The hybrid-poll sleep this config implies: the sleep fraction
+    /// applied to the device profile's nominal read latency.
+    pub fn hybrid_sleep(&self) -> SimDuration {
+        let nominal = self.device_profile.nominal_read_latency();
+        SimDuration::nanos(nominal.as_nanos() * self.hybrid_sleep_percent as u64 / 100)
     }
 
     /// Caps each job's issue rate (fio's `rate_iops`).
@@ -207,6 +226,24 @@ impl AfaConfig {
     /// Sets the I/O mix.
     pub fn with_rw(mut self, rw: RwPattern) -> Self {
         self.rw = rw;
+        self
+    }
+
+    /// Selects the device class for every SSD in the array.
+    pub fn with_device_profile(mut self, profile: DeviceProfile) -> Self {
+        self.device_profile = profile;
+        self
+    }
+
+    /// Sets the hybrid-poll sleep fraction (percent of the device's
+    /// nominal read latency; io_uring's `hybrid_poll` knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if above 100.
+    pub fn with_hybrid_sleep_percent(mut self, percent: u32) -> Self {
+        assert!(percent <= 100, "sleep fraction is a percentage");
+        self.hybrid_sleep_percent = percent;
         self
     }
 }

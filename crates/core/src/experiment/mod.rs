@@ -25,6 +25,7 @@ mod saturation;
 mod scale;
 mod tables;
 mod tailscale;
+mod ull_crossover;
 
 pub use ablations::{
     ablate_coalescing, ablate_cstate, ablate_gc, ablate_numa, ablate_poll, ablate_rcu,
@@ -52,6 +53,7 @@ pub use saturation::{uplink_saturation, SaturationResult};
 pub use scale::ExperimentScale;
 pub use tables::{table1, table2, table2_matrix, Table1Result, Table2Matrix};
 pub use tailscale::{tail_at_scale, TailScaleCell, TailScaleResult};
+pub use ull_crossover::{ull_crossover, UllCrossoverCell, UllCrossoverResult};
 
 /// Runs several independent experiment configurations on the bounded
 /// worker pool ([`pool::map_bounded`]), preserving input order.

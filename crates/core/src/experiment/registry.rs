@@ -23,7 +23,7 @@
 use std::time::Duration;
 use std::time::Instant;
 
-use afa_sim::metrics::FrontendCounters;
+use afa_sim::metrics::{CompletionCounters, FrontendCounters};
 use afa_sim::trace::{Cause, CauseBudget};
 use afa_sim::SimDuration;
 use afa_stats::Json;
@@ -107,7 +107,7 @@ impl Experiment for ExperimentDef {
     }
 }
 
-static REGISTRY: [ExperimentDef; 30] = [
+static REGISTRY: [ExperimentDef; 31] = [
     ExperimentDef {
         name: "fig06",
         description: "Fig. 6: per-SSD latency distributions, default configuration",
@@ -316,6 +316,13 @@ static REGISTRY: [ExperimentDef; 30] = [
         runner: |s| Box::new(experiment::future_schedulers(s)),
     },
     ExperimentDef {
+        name: "ull-crossover",
+        description: "Completion model x tuning ladder on Table-I vs. ultra-low-latency devices",
+        stage: None,
+        parallel: true,
+        runner: |s| Box::new(experiment::ull_crossover(s)),
+    },
+    ExperimentDef {
         name: "blktrace",
         description: "blktrace-style per-I/O stage timestamps, slowest sample",
         stage: Some(TuningStage::IrqAffinity),
@@ -369,6 +376,14 @@ pub struct RunManifest {
     /// and then omitted from the JSON artifact, so pre-frontend
     /// goldens stay byte-identical.
     pub frontend: FrontendCounters,
+    /// Completion-model counters flushed while the experiment itself
+    /// ran (the attribution probe is excluded — it would otherwise
+    /// add its own interrupt-reaped I/Os). Serialized only when a
+    /// non-interrupt model reaped something
+    /// ([`CompletionCounters::any_polled`]): every pre-existing golden
+    /// reaps via MSI-X, so keying on plain interrupt counts would
+    /// rewrite them all.
+    pub completion: CompletionCounters,
     /// Per-cause latency budget from the attribution probe.
     pub budget: CauseBudget,
     /// Scale the attribution probe ran at (reduced from `scale` to
@@ -418,6 +433,12 @@ impl RunManifest {
                 ));
             }
         }
+        if self.completion.any() {
+            out.push_str(&format!(
+                "reaps   : {} interrupt, {} polled ({} hybrid oversleeps)\n",
+                self.completion.interrupts, self.completion.polls, self.completion.hybrid_sleeps
+            ));
+        }
         out.push_str(&format!(
             "latency budget (probe: '{}' at {:.3}s x {} SSDs):\n",
             self.probe_stage.label(),
@@ -466,6 +487,18 @@ impl RunManifest {
                 fe.push("sketch_merges", Json::u64(self.frontend.sketch_merges));
             }
             doc.push("frontend", fe);
+        }
+        // Gated on any_polled(), not any(): every interrupt-only
+        // golden predates this key and must keep its exact bytes.
+        if self.completion.any_polled() {
+            let mut cm = Json::obj([
+                ("interrupts", Json::u64(self.completion.interrupts)),
+                ("polls", Json::u64(self.completion.polls)),
+            ]);
+            if self.completion.hybrid_sleeps > 0 {
+                cm.push("hybrid_sleeps", Json::u64(self.completion.hybrid_sleeps));
+            }
+            doc.push("completion", cm);
         }
         doc
     }
@@ -555,6 +588,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
     let events_before = afa_sim::metrics::events_processed_total();
     let clamped_before = afa_sim::metrics::clamped_past_total();
     let frontend_before = afa_sim::metrics::frontend_totals();
+    let completion_before = afa_sim::metrics::completion_totals();
     let t0 = Instant::now();
     // Experiments that drive their own single-world event loops must
     // not observe AFA_THREADS; the guard pins every AfaSystem::run in
@@ -570,6 +604,9 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
     // byte-stable JSON and only appears in the human table.
     let events_processed = afa_sim::metrics::events_processed_total() - events_before;
     let events_per_sec = events_processed as f64 / wall.as_secs_f64().max(1e-9);
+    // Before the probe: the probe's interrupt-reaped I/Os are not
+    // part of the experiment's completion-model story.
+    let completion = afa_sim::metrics::completion_totals().since(&completion_before);
 
     let probe_runtime = if scale.runtime > SimDuration::millis(250) {
         SimDuration::millis(250)
@@ -606,6 +643,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
             events_per_sec,
             clamped_past_schedules,
             frontend,
+            completion,
             budget,
             probe_scale,
             probe_stage,

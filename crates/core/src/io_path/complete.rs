@@ -13,6 +13,7 @@ use afa_sim::{SimDuration, SimTime};
 
 use crate::blktrace::IoStage;
 
+use super::model::CompletionModel;
 use super::{CompletedIo, IoLedger, IoPathWorld, LedgerId};
 
 /// CPU cost of the completion path (reap + io_getevents return).
@@ -33,22 +34,49 @@ pub(crate) fn reap(
     done
 }
 
-/// Reaps a completion on a polling thread: the thread spun on the CQ
-/// from `issued_at` to `now`, then pays the reap cost. The whole spin
-/// is CPU work (it deliberately overlaps the device/fabric time — the
-/// price polling pays for skipping the interrupt path).
+/// Reaps a completion discovered by reading the CQ — no interrupt, no
+/// wake. Under [`CompletionModel::Poll`] the thread spun from
+/// `issued_at`; under [`CompletionModel::Hybrid`] it slept for the
+/// model's timed sleep first and only then started spinning. The CPU
+/// is charged for the whole spin window plus the reap (that busy time
+/// is the price the model pays), but the *ledger* credits only the
+/// slices past `at_host`: the causes accrued before arrival — submit,
+/// fabric legs, device service — already tile `issued_at..at_host`
+/// exactly, so crediting the overlapping spin would double-book the
+/// window. A hybrid *oversleep* (the CQE landed mid-sleep) credits
+/// the residual sleep to [`Cause::PollSleep`]: that wait is the
+/// model's own latency contribution, the tail hybrid polling trades
+/// for its CPU savings.
 pub(crate) fn poll_reap(
     host: &mut HostModel,
     cpu: CpuId,
+    model: CompletionModel,
     issued_at: SimTime,
-    now: SimTime,
+    at_host: SimTime,
     work: SimDuration,
     ledger: &mut IoLedger,
 ) -> SimTime {
-    let spin = now.saturating_since(issued_at);
-    let spin_end = host.charge_cpu(cpu, issued_at, spin);
-    let done = host.charge_cpu(cpu, spin_end, work);
-    ledger.credit(Cause::CpuWork, done.saturating_since(issued_at));
+    let spin_from = match model {
+        CompletionModel::Hybrid { sleep } => issued_at + sleep,
+        _ => issued_at,
+    };
+    let reap_start = if spin_from > at_host {
+        // Oversleep: the completion beat the timer; the thread only
+        // looks at the CQ once the sleep expires. The CPU was idle
+        // for the whole sleep — that is the point of the model.
+        ledger.credit(Cause::PollSleep, spin_from.saturating_since(at_host));
+        spin_from
+    } else {
+        // Spin from the CQ-watch instant until the CQE landed (plus
+        // any contention stretch): pure CPU burn overlapping the
+        // accrued device/fabric causes.
+        host.charge_cpu(cpu, spin_from, at_host.saturating_since(spin_from))
+    };
+    let done = host.charge_cpu(cpu, reap_start, work);
+    ledger.credit(
+        Cause::CpuWork,
+        done.saturating_since(at_host.max(spin_from)),
+    );
     ledger.stamp(IoStage::Reaped, done);
     done
 }

@@ -16,6 +16,7 @@ use afa_sim::{SimDuration, SimTime};
 
 use crate::blktrace::IoStage;
 
+use super::model::CompletionModel;
 use super::IoLedger;
 
 /// Extra completion-path latency when the fio thread's socket differs
@@ -53,14 +54,22 @@ pub(crate) fn downstream_device_leg(
 /// Reserves the device-owned up-leg at the instant the device posts
 /// the completion; returns when the payload reaches the leaf switch.
 /// Runs on the owning worker (the per-device link is its resource).
+/// The completion model decides the payload: only
+/// [`CompletionModel::pays_msi`] completions carry the 4-byte MSI-X
+/// message — a polled CQ is discovered by reading it.
 pub(crate) fn device_leg(
     fabric: &mut PcieFabric,
     device: usize,
     now: SimTime,
     bytes: u64,
+    model: CompletionModel,
     ledger: &mut IoLedger,
 ) -> SimTime {
-    let t_leaf = fabric.deliver_completion_device_leg(device, now, bytes);
+    let t_leaf = if model.pays_msi() {
+        fabric.deliver_completion_device_leg(device, now, bytes)
+    } else {
+        fabric.poll_completion_device_leg(device, now, bytes)
+    };
     ledger.accrue(Cause::Fabric, t_leaf.saturating_since(now));
     t_leaf
 }
@@ -72,15 +81,22 @@ pub(crate) fn device_leg(
 /// threads living on the socket the AFA's uplink does not attach to.
 /// The elapsed time is returned to the owning worker as
 /// `fabric_shared` and accrued there — the ledger stays parked in the
-/// owner's slab.
+/// owner's slab. [`CompletionModel::pays_msi`] completions end with
+/// the MSI-X vector delivery (and its latency + interrupt count);
+/// polled completions end when the CQE DMA write lands.
 pub(crate) fn shared_legs(
     fabric: &mut PcieFabric,
     device: usize,
     t_leaf: SimTime,
     bytes: u64,
     cross_socket: bool,
+    model: CompletionModel,
 ) -> SimTime {
-    let mut at_host = fabric.deliver_completion_shared_legs(device, t_leaf, bytes);
+    let mut at_host = if model.pays_msi() {
+        fabric.deliver_completion_shared_legs(device, t_leaf, bytes)
+    } else {
+        fabric.poll_completion_shared_legs(device, t_leaf, bytes)
+    };
     if cross_socket {
         at_host += NUMA_CROSS_SOCKET;
     }

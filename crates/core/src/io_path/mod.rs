@@ -56,19 +56,22 @@ mod device;
 mod fabric;
 mod irq;
 mod ledger;
+mod model;
 mod submit;
 mod wake;
 
 pub use ledger::{CompletedIo, IoLedger, LedgerLog};
 
 use complete::COMPLETE_COST;
+use model::CompletionModel;
 
 use afa_host::{BgPlacement, CpuId, HostModel, IrqDelivery, IrqOutcome};
 use afa_pcie::PcieFabric;
+use afa_sim::metrics::CompletionCounters;
 use afa_sim::trace::Cause;
 use afa_sim::{ShardCtx, ShardWorld, SimDuration, SimTime};
 use afa_ssd::SsdDevice;
-use afa_workload::{IoEngine, JobState, Op};
+use afa_workload::{JobState, Op};
 
 use crate::blktrace::IoStage;
 use crate::config::IrqCoalescing;
@@ -199,8 +202,9 @@ pub(crate) enum Cross {
         /// The submitting CPU lives on the socket the AFA's uplink
         /// does not attach to (NUMA penalty on the shared legs).
         cross_socket: bool,
-        /// Polling engines skip the IRQ path entirely.
-        polling: bool,
+        /// How this I/O's completion is discovered; polled models
+        /// carry no MSI on the shared legs and skip the IRQ path.
+        model: CompletionModel,
     },
     /// Hub → vector-CPU worker: run the interrupt handler.
     IrqDeliver {
@@ -209,13 +213,19 @@ pub(crate) enum Cross {
         designated: CpuId,
         batch: CqBatch,
     },
-    /// Hub → origin worker: a polling completion's data is host-side;
-    /// the spinning thread reaps it directly.
+    /// Hub → origin worker: a polled completion's data is host-side;
+    /// the spinning (or sleeping) thread reaps it directly. Carries
+    /// `at_host` explicitly because the event's own timestamp may be
+    /// clamped up to the hub lookahead — without an MSI the shared
+    /// legs can finish inside the lookahead window for tiny payloads.
     PollComplete {
         job: usize,
         issued_at: SimTime,
         ledger: LedgerId,
         fabric_shared: SimDuration,
+        /// When the CQE DMA write landed in host memory.
+        at_host: SimTime,
+        model: CompletionModel,
     },
     /// Vector worker → origin worker: the handler outcome; the owner
     /// applies the IRQ slices to the ledger, wakes the thread and
@@ -256,6 +266,11 @@ pub(crate) struct IoPathWorld {
     pub(crate) tracers: Option<Vec<crate::blktrace::TraceRecorder>>,
     /// Per-worker-LP ledger-log windows (same invariance argument).
     pub(crate) ledger_logs: Option<Vec<LedgerLog>>,
+    /// Per-worker-LP completion-model tallies (interrupt reaps, poll
+    /// reaps, hybrid oversleeps). Indexed by the job's owning LP so
+    /// fused replicas keep disjoint slices and the harvest can stitch
+    /// each LP's tally from its owning shard exactly once.
+    pub(crate) completions: Vec<CompletionCounters>,
     geometry: CpuSsdGeometry,
     horizon: SimTime,
     afa_socket: u16,
@@ -270,6 +285,14 @@ pub(crate) struct IoPathWorld {
     /// Per-job earliest next issue instant (fio's `rate_iops` pacing).
     next_allowed: Vec<SimTime>,
     coalescing: Option<IrqCoalescing>,
+    /// Timed-sleep length for [`CompletionModel::Hybrid`] jobs,
+    /// derived by the config from the device profile's nominal read
+    /// latency.
+    hybrid_sleep: SimDuration,
+    /// The device class models per-CPU NVMe SQ/CQ pairs (the ULL
+    /// profile): submissions reserve the hub down-FIFOs in
+    /// payload-ready order instead of doorbell (wake) order.
+    per_cpu_queues: bool,
     /// Per-device completions awaiting a coalesced MSI (hub only).
     pending_cq: Vec<Vec<CqEntry>>,
     /// In-flight [`IoLedger`]s, indexed by [`LedgerId`]; slots recycle
@@ -301,6 +324,8 @@ impl IoPathWorld {
         tracer: Option<crate::blktrace::TraceRecorder>,
         ledger_log: Option<LedgerLog>,
         coalescing: Option<IrqCoalescing>,
+        hybrid_sleep: SimDuration,
+        per_cpu_queues: bool,
     ) -> Self {
         let n = devices.len();
         let job_lp: Vec<usize> = jobs
@@ -323,11 +348,14 @@ impl IoPathWorld {
             causes,
             tracers: tracer.map(|t| vec![t; WORKER_LPS]),
             ledger_logs: ledger_log.map(|l| vec![l; WORKER_LPS]),
+            completions: vec![CompletionCounters::default(); WORKER_LPS],
             owned: 0,
             job_lp,
             job_of_device,
             next_allowed: vec![SimTime::ZERO; jobs_len],
             coalescing,
+            hybrid_sleep,
+            per_cpu_queues,
             pending_cq: vec![Vec::new(); n],
             ledger_slab: Vec::with_capacity(2 * n),
             ledger_free: Vec::with_capacity(2 * n),
@@ -359,6 +387,12 @@ impl IoPathWorld {
     /// hop) and an MSI write.
     pub(crate) fn hub_lookahead(&self) -> SimDuration {
         self.fabric.hop_latency() + self.fabric.msi_latency()
+    }
+
+    /// The completion model governing `job`'s I/Os — the one typed
+    /// dispatch point every stage branches through.
+    fn model_of(&self, job: usize) -> CompletionModel {
+        CompletionModel::resolve(self.jobs[job].spec().engine(), self.hybrid_sleep)
     }
 
     /// Parks a fresh ledger in the slab, reusing a settled slot when
@@ -419,7 +453,18 @@ impl IoPathWorld {
             // µs-scale phase coupling behind the paper's
             // shared-fabric convoys — and it is fed by exactly the
             // delays chrt/isolcpus remove.
-            let t_send = ctx.now() + self.worker_lookahead();
+            //
+            // Per-CPU NVMe SQ/CQ pairs (the ULL device class) have no
+            // shared arbitration slot to commit early: each thread
+            // rings a private doorbell, so the down-FIFOs are
+            // reserved in payload-ready order and the wake-order
+            // convoy coupling disappears. `submit_end >= now` keeps
+            // the lookahead bound sound.
+            let t_send = if self.per_cpu_queues {
+                submit_end + self.worker_lookahead()
+            } else {
+                ctx.now() + self.worker_lookahead()
+            };
             ctx.send(
                 HUB_LP,
                 t_send,
@@ -430,16 +475,13 @@ impl IoPathWorld {
                     start: submit_end,
                 },
             );
-            match self.jobs[job].spec().engine() {
-                IoEngine::Libaio | IoEngine::Sync => {
-                    now = submit_end;
-                }
-                IoEngine::Polling => {
-                    // The thread spins on the CQ until the completion
-                    // chain reaps it; stop issuing here.
-                    break;
-                }
+            if self.model_of(job).parks_thread() {
+                // The thread parks on the CQ (spinning, or sleeping
+                // then spinning) until the completion chain reaps it;
+                // stop issuing here.
+                break;
             }
+            now = submit_end;
         }
         // Tell the hub how long this burst keeps the CPU busy, so
         // background placement stops seeing it as idle (§IV-C: a CPU
@@ -460,10 +502,10 @@ impl IoPathWorld {
         let cpu = self.geometry.cpu_of_ssd(device);
         let bytes = self.jobs[job].spec().block_size() as u64;
         let cross_socket = self.host.topology().socket_of(cpu) != self.afa_socket;
-        let polling = matches!(self.jobs[job].spec().engine(), IoEngine::Polling);
+        let model = self.model_of(job);
         let ledger = &mut self.ledger_slab[id as usize];
         ledger.stamp(IoStage::DeviceComplete, now);
-        let t_leaf = fabric::device_leg(&mut self.fabric, device, now, bytes, ledger);
+        let t_leaf = fabric::device_leg(&mut self.fabric, device, now, bytes, model, ledger);
         ctx.send(
             HUB_LP,
             t_leaf,
@@ -472,7 +514,7 @@ impl IoPathWorld {
                 issued_at,
                 ledger: id,
                 cross_socket,
-                polling,
+                model,
             },
         );
     }
@@ -487,24 +529,32 @@ impl IoPathWorld {
         issued_at: SimTime,
         id: LedgerId,
         cross_socket: bool,
-        polling: bool,
+        model: CompletionModel,
         ctx: &mut Ctx<'_>,
     ) {
         let t_leaf = ctx.now();
         let device = self.jobs[job].spec().device();
 
         let bytes = self.jobs[job].spec().block_size() as u64;
-        let at_host = fabric::shared_legs(&mut self.fabric, device, t_leaf, bytes, cross_socket);
+        let at_host =
+            fabric::shared_legs(&mut self.fabric, device, t_leaf, bytes, cross_socket, model);
         let fabric_shared = at_host.saturating_since(t_leaf);
-        if polling {
+        if model.parks_thread() {
+            // Without the MSI's trailing latency a tiny payload can
+            // clear the shared legs inside the hub lookahead; the
+            // event timestamp is clamped but the reap works off the
+            // carried `at_host`.
+            let at = at_host.max(ctx.now() + self.hub_lookahead());
             ctx.send(
                 self.job_lp[job],
-                at_host,
+                at,
                 Cross::PollComplete {
                     job,
                     issued_at,
                     ledger: id,
                     fabric_shared,
+                    at_host,
+                    model,
                 },
             );
             return;
@@ -607,10 +657,15 @@ impl IoPathWorld {
         batch: CqBatch,
         ctx: &mut Ctx<'_>,
     ) {
+        debug_assert!(
+            self.model_of(job).uses_irq_path(),
+            "interrupt batch for a polled job"
+        );
         let device = self.jobs[job].spec().device();
         let cpu = self.geometry.cpu_of_ssd(device);
         let policy = self.jobs[job].spec().policy();
         let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
+        self.completions[self.job_lp[job]].interrupts += batch.as_slice().len() as u64;
         let first = batch.first();
         let run_start = {
             let led = &mut self.ledger_slab[first.ledger as usize];
@@ -635,25 +690,35 @@ impl IoPathWorld {
         self.issue_burst(job, t, ctx);
     }
 
-    /// Origin worker: a polling completion's data is host-side; the
-    /// thread spun from issue to now, reaps directly and keeps going.
+    /// Origin worker: a polled completion's data is host-side; the
+    /// parked thread (spinning, or sleeping then spinning) reaps it
+    /// directly and keeps going.
+    #[allow(clippy::too_many_arguments)]
     fn on_poll_complete(
         &mut self,
         job: usize,
         issued_at: SimTime,
         id: LedgerId,
         fabric_shared: SimDuration,
+        at_host: SimTime,
+        model: CompletionModel,
         ctx: &mut Ctx<'_>,
     ) {
-        let now = ctx.now();
         let device = self.jobs[job].spec().device();
         let cpu = self.geometry.cpu_of_ssd(device);
         let work = COMPLETE_COST + self.jobs[job].spec().logging_cpu_overhead();
         let done = {
             let led = &mut self.ledger_slab[id as usize];
             led.accrue(Cause::Fabric, fabric_shared);
-            complete::poll_reap(&mut self.host, cpu, issued_at, now, work, led)
+            complete::poll_reap(&mut self.host, cpu, model, issued_at, at_host, work, led)
         };
+        let tally = &mut self.completions[self.job_lp[job]];
+        tally.polls += 1;
+        if let CompletionModel::Hybrid { sleep } = model {
+            if issued_at + sleep > at_host {
+                tally.hybrid_sleeps += 1;
+            }
+        }
         self.finish_io(job, issued_at, done, id);
         self.issue_burst(job, done, ctx);
     }
@@ -759,9 +824,9 @@ impl ShardWorld for IoPathWorld {
                 issued_at,
                 ledger,
                 cross_socket,
-                polling,
+                model,
             } => {
-                self.on_fabric_up(job, issued_at, ledger, cross_socket, polling, ctx);
+                self.on_fabric_up(job, issued_at, ledger, cross_socket, model, ctx);
             }
             Cross::IrqDeliver {
                 job,
@@ -776,8 +841,10 @@ impl ShardWorld for IoPathWorld {
                 issued_at,
                 ledger,
                 fabric_shared,
+                at_host,
+                model,
             } => {
-                self.on_poll_complete(job, issued_at, ledger, fabric_shared, ctx);
+                self.on_poll_complete(job, issued_at, ledger, fabric_shared, at_host, model, ctx);
             }
             Cross::WakeReap {
                 job,

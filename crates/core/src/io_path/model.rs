@@ -1,0 +1,122 @@
+//! The completion-model dispatch point: how a finished I/O's
+//! completion reaches the submitting thread.
+//!
+//! Every stage of the completion side used to branch on a smeared
+//! `polling: bool` (or re-derive it with `matches!(IoEngine::…)`);
+//! this module replaces those flags with one typed value resolved per
+//! job at issue time and threaded through the path. Each stage module
+//! implements against exactly one predicate:
+//!
+//! * [`submit`](super::submit) — [`CompletionModel::parks_thread`]:
+//!   does the issue loop keep going after the doorbell, or park on
+//!   the CQ?
+//! * [`fabric`](super::fabric) — [`CompletionModel::pays_msi`]: does
+//!   the upstream payload carry the 4-byte MSI-X message and the
+//!   vector-delivery latency?
+//! * [`irq`](super::irq) / [`wake`](super::wake) —
+//!   [`CompletionModel::uses_irq_path`]: do these stages run at all?
+//! * [`complete`](super::complete) — the reap itself dispatches on the
+//!   model: woken reap, spin reap, or sleep-then-spin reap.
+
+use afa_sim::SimDuration;
+use afa_workload::IoEngine;
+
+/// How completions are discovered and reaped. Resolved per job from
+/// its [`IoEngine`] (so a jobfile can mix models per job/tenant) and
+/// carried through the path by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CompletionModel {
+    /// MSI-X interrupt, handler, scheduler wake-up, reap — the
+    /// paper's §III path and the default everywhere.
+    Interrupt,
+    /// Classic busy-poll: the thread spins on the CQ from the doorbell
+    /// ring until the CQE lands. Lowest latency, one core per job.
+    Poll,
+    /// io_uring-style hybrid poll: sleep for `sleep` after the
+    /// doorbell, then spin. Keeps most of polling's latency win for a
+    /// fraction of its CPU cost; an *oversleep* (the CQE lands
+    /// mid-sleep) is the latency it trades away.
+    Hybrid {
+        /// Timed-sleep length — a fixed fraction of the device
+        /// profile's nominal read latency, resolved by the config.
+        sleep: SimDuration,
+    },
+}
+
+impl CompletionModel {
+    /// Resolves a job's engine into its completion model.
+    /// `hybrid_sleep` is the run-level sleep the config derived from
+    /// the device profile's nominal latency.
+    pub(crate) fn resolve(engine: IoEngine, hybrid_sleep: SimDuration) -> Self {
+        match engine {
+            IoEngine::Libaio | IoEngine::Sync => CompletionModel::Interrupt,
+            IoEngine::Polling => CompletionModel::Poll,
+            IoEngine::HybridPoll => CompletionModel::Hybrid {
+                sleep: hybrid_sleep,
+            },
+        }
+    }
+
+    /// Submit stage: after ringing the doorbell, does the thread park
+    /// on the CQ (poll/hybrid) instead of issuing the next queued op?
+    pub(crate) fn parks_thread(self) -> bool {
+        !matches!(self, CompletionModel::Interrupt)
+    }
+
+    /// Fabric stage: does the completion carry an MSI-X message (4
+    /// bytes on every upstream leg + vector delivery at the host)? A
+    /// polled CQ is discovered by reading it — no message, no
+    /// interrupt accounting.
+    pub(crate) fn pays_msi(self) -> bool {
+        matches!(self, CompletionModel::Interrupt)
+    }
+
+    /// IRQ + wake stages: do they run at all? Exactly the interrupt
+    /// model; under poll/hybrid the `IrqHandled` stamp stays zero.
+    pub(crate) fn uses_irq_path(self) -> bool {
+        matches!(self, CompletionModel::Interrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_resolve_to_their_models() {
+        let sleep = SimDuration::micros(12);
+        assert_eq!(
+            CompletionModel::resolve(IoEngine::Libaio, sleep),
+            CompletionModel::Interrupt
+        );
+        assert_eq!(
+            CompletionModel::resolve(IoEngine::Sync, sleep),
+            CompletionModel::Interrupt
+        );
+        assert_eq!(
+            CompletionModel::resolve(IoEngine::Polling, sleep),
+            CompletionModel::Poll
+        );
+        assert_eq!(
+            CompletionModel::resolve(IoEngine::HybridPoll, sleep),
+            CompletionModel::Hybrid { sleep }
+        );
+    }
+
+    #[test]
+    fn stage_predicates_partition_the_models() {
+        let hybrid = CompletionModel::Hybrid {
+            sleep: SimDuration::micros(5),
+        };
+        for model in [CompletionModel::Interrupt, CompletionModel::Poll, hybrid] {
+            // A model either rides the IRQ path (and pays the MSI and
+            // keeps issuing) or parks the thread on the CQ — never a
+            // mix.
+            assert_eq!(model.uses_irq_path(), model.pays_msi());
+            assert_eq!(model.uses_irq_path(), !model.parks_thread());
+        }
+        assert!(CompletionModel::Interrupt.uses_irq_path());
+        assert!(!CompletionModel::Poll.uses_irq_path());
+        assert!(!hybrid.uses_irq_path());
+    }
+}

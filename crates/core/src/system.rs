@@ -15,13 +15,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use afa_host::{CpuId, CpuTopology, HostModel};
 use afa_pcie::{FabricStats, PcieFabric};
+use afa_sim::metrics::CompletionCounters;
 use afa_sim::{ShardedSim, SimDuration, SimRng, SimTime};
-use afa_ssd::{DeviceStats, FtlStats, SsdDevice, SsdSpec};
+use afa_ssd::{DeviceStats, FtlStats, SsdDevice};
 use afa_workload::{JobReport, JobSpec, JobState};
 
 use crate::config::AfaConfig;
 use crate::geometry::CpuSsdGeometry;
-use crate::io_path::{lp_of_cpu, IoPathWorld, LedgerLog, Local, HUB_LP};
+use crate::io_path::{lp_of_cpu, IoPathWorld, LedgerLog, Local, HUB_LP, WORKER_LPS};
 
 /// Live [`SequentialGuard`] count: while non-zero, every run in the
 /// process stays on the sequential driver regardless of
@@ -125,6 +126,10 @@ pub struct RunResult {
     pub fabric_stats: FabricStats,
     /// Per-device counters.
     pub device_stats: Vec<(DeviceStats, FtlStats)>,
+    /// How completions were reaped (interrupt / poll / hybrid
+    /// oversleep); also flushed to [`afa_sim::metrics`] so harnesses
+    /// can delta the process-wide totals around an experiment.
+    pub completions: CompletionCounters,
 }
 
 impl RunResult {
@@ -213,7 +218,7 @@ impl AfaSystem {
         let devices: Vec<SsdDevice> = (0..n)
             .map(|d| {
                 SsdDevice::new(
-                    SsdSpec::table1(),
+                    config.device_profile.spec(),
                     firmware.clone(),
                     config.seed ^ (d as u64).wrapping_mul(0x9E37_79B9),
                 )
@@ -280,6 +285,8 @@ impl AfaSystem {
             (config.trace_ios > 0).then(|| crate::blktrace::TraceRecorder::new(config.trace_ios)),
             (config.ledger_log > 0).then(|| LedgerLog::new(config.ledger_log)),
             config.irq_coalescing,
+            config.hybrid_sleep(),
+            config.device_profile.per_cpu_queue_pairs(),
         );
 
         // Resolve the partition plan and replicate the world across
@@ -356,6 +363,14 @@ impl AfaSystem {
                 fabric_stats.absorb(world.fabric.stats());
             }
         }
+        // Completion-model tallies are per worker LP; take each LP's
+        // tally from its owning shard exactly once (a fused replica
+        // holds several LPs' disjoint slices in place).
+        let mut completions = CompletionCounters::default();
+        for lp in 0..WORKER_LPS {
+            completions.absorb(&worlds[plan.shard_of(lp)].completions[lp]);
+        }
+        afa_sim::metrics::add_completion(completions);
         let mut worlds: Vec<Option<IoPathWorld>> = worlds.into_iter().map(Some).collect();
         let hub = worlds[hub_shard].take().expect("hub world");
         let mut host = hub.host;
@@ -437,6 +452,7 @@ impl AfaSystem {
             host,
             fabric_stats,
             device_stats,
+            completions,
         }
     }
 }

@@ -235,7 +235,30 @@ impl PcieFabric {
         now: SimTime,
         bytes: u64,
     ) -> SimTime {
-        let payload = bytes + CQE_BYTES + MSI_BYTES;
+        self.completion_device_leg(device, now, bytes, false)
+    }
+
+    /// [`deliver_completion_device_leg`](Self::deliver_completion_device_leg)
+    /// for a *polled* completion: the host discovers the CQE by
+    /// reading the queue, so no MSI-X message rides the link and no
+    /// interrupt is accounted.
+    pub fn poll_completion_device_leg(
+        &mut self,
+        device: usize,
+        now: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        self.completion_device_leg(device, now, bytes, true)
+    }
+
+    fn completion_device_leg(
+        &mut self,
+        device: usize,
+        now: SimTime,
+        bytes: u64,
+        polled: bool,
+    ) -> SimTime {
+        let payload = bytes + CQE_BYTES + if polled { 0 } else { MSI_BYTES };
         self.stats.device_bytes += payload;
         let t = self.device_up[device].reserve(now, payload);
         t + self.hop_latency
@@ -253,14 +276,41 @@ impl PcieFabric {
         t_leaf: SimTime,
         bytes: u64,
     ) -> SimTime {
+        self.completion_shared_legs(device, t_leaf, bytes, false)
+    }
+
+    /// [`deliver_completion_shared_legs`](Self::deliver_completion_shared_legs)
+    /// for a *polled* completion: no MSI-X payload on the links, no
+    /// interrupt counted, and the returned instant is when the CQE DMA
+    /// write lands in host memory (no vector-delivery latency).
+    pub fn poll_completion_shared_legs(
+        &mut self,
+        device: usize,
+        t_leaf: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        self.completion_shared_legs(device, t_leaf, bytes, true)
+    }
+
+    fn completion_shared_legs(
+        &mut self,
+        device: usize,
+        t_leaf: SimTime,
+        bytes: u64,
+        polled: bool,
+    ) -> SimTime {
         let a = self.assignments[device];
         let li = self.leaf_index(a);
-        let payload = bytes + CQE_BYTES + MSI_BYTES;
+        let payload = bytes + CQE_BYTES + if polled { 0 } else { MSI_BYTES };
         self.stats.uplink_bytes += payload;
-        self.stats.interrupts += 1;
         let t = self.leaf_up[li].reserve(t_leaf, payload);
         let t = self.uplink_up[a.spine as usize].reserve(t + self.hop_latency, payload);
-        t + self.msi_latency
+        if polled {
+            t
+        } else {
+            self.stats.interrupts += 1;
+            t + self.msi_latency
+        }
     }
 
     /// Per-switch store-and-forward latency — the minimum gap any
@@ -389,6 +439,52 @@ mod tests {
         assert_eq!(s.interrupts, 8);
         assert_eq!(s.commands, 8);
         assert_eq!(f.uplink_bytes_by_host()[0], s.uplink_bytes);
+    }
+
+    #[test]
+    fn polled_completions_carry_no_msi_payload_or_interrupt() {
+        let mut irq = PcieFabric::paper_single_host(8);
+        let mut poll = PcieFabric::paper_single_host(8);
+        for d in 0..8 {
+            let t_leaf = irq.deliver_completion_device_leg(d, SimTime::ZERO, 4096);
+            irq.deliver_completion_shared_legs(d, t_leaf, 4096);
+            let p_leaf = poll.poll_completion_device_leg(d, SimTime::ZERO, 4096);
+            poll.poll_completion_shared_legs(d, p_leaf, 4096);
+        }
+        let (i, p) = (irq.stats(), poll.stats());
+        assert_eq!(i.interrupts, 8);
+        assert_eq!(
+            p.interrupts, 0,
+            "a polled reap must not count as an interrupt"
+        );
+        assert_eq!(
+            i.device_bytes - p.device_bytes,
+            8 * MSI_BYTES,
+            "the 4-byte MSI-X message must vanish from the device legs"
+        );
+        assert_eq!(
+            i.uplink_bytes - p.uplink_bytes,
+            8 * MSI_BYTES,
+            "and from the shared uplink legs"
+        );
+        assert_eq!(p.device_bytes, p.uplink_bytes, "bytes in == bytes out");
+    }
+
+    #[test]
+    fn polled_completion_lands_msi_latency_earlier_unloaded() {
+        let mut irq = PcieFabric::paper_single_host(2);
+        let mut poll = PcieFabric::paper_single_host(2);
+        let a = irq.deliver_completion(0, SimTime::ZERO, 4096);
+        let t_leaf = poll.poll_completion_device_leg(0, SimTime::ZERO, 4096);
+        let b = poll.poll_completion_shared_legs(0, t_leaf, 4096);
+        // Unloaded, the polled CQE lands earlier than the interrupt
+        // fires: no vector delivery, and 4 fewer bytes per leg.
+        assert!(b < a, "polled {b} should precede interrupt {a}");
+        assert!(
+            a.saturating_since(b) >= irq.msi_latency(),
+            "gap {} below msi latency",
+            a.saturating_since(b)
+        );
     }
 
     #[test]

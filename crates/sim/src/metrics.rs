@@ -28,6 +28,9 @@ static HEDGES_FIRED: AtomicU64 = AtomicU64::new(0);
 static HEDGES_WON: AtomicU64 = AtomicU64::new(0);
 static SLAB_PEAK_LIVE: AtomicU64 = AtomicU64::new(0);
 static SKETCH_MERGES: AtomicU64 = AtomicU64::new(0);
+static COMPLETION_INTERRUPTS: AtomicU64 = AtomicU64::new(0);
+static COMPLETION_POLLS: AtomicU64 = AtomicU64::new(0);
+static COMPLETION_HYBRID_SLEEPS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` processed events to the process-wide total.
 pub fn add_events(n: u64) {
@@ -127,6 +130,78 @@ pub fn add_frontend(delta: FrontendCounters) {
     }
 }
 
+/// Process-wide completion-model counters: how each finished I/O was
+/// reaped. Simulation-deterministic, flushed once per run like
+/// [`FrontendCounters`], so harnesses may serialize their deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompletionCounters {
+    /// Completions reaped after an MSI-X interrupt + wake-up.
+    pub interrupts: u64,
+    /// Completions reaped by a busy-poll spin (classic or the spin
+    /// half of a hybrid poll).
+    pub polls: u64,
+    /// Hybrid-poll oversleeps: reaps whose completion landed during
+    /// the timed sleep, so the residual sleep (not the device) set the
+    /// observed latency.
+    pub hybrid_sleeps: u64,
+}
+
+impl CompletionCounters {
+    /// Component-wise difference (`self - earlier`), for deltas around
+    /// a run.
+    pub fn since(&self, earlier: &CompletionCounters) -> CompletionCounters {
+        CompletionCounters {
+            interrupts: self.interrupts - earlier.interrupts,
+            polls: self.polls - earlier.polls,
+            hybrid_sleeps: self.hybrid_sleeps - earlier.hybrid_sleeps,
+        }
+    }
+
+    /// Whether any counter moved.
+    pub fn any(&self) -> bool {
+        self.interrupts | self.polls | self.hybrid_sleeps != 0
+    }
+
+    /// Component-wise sum, for stitching per-LP tallies into a run
+    /// total.
+    pub fn absorb(&mut self, other: &CompletionCounters) {
+        self.interrupts += other.interrupts;
+        self.polls += other.polls;
+        self.hybrid_sleeps += other.hybrid_sleeps;
+    }
+
+    /// Whether any *non-interrupt* completion model ran. Artifacts key
+    /// on this rather than [`CompletionCounters::any`]: every
+    /// pre-existing golden reaps via MSI-X, so a key that appeared on
+    /// plain interrupt counts would rewrite all of them.
+    pub fn any_polled(&self) -> bool {
+        self.polls | self.hybrid_sleeps != 0
+    }
+}
+
+/// Adds a run's completion-model counters to the process-wide totals
+/// (batched flush, like [`add_frontend`]).
+pub fn add_completion(delta: CompletionCounters) {
+    if delta.interrupts > 0 {
+        COMPLETION_INTERRUPTS.fetch_add(delta.interrupts, Ordering::Relaxed);
+    }
+    if delta.polls > 0 {
+        COMPLETION_POLLS.fetch_add(delta.polls, Ordering::Relaxed);
+    }
+    if delta.hybrid_sleeps > 0 {
+        COMPLETION_HYBRID_SLEEPS.fetch_add(delta.hybrid_sleeps, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of the cumulative completion-model counters.
+pub fn completion_totals() -> CompletionCounters {
+    CompletionCounters {
+        interrupts: COMPLETION_INTERRUPTS.load(Ordering::Relaxed),
+        polls: COMPLETION_POLLS.load(Ordering::Relaxed),
+        hybrid_sleeps: COMPLETION_HYBRID_SLEEPS.load(Ordering::Relaxed),
+    }
+}
+
 /// Snapshot of the cumulative frontend counters.
 pub fn frontend_totals() -> FrontendCounters {
     FrontendCounters {
@@ -173,6 +248,30 @@ mod tests {
         assert!(delta.slab_peak_live >= 7);
         assert!(delta.sketch_merges >= 4);
         assert!(!FrontendCounters::default().any());
+    }
+
+    #[test]
+    fn completion_counters_accumulate_and_delta() {
+        let before = completion_totals();
+        add_completion(CompletionCounters::default()); // all-zero: no-op
+        add_completion(CompletionCounters {
+            interrupts: 5,
+            polls: 3,
+            hybrid_sleeps: 2,
+        });
+        let delta = completion_totals().since(&before);
+        assert!(delta.any());
+        assert!(delta.any_polled());
+        assert!(delta.interrupts >= 5);
+        assert!(delta.polls >= 3);
+        assert!(delta.hybrid_sleeps >= 2);
+        assert!(!CompletionCounters::default().any());
+        let irq_only = CompletionCounters {
+            interrupts: 9,
+            polls: 0,
+            hybrid_sleeps: 0,
+        };
+        assert!(irq_only.any() && !irq_only.any_polled());
     }
 
     #[test]

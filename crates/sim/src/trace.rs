@@ -46,6 +46,11 @@ pub enum Cause {
     /// Waiting in the frontend serving layer (admission queue + QoS
     /// dequeue) before the request's sub-I/Os were dispatched.
     FrontendQueue,
+    /// Hybrid-poll oversleep: the completion landed while the thread
+    /// was still inside its timed sleep, so the residual sleep — not
+    /// any hardware stage — is what the I/O waited on. This is the
+    /// latency the hybrid model trades for giving the CPU back.
+    PollSleep,
     /// Other / unattributed.
     Other,
 }
@@ -56,7 +61,7 @@ impl Cause {
     pub const COUNT: usize = Self::ALL.len();
 
     /// All cause variants, in display order.
-    pub const ALL: [Cause; 14] = [
+    pub const ALL: [Cause; 15] = [
         Cause::CpuWork,
         Cause::SchedulerDelay,
         Cause::CStateExit,
@@ -70,6 +75,7 @@ impl Cause {
         Cause::Housekeeping,
         Cause::GarbageCollection,
         Cause::FrontendQueue,
+        Cause::PollSleep,
         Cause::Other,
     ];
 
@@ -95,6 +101,7 @@ impl Cause {
             Cause::Housekeeping => "housekeeping",
             Cause::GarbageCollection => "gc",
             Cause::FrontendQueue => "frontend_queue",
+            Cause::PollSleep => "poll_sleep",
             Cause::Other => "other",
         }
     }

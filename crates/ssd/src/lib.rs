@@ -57,4 +57,4 @@ pub use flash::{DieAddress, FlashArray, FlashGeometry};
 pub use ftl::{Ftl, FtlConfig, FtlStats, GcEvent};
 pub use nvme::{NvmeCommand, NvmeOpcode};
 pub use smart::{SmartEngine, SmartLog};
-pub use spec::{SsdSpec, SsdTiming};
+pub use spec::{DeviceProfile, SsdSpec, SsdTiming};

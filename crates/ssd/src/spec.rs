@@ -41,6 +41,60 @@ pub struct SsdSpec {
     pub logical_share_percent: u32,
 }
 
+/// Which device class backs each SSD in the array.
+///
+/// The profile is an explicit experiment axis: the paper's evaluation
+/// runs one Table-I device, but ROADMAP item 3 asks where each tuning
+/// stage stops mattering as the device gets faster, which needs a
+/// second, much faster class to sweep against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DeviceProfile {
+    /// The paper's Table I 25 µs M.2 NVMe device.
+    #[default]
+    Table1,
+    /// A ~9 µs Z-NAND/Optane-class ultra-low-latency device with a
+    /// queue-depth-dependent service curve and per-CPU SQ/CQ pairs.
+    UltraLowLatency,
+}
+
+impl DeviceProfile {
+    /// The full data-sheet spec for this class.
+    pub fn spec(self) -> SsdSpec {
+        match self {
+            DeviceProfile::Table1 => SsdSpec::table1(),
+            DeviceProfile::UltraLowLatency => SsdSpec::ull(),
+        }
+    }
+
+    /// The internal timing model for this class (cheap: no allocation).
+    pub fn timing(self) -> SsdTiming {
+        match self {
+            DeviceProfile::Table1 => SsdTiming::table1(),
+            DeviceProfile::UltraLowLatency => SsdTiming::ull(),
+        }
+    }
+
+    /// Short label for tables and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceProfile::Table1 => "table1",
+            DeviceProfile::UltraLowLatency => "ull",
+        }
+    }
+
+    /// Whether the host driver models per-CPU NVMe SQ/CQ pairs for
+    /// this class (modern multi-queue drivers) instead of the single
+    /// shared-doorbell submission path the Table-I era used.
+    pub fn per_cpu_queue_pairs(self) -> bool {
+        matches!(self, DeviceProfile::UltraLowLatency)
+    }
+
+    /// Nominal unloaded 4 KiB read latency of this class.
+    pub fn nominal_read_latency(self) -> SimDuration {
+        self.timing().nominal_read_latency()
+    }
+}
+
 impl SsdSpec {
     /// The paper's Table I device: a 960 GB M.2 NVMe SSD
     /// (NVMe 1.2, PCIe 3.0 x4, 160 K/30 K IOPS, 1700/750 MB/s,
@@ -56,6 +110,26 @@ impl SsdSpec {
             nand_type: "3D MLC NAND".to_owned(),
             geometry: FlashGeometry::m2_960gb(),
             timing: SsdTiming::table1(),
+            logical_share_percent: 93,
+        }
+    }
+
+    /// An ultra-low-latency Z-NAND/Optane-class device (the "Faster
+    /// than Flash" study's ~10 µs class): same array geometry, much
+    /// faster media and firmware, and a queue-depth-dependent service
+    /// curve because the fast media exposes little internal
+    /// parallelism to hide queueing behind.
+    pub fn ull() -> Self {
+        SsdSpec {
+            capacity_gb: 960,
+            interface: "NVMe 1.3 - PCIe 3.0 x4".to_owned(),
+            random_read_iops: 550_000,
+            random_write_iops: 200_000,
+            seq_read_mbps: 2_200,
+            seq_write_mbps: 2_000,
+            nand_type: "Z-NAND (SLC-mode ULL)".to_owned(),
+            geometry: FlashGeometry::m2_960gb(),
+            timing: SsdTiming::ull(),
             logical_share_percent: 93,
         }
     }
@@ -127,6 +201,11 @@ pub struct SsdTiming {
     pub admin_service: SimDuration,
     /// NVMe Format execution time.
     pub format_time: SimDuration,
+    /// Extra read service per already-outstanding read — the
+    /// queue-depth-dependent service curve of ULL media ("Multi-Queue
+    /// SSD I/O Modeling"). Zero for the Table I device, whose deep
+    /// internal parallelism hides this slope entirely.
+    pub qd_service_slope: SimDuration,
 }
 
 impl SsdTiming {
@@ -157,6 +236,35 @@ impl SsdTiming {
             read_retry_max: SimDuration::micros(60),
             admin_service: SimDuration::micros(80),
             format_time: SimDuration::millis(500),
+            qd_service_slope: SimDuration::ZERO,
+        }
+    }
+
+    /// Timing for the ULL class: every pipeline stage shrinks (Z-NAND
+    /// tR ≈ 3 µs against 3D MLC's 14 µs, leaner firmware, faster
+    /// channel), giving a nominal QD1 read of ≈ 9 µs, and a non-zero
+    /// [`SsdTiming::qd_service_slope`] stands in for the media's lack
+    /// of queueing headroom.
+    pub fn ull() -> Self {
+        SsdTiming {
+            fw_in: SimDuration::nanos(1_500),
+            fw_out: SimDuration::nanos(1_000),
+            read_cmd_gap: SimDuration::nanos(1_800),
+            write_cmd_gap: SimDuration::nanos(5_000),
+            flash_read: SimDuration::nanos(3_000),
+            flash_program: SimDuration::micros(100),
+            flash_erase: SimDuration::millis(1),
+            channel_xfer_4k: SimDuration::nanos(1_500),
+            dma_read_mbps: 2_200,
+            dma_write_mbps: 2_000,
+            buffer_insert: SimDuration::micros(2),
+            buffer_bytes: 256 * 1024 * 1024,
+            read_retry_prob_ppm: 1,
+            read_retry_min: SimDuration::micros(10),
+            read_retry_max: SimDuration::micros(30),
+            admin_service: SimDuration::micros(80),
+            format_time: SimDuration::millis(500),
+            qd_service_slope: SimDuration::nanos(600),
         }
     }
 
@@ -215,5 +323,30 @@ mod tests {
         let s = SsdSpec::scaled_down(64);
         assert!(s.geometry.total_pages() < SsdSpec::table1().geometry.total_pages());
         assert_eq!(s.timing, SsdSpec::table1().timing);
+    }
+
+    #[test]
+    fn ull_nominal_read_latency_is_about_9us() {
+        let us = SsdTiming::ull().nominal_read_latency().as_micros_f64();
+        assert!((8.0..12.0).contains(&us), "ULL nominal latency {us} us");
+    }
+
+    #[test]
+    fn profiles_resolve_to_their_specs() {
+        assert_eq!(DeviceProfile::default(), DeviceProfile::Table1);
+        assert_eq!(DeviceProfile::Table1.spec(), SsdSpec::table1());
+        assert_eq!(DeviceProfile::UltraLowLatency.spec(), SsdSpec::ull());
+        assert_eq!(DeviceProfile::Table1.timing(), SsdTiming::table1());
+        assert_eq!(DeviceProfile::UltraLowLatency.timing(), SsdTiming::ull());
+        assert_eq!(DeviceProfile::Table1.label(), "table1");
+        assert_eq!(DeviceProfile::UltraLowLatency.label(), "ull");
+        assert!(!DeviceProfile::Table1.per_cpu_queue_pairs());
+        assert!(DeviceProfile::UltraLowLatency.per_cpu_queue_pairs());
+    }
+
+    #[test]
+    fn table1_has_no_qd_slope_and_ull_does() {
+        assert!(SsdTiming::table1().qd_service_slope.is_zero());
+        assert!(!SsdTiming::ull().qd_service_slope.is_zero());
     }
 }

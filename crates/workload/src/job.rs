@@ -32,6 +32,10 @@ pub enum IoEngine {
     /// Busy-poll the completion queue: no interrupt, no wake-up — the
     /// §V "poll instead of interrupt" alternative. Costs CPU.
     Polling,
+    /// io_uring-style hybrid poll: sleep for a fraction of the
+    /// device's nominal latency, then spin. Keeps most of polling's
+    /// latency win while giving back most of its CPU cost.
+    HybridPoll,
 }
 
 /// One fio job: what to run against one device.

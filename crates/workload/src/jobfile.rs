@@ -119,6 +119,7 @@ impl Section {
                     "libaio" => IoEngine::Libaio,
                     "sync" | "psync" => IoEngine::Sync,
                     "io_uring_poll" | "pvsync2_hipri" | "polling" => IoEngine::Polling,
+                    "io_uring_hybrid" | "hybrid" => IoEngine::HybridPoll,
                     other => return Err(err(line, format!("unknown ioengine '{other}'"))),
                 });
             }
@@ -419,5 +420,14 @@ write_lat_log=x
         let jobs =
             parse_jobfile("[j]\nfilename=/dev/nvme0\nioengine=pvsync2_hipri\n").expect("parse");
         assert_eq!(jobs[0].engine(), IoEngine::Polling);
+    }
+
+    #[test]
+    fn hybrid_engine_aliases() {
+        for alias in ["io_uring_hybrid", "hybrid"] {
+            let text = format!("[j]\nfilename=/dev/nvme0\nioengine={alias}\n");
+            let jobs = parse_jobfile(&text).expect("parse");
+            assert_eq!(jobs[0].engine(), IoEngine::HybridPoll);
+        }
     }
 }

@@ -145,9 +145,9 @@ fn timing_wheel_matches_reference_heap() {
 /// views of one [`afa::core::io_path::IoLedger`] instead of three
 /// separately-maintained instrumentation paths.
 ///
-/// Interrupt-driven engines only: a polling reap overlaps the device
-/// service window it spins through, so its CPU-work credit
-/// intentionally double-counts against wall-clock latency.
+/// This case pins the default interrupt-driven engine; the sweep
+/// across completion models (busy-poll, hybrid poll) and device
+/// profiles lives in [`ledger_tiles_latency_for_every_completion_model`].
 #[test]
 fn ledger_sums_to_completion_latency() {
     run_cases("ledger_sums_to_completion_latency", 12, |g| {
@@ -179,6 +179,70 @@ fn ledger_sums_to_completion_latency() {
                 io.device,
                 io.issued_at,
             );
+        }
+    });
+}
+
+/// The ledger's conservation law is completion-model independent: for
+/// any engine (interrupt, busy-poll, hybrid poll), device profile,
+/// tuning stage, seed and device count, every completed I/O's
+/// per-cause credits still sum exactly to the measured latency. A
+/// polled reap credits only the slices no accrued cause covers — the
+/// residual hybrid sleep as `poll_sleep`, the post-arrival reap as
+/// `cpu_work` — so the spin window never double-books against the
+/// device service it overlaps. And because no MSI-X vector fires on a
+/// polled completion, the `IrqHandled` blktrace stamp stays unset.
+#[test]
+fn ledger_tiles_latency_for_every_completion_model() {
+    use afa::core::blktrace::IoStage;
+    use afa::ssd::DeviceProfile;
+    use afa::workload::IoEngine;
+    run_cases("ledger_tiles_latency_for_every_completion_model", 12, |g| {
+        let engine = [IoEngine::Libaio, IoEngine::Polling, IoEngine::HybridPoll][g.usize_in(0, 2)];
+        let profile = [DeviceProfile::Table1, DeviceProfile::UltraLowLatency][g.usize_in(0, 1)];
+        let stage = [
+            TuningStage::Default,
+            TuningStage::Chrt,
+            TuningStage::Isolcpus,
+            TuningStage::IrqAffinity,
+            TuningStage::ExperimentalFirmware,
+        ][g.usize_in(0, 4)];
+        let seed = g.u64_in(0, 10_000);
+        let ssds = g.usize_in(1, 4);
+        let result = AfaSystem::run(
+            &AfaConfig::paper(stage)
+                .with_ssds(ssds)
+                .with_engine(engine)
+                .with_device_profile(profile)
+                .with_runtime(SimDuration::millis(40))
+                .with_seed(seed)
+                .with_ledger_log(512),
+        );
+        let log = result.ledgers.expect("ledger log enabled");
+        assert!(!log.entries().is_empty());
+        for io in log.entries() {
+            let ledger = &io.ledger;
+            assert_eq!(
+                ledger.total() - ledger.pre_issue(),
+                io.latency(),
+                "{engine:?} on {profile:?}, device {}: per-cause sums \
+                 drifted from the measured latency",
+                io.device,
+            );
+            if engine != IoEngine::Libaio {
+                assert_eq!(
+                    ledger.stamp_at(IoStage::IrqHandled),
+                    SimTime::ZERO,
+                    "{engine:?}: polled completion recorded an IRQ stamp",
+                );
+            }
+        }
+        // The run-wide reap counters agree with the model: interrupt
+        // reaps only under libaio, polled reaps only otherwise.
+        let reaps = result.completions;
+        match engine {
+            IoEngine::Libaio => assert_eq!(reaps.polls, 0),
+            _ => assert_eq!(reaps.interrupts, 0),
         }
     });
 }
