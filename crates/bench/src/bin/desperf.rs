@@ -9,7 +9,10 @@
 //! tailscale-fanout sweep (0.5 s × 16 SSDs, seed 42), the
 //! fleet-arrival tenant ladder (1 s × 8 SSDs, seed 42 — the
 //! million-tenant rung plus its peak slab footprint, the serving
-//! path's RSS proxy), and the ull-crossover completion-model grid
+//! path's RSS proxy), the fleet-failover replicated-fleet grid
+//! (0.25 s × 8 SSDs, seed 42 — 5 kill/failover runs, so the network
+//! hop and re-replication paths stay in the trajectory), and the
+//! ull-crossover completion-model grid
 //! (0.25 s × 8 SSDs, seed 42 — 30 runs spanning both device profiles
 //! and all three completion models, so the polled reap path stays in
 //! the trajectory), each with its
@@ -32,9 +35,9 @@
 //! if events/sec fell more than 10% below the most recent committed
 //! entry (nothing is appended). It also re-measures the fleet ladder
 //! and gates both its events/sec (90% floor) and its peak slab bytes
-//! (110% ceiling), and the ull-crossover grid's events/sec (90%
-//! floor), each skipping gracefully when the committed trajectory
-//! predates its keys. On hosts with enough cores it also
+//! (110% ceiling), plus the fleet-failover grid's and the
+//! ull-crossover grid's events/sec (90% floors), each skipping
+//! gracefully when the committed trajectory predates its keys. On hosts with enough cores it also
 //! gates the threads-scaling table: threads must *pay* — a 2- or
 //! 4-thread run slower than 95% of the sequential run fails the gate
 //! (on smaller hosts the partition planner fuses everything into the
@@ -129,6 +132,41 @@ fn ull_scale() -> ExperimentScale {
     ExperimentScale::new(SimDuration::from_secs_f64(0.25), 8, 42)
 }
 
+/// The pinned replicated-fleet scale: the 5-stage fleet-failover grid
+/// (kill one array at t=50%, failover + re-replication) at 2 s sim
+/// time, so each pass does enough network-hop and failover work for a
+/// stable events/sec on a noisy shared host. Same comparability rule
+/// as [`trajectory_scale`].
+fn fleet_failover_scale() -> ExperimentScale {
+    ExperimentScale::new(SimDuration::from_secs_f64(2.0), 8, 42)
+}
+
+/// Runs the pinned fleet-failover grid; returns best-of-3 events/sec.
+/// Three passes for the same reason as [`run_fleet_ladder`]: short
+/// runs amplify per-run scheduler noise on a shared host.
+fn run_fleet_failover() -> f64 {
+    let def = experiment::find("fleet-failover").expect("fleet-failover registered");
+    let scale = fleet_failover_scale();
+    println!(
+        "fleet-failover grid at {:.2}s x {} SSDs, seed {} ...",
+        scale.runtime.as_secs_f64(),
+        scale.ssds,
+        scale.seed
+    );
+    let mut events_per_sec = 0.0f64;
+    for _ in 0..3 {
+        let events_before = afa_sim::metrics::events_processed_total();
+        let t0 = Instant::now();
+        let result = def.run(scale);
+        let wall = t0.elapsed().as_secs_f64();
+        let events = afa_sim::metrics::events_processed_total() - events_before;
+        events_per_sec = events_per_sec.max(events as f64 / wall.max(1e-9));
+        std::hint::black_box(result.samples());
+    }
+    println!("fleet-failover: best of 3 passes, {events_per_sec:.0} events/sec");
+    events_per_sec
+}
+
 /// Runs the pinned ull-crossover grid; returns best-of-2 events/sec.
 /// Two passes because the grid's 30 short runs amplify per-run
 /// scheduler noise on a shared host.
@@ -194,6 +232,7 @@ fn main() {
         check_threads_scaling(measured);
         let existing = std::fs::read_to_string(path).unwrap_or_default();
         check_fleet(&existing);
+        check_fleet_failover(&existing);
         check_ull(&existing);
         return;
     }
@@ -281,6 +320,9 @@ fn main() {
     let (fleet_eps, fleet_slab_bytes, fleet_rate_ratio) = run_fleet_ladder();
 
     println!();
+    let fleet_failover_eps = run_fleet_failover();
+
+    println!();
     let ull_eps = run_ull_crossover();
 
     let entry = Json::obj([
@@ -314,6 +356,10 @@ fn main() {
         ("fleet_events_per_sec", Json::f64(fleet_eps)),
         ("fleet_slab_peak_bytes", Json::u64(fleet_slab_bytes)),
         ("fleet_rate_ratio_1m_vs_10k", Json::f64(fleet_rate_ratio)),
+        (
+            "fleet_failover_events_per_sec",
+            Json::f64(fleet_failover_eps),
+        ),
         ("ull_crossover_events_per_sec", Json::f64(ull_eps)),
     ]);
 
@@ -433,6 +479,33 @@ fn check_fleet(existing: &str) {
          ({:+.1}% vs baseline)",
         100.0 * (eps / base_eps - 1.0),
         100.0 * (slab_bytes as f64 / base_bytes - 1.0)
+    );
+}
+
+/// The replicated-fleet gate: the fleet-failover grid's events/sec
+/// must hold 90% of the last committed measurement — it is the only
+/// throughput coverage for the network-hop, failover and
+/// re-replication paths. Skipped with a note when the trajectory
+/// predates the key.
+fn check_fleet_failover(existing: &str) {
+    let Some(base_eps) = last_f64_key(existing, "\"fleet_failover_events_per_sec\":") else {
+        println!(
+            "fleet-failover gate: skipped (no fleet-failover key in the committed trajectory yet)"
+        );
+        return;
+    };
+    let eps = run_fleet_failover();
+    let floor = 0.9 * base_eps;
+    if eps < floor {
+        eprintln!(
+            "fleet-failover regression: {eps:.0} events/sec is more than 10% below the \
+             committed baseline {base_eps:.0} (floor {floor:.0})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "fleet-failover OK: {eps:.0} events/sec ({:+.1}% vs baseline)",
+        100.0 * (eps / base_eps - 1.0)
     );
 }
 

@@ -13,6 +13,7 @@ mod ablations;
 mod characterize;
 mod figures;
 mod fleet;
+mod fleet_failover;
 mod frontend;
 mod futurework;
 mod iotrace;
@@ -37,6 +38,10 @@ pub use figures::{
     run_stage, Fig10Scatter, Fig12Comparison, Fig13Results, Fig14Result, FigureDistributions,
 };
 pub use fleet::{fleet_arrival, FleetArrivalResult, FleetCell};
+pub use fleet_failover::{
+    fleet_failover, fleet_failover_probe, fleet_replication, FailoverCell, FleetFailoverResult,
+    FleetProbeOutcome, FleetReplicationResult, ReplicationCell,
+};
 pub use frontend::{
     tailscale_fanout, tailscale_hedge, FrontendServeResult, ServeCell, TenantReport,
 };

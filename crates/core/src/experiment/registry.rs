@@ -23,7 +23,7 @@
 use std::time::Duration;
 use std::time::Instant;
 
-use afa_sim::metrics::{CompletionCounters, FrontendCounters};
+use afa_sim::metrics::{CompletionCounters, FleetCounters, FrontendCounters};
 use afa_sim::trace::{Cause, CauseBudget};
 use afa_sim::SimDuration;
 use afa_stats::Json;
@@ -107,7 +107,7 @@ impl Experiment for ExperimentDef {
     }
 }
 
-static REGISTRY: [ExperimentDef; 31] = [
+static REGISTRY: [ExperimentDef; 33] = [
     ExperimentDef {
         name: "fig06",
         description: "Fig. 6: per-SSD latency distributions, default configuration",
@@ -281,6 +281,21 @@ static REGISTRY: [ExperimentDef; 31] = [
         runner: |s| Box::new(experiment::fleet_arrival(s)),
     },
     ExperimentDef {
+        name: "fleet-failover",
+        description:
+            "Replicated fleet: kill one array at t=50%, failover + re-replication, per stage",
+        stage: None,
+        parallel: false,
+        runner: |s| Box::new(experiment::fleet_failover(s)),
+    },
+    ExperimentDef {
+        name: "fleet-replication",
+        description: "Replicated fleet: R x read-policy grid, write tax vs hedged-read tail win",
+        stage: Some(TuningStage::IrqAffinity),
+        parallel: false,
+        runner: |s| Box::new(experiment::fleet_replication(s)),
+    },
+    ExperimentDef {
         name: "saturation",
         description: "Uplink saturation: sequential vs. QD1 random throughput",
         stage: Some(TuningStage::IrqAffinity),
@@ -384,6 +399,12 @@ pub struct RunManifest {
     /// reaps via MSI-X, so keying on plain interrupt counts would
     /// rewrite them all.
     pub completion: CompletionCounters,
+    /// Fleet-layer fault counters flushed while the experiment ran
+    /// (delta of the process-wide [`afa_sim::metrics`] totals).
+    /// All-zero for every non-fleet experiment — and then omitted
+    /// from the JSON artifact, so pre-fleet goldens stay
+    /// byte-identical.
+    pub fleet: FleetCounters,
     /// Per-cause latency budget from the attribution probe.
     pub budget: CauseBudget,
     /// Scale the attribution probe ran at (reduced from `scale` to
@@ -428,10 +449,19 @@ impl RunManifest {
             ));
             if self.frontend.slab_peak_live > 0 || self.frontend.sketch_merges > 0 {
                 out.push_str(&format!(
-                    "fleet   : {} peak live slab slots, {} sketch merges\n",
+                    "serving : {} peak live slab slots, {} sketch merges\n",
                     self.frontend.slab_peak_live, self.frontend.sketch_merges
                 ));
             }
+        }
+        if self.fleet.any() {
+            out.push_str(&format!(
+                "fleet   : {} arrays failed, {} failovers, {} retries, {} re-replication I/Os\n",
+                self.fleet.arrays_failed,
+                self.fleet.failovers,
+                self.fleet.retries,
+                self.fleet.rereplication_ios
+            ));
         }
         if self.completion.any() {
             out.push_str(&format!(
@@ -499,6 +529,19 @@ impl RunManifest {
                 cm.push("hybrid_sleeps", Json::u64(self.completion.hybrid_sleeps));
             }
             doc.push("completion", cm);
+        }
+        // Only fleet experiments move these counters; everything else
+        // keeps its pre-fleet artifact bytes.
+        if self.fleet.any() {
+            doc.push(
+                "fleet",
+                Json::obj([
+                    ("arrays_failed", Json::u64(self.fleet.arrays_failed)),
+                    ("failovers", Json::u64(self.fleet.failovers)),
+                    ("retries", Json::u64(self.fleet.retries)),
+                    ("rereplication_ios", Json::u64(self.fleet.rereplication_ios)),
+                ]),
+            );
         }
         doc
     }
@@ -589,6 +632,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
     let clamped_before = afa_sim::metrics::clamped_past_total();
     let frontend_before = afa_sim::metrics::frontend_totals();
     let completion_before = afa_sim::metrics::completion_totals();
+    let fleet_before = afa_sim::metrics::fleet_totals();
     let t0 = Instant::now();
     // Experiments that drive their own single-world event loops must
     // not observe AFA_THREADS; the guard pins every AfaSystem::run in
@@ -630,6 +674,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
     // which is fine for a tripwire.
     let clamped_past_schedules = afa_sim::metrics::clamped_past_total() - clamped_before;
     let frontend = afa_sim::metrics::frontend_totals().since(&frontend_before);
+    let fleet = afa_sim::metrics::fleet_totals().since(&fleet_before);
 
     let samples = result.samples();
     ExperimentRun {
@@ -644,6 +689,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
             clamped_past_schedules,
             frontend,
             completion,
+            fleet,
             budget,
             probe_scale,
             probe_stage,
@@ -742,6 +788,37 @@ mod tests {
             "{rendered}"
         );
         assert!(run.manifest.to_table().contains("frontend: "));
+    }
+
+    #[test]
+    fn fleet_counters_reach_the_manifest_only_for_fleet_runs() {
+        let def = find("fleet-failover").expect("fleet-failover registered");
+        let run = run_experiment(def, ExperimentScale::new(SimDuration::millis(60), 6, 11));
+        assert!(
+            run.manifest.fleet.any(),
+            "fleet layer must flush fault counters"
+        );
+        assert_eq!(
+            run.manifest.fleet.arrays_failed,
+            TuningStage::ALL.len() as u64,
+            "one kill per stage cell"
+        );
+        let rendered = run.manifest.to_json().to_string();
+        assert!(
+            rendered.contains("\"fleet\":{\"arrays_failed\":"),
+            "{rendered}"
+        );
+        assert!(run.manifest.to_table().contains("fleet   : "));
+        // Secondary-array work is stitched into the completion totals
+        // even though the manifest omits the interrupt-only key.
+        assert!(run.manifest.completion.interrupts > 0);
+
+        // A non-fleet experiment must not grow the key.
+        let fig = find("fig06").expect("fig06 registered");
+        let fig_run = run_experiment(fig, ExperimentScale::quick());
+        assert!(!fig_run.manifest.fleet.any());
+        let fig_json = fig_run.manifest.to_json().to_string();
+        assert!(!fig_json.contains("\"fleet\""), "{fig_json}");
     }
 
     #[test]

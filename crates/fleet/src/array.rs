@@ -1,0 +1,272 @@
+//! One array's serving stack, composable N-up under a single clock.
+//!
+//! An [`ArrayInstance`] owns the existing single-array substrate — a
+//! [`HostModel`], a [`PcieFabric`] and a row of [`SsdDevice`]s — and
+//! exposes the I/O path as *stage methods* invoked at event times, so
+//! a fleet world can interleave N arrays' events on one DES clock
+//! instead of running N sequential simulations and stitching clocks
+//! afterwards. Each stage returns the timestamps the caller needs to
+//! schedule the next event and to charge the per-request ledger.
+
+use afa_host::{CpuId, HostModel, SchedPolicy};
+use afa_pcie::PcieFabric;
+use afa_sim::{SimDuration, SimTime};
+use afa_ssd::{NvmeCommand, SsdDevice};
+
+use crate::failover::ArrayHealth;
+
+/// Timestamps out of [`ArrayInstance::ingest`]: the array-side CPU
+/// submit, the fabric delivery, and the device completion.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestTimes {
+    /// When the array CPU finished the submission path.
+    pub submit_end: SimTime,
+    /// When the command reached the device through the PCIe fabric.
+    pub at_device: SimTime,
+    /// When the device will complete the command.
+    pub dev_done: SimTime,
+}
+
+/// Timestamps out of [`ArrayInstance::reap`]: IRQ, wakeup, and the
+/// completion-path CPU charge.
+#[derive(Clone, Copy, Debug)]
+pub struct ReapTimes {
+    /// When the IRQ handler finished and the reaper could be woken.
+    pub wake_ready: SimTime,
+    /// When the reaping task actually got on CPU.
+    pub run_start: SimTime,
+    /// When the completion path finished executing.
+    pub reap_end: SimTime,
+}
+
+/// One array: host + fabric + SSDs + liveness, driven by stage calls.
+#[derive(Debug)]
+pub struct ArrayInstance {
+    host: HostModel,
+    fabric: PcieFabric,
+    devices: Vec<SsdDevice>,
+    /// The designated I/O CPU per device slot.
+    cpus: Vec<CpuId>,
+    health: ArrayHealth,
+    completions: u64,
+}
+
+impl ArrayInstance {
+    /// Assembles an array from its substrate parts. `cpus[d]` is the
+    /// CPU that submits to and reaps device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cpus` and `devices` have equal length.
+    pub fn new(
+        host: HostModel,
+        fabric: PcieFabric,
+        devices: Vec<SsdDevice>,
+        cpus: Vec<CpuId>,
+    ) -> Self {
+        assert_eq!(
+            devices.len(),
+            cpus.len(),
+            "one designated CPU per device slot"
+        );
+        ArrayInstance {
+            host,
+            fabric,
+            devices,
+            cpus,
+            health: ArrayHealth::Healthy,
+            completions: 0,
+        }
+    }
+
+    /// Current liveness.
+    pub fn health(&self) -> ArrayHealth {
+        self.health
+    }
+
+    /// Whether the array accepts new I/O.
+    pub fn is_alive(&self) -> bool {
+        self.health.is_alive()
+    }
+
+    /// Kills the array: no new ingests, in-flight I/O is lost (the
+    /// fleet's failover sweep re-issues it elsewhere).
+    pub fn kill(&mut self) {
+        self.health = ArrayHealth::Failed;
+    }
+
+    /// Degrades the array: it keeps serving but every ingest pays
+    /// `extra` before touching the CPU.
+    pub fn degrade(&mut self, extra: SimDuration) {
+        self.health = ArrayHealth::Degraded(extra);
+    }
+
+    /// Device slots on this array.
+    pub fn width(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Runs the array-side submission path for `cmd` against device
+    /// `device`, starting when the RPC lands at `at`: CPU submit
+    /// charge, fabric hop, device service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is dead — the fleet must route around a
+    /// [`ArrayHealth::Failed`] array, so an ingest reaching one is a
+    /// routing bug, not a runtime condition.
+    pub fn ingest(
+        &mut self,
+        at: SimTime,
+        device: usize,
+        cmd: NvmeCommand,
+        submit_cost: SimDuration,
+    ) -> IngestTimes {
+        assert!(self.is_alive(), "ingest on a failed array");
+        let start = at + self.health.ingest_penalty();
+        let submit_end = self.host.charge_cpu(self.cpus[device], start, submit_cost);
+        let at_device = self.fabric.submit_command(device, submit_end);
+        let dev_done = self.devices[device].submit(at_device, cmd).completes_at;
+        IngestTimes {
+            submit_end,
+            at_device,
+            dev_done,
+        }
+    }
+
+    /// Carries device `device`'s completion of `bytes` back through
+    /// the PCIe fabric; returns when it reaches the array host.
+    pub fn completion_to_host(&mut self, device: usize, dev_done: SimTime, bytes: u64) -> SimTime {
+        self.fabric.deliver_completion(device, dev_done, bytes)
+    }
+
+    /// Runs the array-side completion path: IRQ delivery, reaper
+    /// wakeup under `policy`, and the completion CPU charge. Counts
+    /// one completion against this array.
+    pub fn reap(
+        &mut self,
+        device: usize,
+        at_host: SimTime,
+        policy: SchedPolicy,
+        reap_cost: SimDuration,
+    ) -> ReapTimes {
+        let cpu = self.cpus[device];
+        let irq = self.host.deliver_irq(device, at_host);
+        let (run_start, _) = self.host.wake_io_task(cpu, irq.wake_ready, policy);
+        let reap_end = self.host.charge_cpu(cpu, run_start, reap_cost);
+        self.completions += 1;
+        ReapTimes {
+            wake_ready: irq.wake_ready,
+            run_start,
+            reap_end,
+        }
+    }
+
+    /// Completions reaped on this array (primaries and secondaries
+    /// alike — this is what the stitched manifest sums so secondary
+    /// arrays' work is visible).
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Spawns one background burst on the array host at `now`.
+    pub fn spawn_background(&mut self, now: SimTime) {
+        self.host.spawn_background(now);
+    }
+
+    /// When the array host's next background burst arrives.
+    pub fn next_background_arrival(&mut self, now: SimTime) -> SimTime {
+        self.host.next_background_arrival(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use afa_host::{BackgroundConfig, CpuTopology, KernelConfig};
+    use afa_ssd::{FirmwareProfile, SsdSpec};
+
+    use super::*;
+
+    fn tiny_array(seed: u64) -> ArrayInstance {
+        let topo = CpuTopology::xeon_e5_2690_v2_dual();
+        let cpus = vec![CpuId(0), CpuId(1)];
+        let mut host = HostModel::new(
+            topo,
+            KernelConfig::stock(),
+            BackgroundConfig::centos7_desktop(),
+            seed,
+        );
+        host.init_vectors(cpus.clone(), seed);
+        let devices = (0..2)
+            .map(|d| SsdDevice::new(SsdSpec::table1(), FirmwareProfile::production(), seed ^ d))
+            .collect();
+        ArrayInstance::new(host, PcieFabric::paper_single_host(2), devices, cpus)
+    }
+
+    #[test]
+    fn io_path_timestamps_are_monotone() {
+        let mut array = tiny_array(11);
+        let t0 = SimTime::from_nanos(1_000);
+        let ingest = array.ingest(
+            t0,
+            0,
+            NvmeCommand::read(64, 4096),
+            SimDuration::nanos(1_500),
+        );
+        assert!(ingest.submit_end > t0);
+        assert!(ingest.at_device > ingest.submit_end);
+        assert!(ingest.dev_done > ingest.at_device);
+        let at_host = array.completion_to_host(0, ingest.dev_done, 4096);
+        assert!(at_host > ingest.dev_done);
+        let reap = array.reap(
+            0,
+            at_host,
+            SchedPolicy::default_fair(),
+            SimDuration::nanos(1_300),
+        );
+        assert!(reap.wake_ready >= at_host);
+        assert!(reap.run_start >= reap.wake_ready);
+        assert!(reap.reap_end > reap.run_start);
+        assert_eq!(array.completions(), 1);
+    }
+
+    #[test]
+    fn degraded_arrays_pay_the_penalty_on_ingest() {
+        let mut healthy = tiny_array(42);
+        let mut degraded = tiny_array(42);
+        degraded.degrade(SimDuration::micros(200));
+        let t0 = SimTime::from_nanos(5_000);
+        let cmd = NvmeCommand::read(0, 4096);
+        let a = healthy.ingest(t0, 1, cmd, SimDuration::nanos(1_500));
+        let b = degraded.ingest(t0, 1, cmd, SimDuration::nanos(1_500));
+        let delta = b.submit_end.saturating_since(a.submit_end);
+        assert!(
+            delta >= SimDuration::micros(200),
+            "degraded ingest starts late: {delta:?}"
+        );
+        assert!(degraded.is_alive(), "degraded still serves");
+    }
+
+    #[test]
+    #[should_panic(expected = "ingest on a failed array")]
+    fn dead_arrays_refuse_ingest() {
+        let mut array = tiny_array(7);
+        array.kill();
+        assert!(!array.is_alive());
+        array.ingest(
+            SimTime::ZERO,
+            0,
+            NvmeCommand::read(0, 4096),
+            SimDuration::nanos(1_500),
+        );
+    }
+
+    #[test]
+    fn background_arrivals_advance() {
+        let mut array = tiny_array(3);
+        let t0 = SimTime::from_nanos(10_000);
+        let next = array.next_background_arrival(t0);
+        assert!(next > t0);
+        array.spawn_background(t0);
+    }
+}

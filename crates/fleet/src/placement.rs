@@ -1,0 +1,142 @@
+//! Deterministic rendezvous-hash placement of volumes onto arrays.
+//!
+//! Rendezvous (highest-random-weight) hashing scores every (volume,
+//! array) pair independently and places the volume on the R
+//! highest-scoring *alive* arrays. Two properties make it the right
+//! placer for a failover experiment:
+//!
+//! 1. **Purity** — the placement is a pure function of the volume id
+//!    and the alive set. No coordinator state, no migration log: every
+//!    frontend computes the same answer, before and after a kill.
+//! 2. **Minimal motion** — removing one array only moves the
+//!    placements that actually lived on it (expected 1/N of the
+//!    primaries); every other volume's replica set is untouched,
+//!    because other arrays' scores never changed.
+
+use afa_sim::rng::splitmix64;
+
+/// How reads exploit an R-way replica set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Always read the primary (rank-0) replica; secondaries serve
+    /// only failover. Cheapest, inherits the primary's full tail.
+    Primary,
+    /// Read the primary, but hedge a straggler onto the rank-1
+    /// secondary after the hedge-policy delay (Dean & Barroso applied
+    /// across arrays instead of across devices).
+    HedgedSecondary,
+    /// Spread reads across all R replicas round-robin per request —
+    /// halves per-array load at R=2 but samples every replica's tail.
+    ReadAny,
+}
+
+impl ReadPolicy {
+    /// Stable lowercase label for artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadPolicy::Primary => "primary",
+            ReadPolicy::HedgedSecondary => "hedged-secondary",
+            ReadPolicy::ReadAny => "read-any",
+        }
+    }
+}
+
+/// The rendezvous score of (volume, array): a pure splitmix64 mix of
+/// the pair, independent across arrays.
+pub fn rendezvous_score(volume: u64, array: u64) -> u64 {
+    let mut state = volume
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_add(array.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    splitmix64(&mut state)
+}
+
+/// Places `volume` on the `r` highest-scoring arrays of `alive`
+/// (all of them if `r >= alive.len()`), primary first. Ties break
+/// toward the lower array id, so the order is total and the result is
+/// a pure function of `(volume, alive, r)` regardless of `alive`'s
+/// own ordering.
+///
+/// # Panics
+///
+/// Panics if `r == 0` — a volume placed nowhere is a config bug.
+pub fn place_among(volume: u64, alive: &[usize], r: usize) -> Vec<usize> {
+    assert!(r > 0, "replication factor must be at least 1");
+    let mut scored: Vec<(u64, usize)> = alive
+        .iter()
+        .map(|&a| (rendezvous_score(volume, a as u64), a))
+        .collect();
+    // Highest score first; ties toward the lower id.
+    scored.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+    scored.truncate(r);
+    scored.into_iter().map(|(_, a)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_pure_and_order_insensitive() {
+        let a = place_among(99, &[0, 1, 2, 3, 4], 3);
+        let b = place_among(99, &[4, 2, 0, 3, 1], 3);
+        assert_eq!(a, b, "alive-set ordering is irrelevant");
+        assert_eq!(a, place_among(99, &[0, 1, 2, 3, 4], 3));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn removal_moves_only_the_dead_arrays_placements() {
+        let alive: Vec<usize> = (0..6).collect();
+        let survivors: Vec<usize> = alive.iter().copied().filter(|&a| a != 2).collect();
+        for volume in 0..500u64 {
+            let before = place_among(volume, &alive, 2);
+            let after = place_among(volume, &survivors, 2);
+            if !before.contains(&2) {
+                assert_eq!(before, after, "volume {volume} moved without cause");
+            } else {
+                // Survivors keep their rank; one new member fills in.
+                for &kept in before.iter().filter(|&&a| a != 2) {
+                    assert!(after.contains(&kept), "volume {volume} dropped {kept}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primaries_spread_across_the_fleet() {
+        let alive: Vec<usize> = (0..4).collect();
+        let mut per_array = [0usize; 4];
+        let volumes = 2_000u64;
+        for volume in 0..volumes {
+            per_array[place_among(volume, &alive, 2)[0]] += 1;
+        }
+        let expected = volumes as usize / alive.len();
+        for (array, &count) in per_array.iter().enumerate() {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "array {array} holds {count} primaries, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn r_clamps_to_the_alive_set() {
+        let placement = place_among(5, &[7, 9], 3);
+        assert_eq!(placement.len(), 2);
+        assert!(placement.contains(&7) && placement.contains(&9));
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_panics() {
+        place_among(1, &[0], 0);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(ReadPolicy::Primary.label(), "primary");
+        assert_eq!(ReadPolicy::HedgedSecondary.label(), "hedged-secondary");
+        assert_eq!(ReadPolicy::ReadAny.label(), "read-any");
+    }
+}

@@ -281,6 +281,25 @@ impl RequestBook {
         Some((idx, io))
     }
 
+    /// Re-arms sub `sub` of request `id` for another attempt after its
+    /// target died mid-flight: returns the [`SubIo`] to re-issue iff
+    /// the request is still live and that sub has not completed.
+    /// Returns `None` for finished/stale ids or already-done subs, so
+    /// a failover sweep can race a completion without double-settling.
+    ///
+    /// The sub's `done`/hedge state is untouched — the retry is a new
+    /// submission of the *same* sub, and first-completion-wins still
+    /// applies if the original attempt's completion somehow limps home
+    /// (the caller is expected to fence stale attempts itself).
+    pub fn retry_sub(&mut self, id: u64, sub: usize) -> Option<SubIo> {
+        let open = self.open.get_mut(Handle::from_raw(id))?;
+        let state = open.subs.get(sub)?;
+        if state.done {
+            return None;
+        }
+        Some(state.io)
+    }
+
     /// When request `id` was dispatched, while it is still in flight
     /// (used to measure per-sub settle times for the hedge policy).
     pub fn dispatched_at(&self, id: u64) -> Option<SimTime> {
@@ -499,6 +518,26 @@ mod tests {
         assert_eq!(book.slots(), 1, "footprint equals peak concurrency");
         assert_eq!(book.peak_in_flight(), 1);
         assert!(book.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn retry_reissues_only_live_unfinished_subs() {
+        let mut book = RequestBook::new();
+        let id = book.begin(0, SimTime::ZERO, SimTime::ZERO, &subs(&[0, 1]));
+        book.complete_sub(id, 0, SimTime::from_nanos(1_000), false);
+        assert!(book.retry_sub(id, 0).is_none(), "done sub never retries");
+        let io = book.retry_sub(id, 1).expect("open sub retries");
+        assert_eq!(io.member, 1);
+        // The retry is a fresh submission of the same sub: its
+        // completion settles the request exactly once.
+        match book.complete_sub(id, 1, SimTime::from_nanos(9_000), false) {
+            SubCompletion::Finished(fin) => {
+                assert_eq!(fin.finished_at, SimTime::from_nanos(9_000))
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        assert!(book.retry_sub(id, 1).is_none(), "stale id never retries");
+        assert!(book.retry_sub(id, 7).is_none(), "bad index is a miss");
     }
 
     #[test]

@@ -31,6 +31,10 @@ static SKETCH_MERGES: AtomicU64 = AtomicU64::new(0);
 static COMPLETION_INTERRUPTS: AtomicU64 = AtomicU64::new(0);
 static COMPLETION_POLLS: AtomicU64 = AtomicU64::new(0);
 static COMPLETION_HYBRID_SLEEPS: AtomicU64 = AtomicU64::new(0);
+static FLEET_ARRAYS_FAILED: AtomicU64 = AtomicU64::new(0);
+static FLEET_FAILOVERS: AtomicU64 = AtomicU64::new(0);
+static FLEET_RETRIES: AtomicU64 = AtomicU64::new(0);
+static FLEET_REREPLICATION_IOS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` processed events to the process-wide total.
 pub fn add_events(n: u64) {
@@ -202,6 +206,79 @@ pub fn completion_totals() -> CompletionCounters {
     }
 }
 
+/// Process-wide fleet-layer counters: replicated multi-array serving
+/// with fault injection. Simulation-deterministic, flushed once per
+/// run like [`FrontendCounters`], so harnesses may serialize their
+/// deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetCounters {
+    /// Arrays killed by the fault-injection plan.
+    pub arrays_failed: u64,
+    /// Requests re-routed to a surviving replica (dispatch-time dead
+    /// primary plus mid-flight failovers).
+    pub failovers: u64,
+    /// Sub-I/O attempts re-issued through the retry path after an
+    /// array died under them.
+    pub retries: u64,
+    /// Background re-replication I/Os issued to restore the
+    /// replication factor after a kill.
+    pub rereplication_ios: u64,
+}
+
+impl FleetCounters {
+    /// Component-wise difference (`self - earlier`), for deltas around
+    /// a run.
+    pub fn since(&self, earlier: &FleetCounters) -> FleetCounters {
+        FleetCounters {
+            arrays_failed: self.arrays_failed - earlier.arrays_failed,
+            failovers: self.failovers - earlier.failovers,
+            retries: self.retries - earlier.retries,
+            rereplication_ios: self.rereplication_ios - earlier.rereplication_ios,
+        }
+    }
+
+    /// Whether any counter moved.
+    pub fn any(&self) -> bool {
+        self.arrays_failed | self.failovers | self.retries | self.rereplication_ios != 0
+    }
+
+    /// Component-wise sum, for stitching per-cell tallies into a run
+    /// total.
+    pub fn absorb(&mut self, other: &FleetCounters) {
+        self.arrays_failed += other.arrays_failed;
+        self.failovers += other.failovers;
+        self.retries += other.retries;
+        self.rereplication_ios += other.rereplication_ios;
+    }
+}
+
+/// Adds a run's fleet-layer counters to the process-wide totals
+/// (batched flush, like [`add_frontend`]).
+pub fn add_fleet(delta: FleetCounters) {
+    if delta.arrays_failed > 0 {
+        FLEET_ARRAYS_FAILED.fetch_add(delta.arrays_failed, Ordering::Relaxed);
+    }
+    if delta.failovers > 0 {
+        FLEET_FAILOVERS.fetch_add(delta.failovers, Ordering::Relaxed);
+    }
+    if delta.retries > 0 {
+        FLEET_RETRIES.fetch_add(delta.retries, Ordering::Relaxed);
+    }
+    if delta.rereplication_ios > 0 {
+        FLEET_REREPLICATION_IOS.fetch_add(delta.rereplication_ios, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of the cumulative fleet-layer counters.
+pub fn fleet_totals() -> FleetCounters {
+    FleetCounters {
+        arrays_failed: FLEET_ARRAYS_FAILED.load(Ordering::Relaxed),
+        failovers: FLEET_FAILOVERS.load(Ordering::Relaxed),
+        retries: FLEET_RETRIES.load(Ordering::Relaxed),
+        rereplication_ios: FLEET_REREPLICATION_IOS.load(Ordering::Relaxed),
+    }
+}
+
 /// Snapshot of the cumulative frontend counters.
 pub fn frontend_totals() -> FrontendCounters {
     FrontendCounters {
@@ -272,6 +349,28 @@ mod tests {
             hybrid_sleeps: 0,
         };
         assert!(irq_only.any() && !irq_only.any_polled());
+    }
+
+    #[test]
+    fn fleet_counters_accumulate_and_delta() {
+        let before = fleet_totals();
+        add_fleet(FleetCounters::default()); // all-zero: no-op
+        add_fleet(FleetCounters {
+            arrays_failed: 1,
+            failovers: 4,
+            retries: 6,
+            rereplication_ios: 12,
+        });
+        let delta = fleet_totals().since(&before);
+        assert!(delta.any());
+        assert!(delta.arrays_failed >= 1);
+        assert!(delta.failovers >= 4);
+        assert!(delta.retries >= 6);
+        assert!(delta.rereplication_ios >= 12);
+        assert!(!FleetCounters::default().any());
+        let mut sum = FleetCounters::default();
+        sum.absorb(&delta);
+        assert_eq!(sum, delta);
     }
 
     #[test]

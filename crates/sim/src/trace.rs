@@ -35,6 +35,10 @@ pub enum Cause {
     CachePollution,
     /// Time on PCIe links and switches.
     Fabric,
+    /// Time on the fleet network: RPC serialization, propagation and
+    /// in-flight-window queueing between the frontend and an array
+    /// (the inter-array analogue of [`Cause::Fabric`]).
+    Network,
     /// Normal device service time (controller + flash).
     DeviceService,
     /// Device queueing behind other commands.
@@ -61,7 +65,7 @@ impl Cause {
     pub const COUNT: usize = Self::ALL.len();
 
     /// All cause variants, in display order.
-    pub const ALL: [Cause; 15] = [
+    pub const ALL: [Cause; 16] = [
         Cause::CpuWork,
         Cause::SchedulerDelay,
         Cause::CStateExit,
@@ -70,6 +74,7 @@ impl Cause {
         Cause::RemoteCompletion,
         Cause::CachePollution,
         Cause::Fabric,
+        Cause::Network,
         Cause::DeviceService,
         Cause::DeviceQueueing,
         Cause::Housekeeping,
@@ -96,6 +101,7 @@ impl Cause {
             Cause::RemoteCompletion => "remote_completion",
             Cause::CachePollution => "cache_pollution",
             Cause::Fabric => "fabric",
+            Cause::Network => "network",
             Cause::DeviceService => "device_service",
             Cause::DeviceQueueing => "device_queueing",
             Cause::Housekeeping => "housekeeping",

@@ -42,6 +42,7 @@ mod histogram;
 pub mod json;
 mod online;
 mod percentile;
+mod rollup;
 pub mod series;
 mod sketch;
 mod summary;
@@ -51,5 +52,6 @@ pub use histogram::LatencyHistogram;
 pub use json::Json;
 pub use online::OnlineStats;
 pub use percentile::{LatencyProfile, NinesPoint};
+pub use rollup::SketchRollup;
 pub use sketch::{QuantileSketch, TailStats, DEFAULT_SKETCH_ERROR};
 pub use summary::{MetricSummary, ProfileSummary};

@@ -1,0 +1,131 @@
+//! Per-array quantile-sketch rollups for the fleet layer.
+//!
+//! A fleet run serves one request stream across N arrays; the
+//! interesting decomposition is *per array* (did the kill victim's
+//! survivors absorb the tail?) plus the *merged* fleet-wide view. A
+//! [`SketchRollup`] keeps one [`QuantileSketch`] per array index and
+//! produces the merged sketch on demand, counting the merges it
+//! performs so the run manifest can account for rollup work the same
+//! way the tenant-serving path counts its sketch merges.
+
+use crate::QuantileSketch;
+
+/// One latency sketch per array plus an on-demand fleet-wide merge.
+///
+/// # Example
+///
+/// ```
+/// use afa_stats::SketchRollup;
+///
+/// let mut r = SketchRollup::new(3);
+/// r.record(0, 100_000);
+/// r.record(2, 900_000);
+/// let (merged, merges) = r.merged();
+/// assert_eq!(merged.count(), 2);
+/// assert_eq!(merges, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SketchRollup {
+    per_array: Vec<QuantileSketch>,
+}
+
+impl SketchRollup {
+    /// Creates a rollup over `arrays` empty sketches.
+    pub fn new(arrays: usize) -> Self {
+        SketchRollup {
+            per_array: (0..arrays).map(|_| QuantileSketch::new()).collect(),
+        }
+    }
+
+    /// Number of arrays tracked.
+    pub fn len(&self) -> usize {
+        self.per_array.len()
+    }
+
+    /// Whether the rollup tracks no arrays at all.
+    pub fn is_empty(&self) -> bool {
+        self.per_array.is_empty()
+    }
+
+    /// Records one latency sample (nanoseconds) against `array`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` is out of range — the fleet topology is fixed
+    /// at construction, so an unknown index is a routing bug.
+    pub fn record(&mut self, array: usize, latency_ns: u64) {
+        self.per_array[array].record(latency_ns);
+    }
+
+    /// The per-array sketch for `array`.
+    pub fn array(&self, array: usize) -> &QuantileSketch {
+        &self.per_array[array]
+    }
+
+    /// Merges every per-array sketch into one fleet-wide sketch and
+    /// returns it with the number of merges performed (one per array,
+    /// empty or not — merge cost is size-independent by design).
+    pub fn merged(&self) -> (QuantileSketch, u64) {
+        let mut out = QuantileSketch::new();
+        let mut merges = 0u64;
+        for sketch in &self.per_array {
+            out.merge(sketch);
+            merges += 1;
+        }
+        (out, merges)
+    }
+
+    /// Total samples recorded across all arrays.
+    pub fn total_count(&self) -> u64 {
+        self.per_array.iter().map(|s| s.count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_route_to_the_right_array() {
+        let mut r = SketchRollup::new(4);
+        for v in 1..=100u64 {
+            r.record(1, v * 1_000);
+        }
+        r.record(3, 5_000_000);
+        assert_eq!(r.array(0).count(), 0);
+        assert_eq!(r.array(1).count(), 100);
+        assert_eq!(r.array(3).count(), 1);
+        assert_eq!(r.total_count(), 101);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn merged_equals_recording_into_one_sketch() {
+        let mut r = SketchRollup::new(3);
+        let mut direct = QuantileSketch::new();
+        for v in 1..=300u64 {
+            r.record((v % 3) as usize, v * 10_000);
+            direct.record(v * 10_000);
+        }
+        let (merged, merges) = r.merged();
+        assert_eq!(merges, 3);
+        assert_eq!(merged.count(), direct.count());
+        for p in [50.0, 99.0, 99.9] {
+            assert_eq!(
+                merged.value_at_percentile(p),
+                direct.value_at_percentile(p),
+                "p{p} differs between rollup-merge and direct recording"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rollup_merges_to_empty() {
+        let r = SketchRollup::new(0);
+        let (merged, merges) = r.merged();
+        assert_eq!(merged.count(), 0);
+        assert_eq!(merges, 0);
+        assert!(r.is_empty());
+    }
+}

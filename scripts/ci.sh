@@ -33,7 +33,7 @@ echo "==> golden artifact byte-compare (scaled fig06-fig13 + request-serving)"
 # schema shows up here as a diff.
 golden_tmp="$(mktemp -d)"
 trap 'rm -rf "$golden_tmp"' EXIT
-for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tailscale-hedge fleet-arrival ull-crossover; do
+for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tailscale-hedge fleet-arrival fleet-failover ull-crossover; do
     ./target/release/afactl exp "$fig" --seconds 0.25 --ssds 8 --seed 42 \
         --json > "$golden_tmp/$fig.json"
     if ! cmp -s "tests/golden/$fig.json" "$golden_tmp/$fig.json"; then
@@ -52,7 +52,7 @@ for fig in fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 tailscale-fanout tail
     echo "golden OK: $fig"
 done
 
-echo "==> partition-plan byte-compare (fig06 + fleet-arrival + ull-crossover under single/fused-4/full-9 x 1/4 threads)"
+echo "==> partition-plan byte-compare (fig06 + fleet-arrival + fleet-failover + ull-crossover under single/fused-4/full-9 x 1/4 threads)"
 # The partition plan and the thread count must both be invisible in
 # the artifacts: the 9-LP decomposition is part of the deterministic
 # merge contract, so every fusion level — from the fully-fused
@@ -60,7 +60,7 @@ echo "==> partition-plan byte-compare (fig06 + fleet-arrival + ull-crossover und
 # byte-identical JSON, sequential or threaded. fleet-arrival drives
 # its own single-world loop (the SequentialGuard pins it), so for it
 # the matrix asserts the env knobs stay invisible end to end.
-for exp in fig06 fleet-arrival ull-crossover; do
+for exp in fig06 fleet-arrival fleet-failover ull-crossover; do
     for plan in single fused-4 full-9; do
         for threads in 1 4; do
             AFA_SHARD_PLAN=$plan AFA_THREADS=$threads \

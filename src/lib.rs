@@ -13,12 +13,15 @@
 //! * [`volume`] — striped-volume (RAID-0) layer,
 //! * [`frontend`] — client-request serving layer (open-loop arrivals,
 //!   tenant QoS, striped fan-out, hedged reads, SLO accounting),
+//! * [`fleet`] — replicated multi-array fleet layer (network hop,
+//!   rendezvous placement, fault injection and failover),
 //! * [`core`] — system assembly, tuning stages, and the paper's
 //!   experiments.
 
 #![forbid(unsafe_code)]
 
 pub use afa_core as core;
+pub use afa_fleet as fleet;
 pub use afa_frontend as frontend;
 pub use afa_host as host;
 pub use afa_pcie as pcie;

@@ -575,6 +575,104 @@ fn sketch_merge_equals_concatenated_stream() {
     });
 }
 
+/// Rendezvous placement is a pure function of `(volume, array set)` —
+/// invariant under the order the alive set is presented in — and
+/// killing one array moves the minimum possible data: every volume
+/// keeps its surviving replicas, volumes that never placed on the dead
+/// array keep their placement verbatim, and the affected fraction
+/// concentrates near `r/n` (at most one array's worth of placements).
+#[test]
+fn rendezvous_placement_is_pure_and_loses_at_most_one_arrays_share() {
+    use afa::fleet::place_among;
+    run_cases(
+        "rendezvous_placement_is_pure_and_loses_at_most_one_arrays_share",
+        32,
+        |g| {
+            let n = g.usize_in(3, 8);
+            let r = g.usize_in(1, 3.min(n));
+            let volumes = g.u64_in(64, 512);
+            let all: Vec<usize> = (0..n).collect();
+            let mut shuffled = all.clone();
+            // Fisher–Yates off the case generator: same set, new order.
+            for i in (1..shuffled.len()).rev() {
+                shuffled.swap(i, g.usize_in(0, i + 1));
+            }
+            let dead = g.usize_in(0, n);
+            let survivors: Vec<usize> = all.iter().copied().filter(|&a| a != dead).collect();
+            let mut affected = 0u64;
+            for volume in 0..volumes {
+                let before = place_among(volume, &all, r);
+                // Purity: same inputs — and any presentation order of
+                // the same set — produce the identical placement.
+                assert_eq!(before, place_among(volume, &all, r));
+                assert_eq!(before, place_among(volume, &shuffled, r));
+                assert_eq!(before.len(), r);
+                let after = place_among(volume, &survivors, r);
+                if before.contains(&dead) {
+                    affected += 1;
+                    // Minimal motion: every surviving replica is kept.
+                    for member in before.iter().filter(|&&a| a != dead) {
+                        assert!(
+                            after.contains(member),
+                            "volume {volume} dropped surviving replica {member}"
+                        );
+                    }
+                } else {
+                    assert_eq!(
+                        before, after,
+                        "volume {volume} moved without touching the dead array"
+                    );
+                }
+            }
+            // Expected affected share is r/n; allow generous sampling
+            // slack but pin the order of magnitude ("at most one
+            // array's worth, give or take the draw").
+            let expected = volumes as f64 * r as f64 / n as f64;
+            assert!(
+                (affected as f64) < 2.0 * expected + 16.0,
+                "{affected} affected volumes for an expectation of {expected:.0}"
+            );
+        },
+    );
+}
+
+/// Exactly-once settlement under fault injection: for any seed and any
+/// kill time, every request the fleet frontend admits settles exactly
+/// once — served or shed, never both, never twice (a double settle
+/// panics inside the request book), the book drains by the horizon,
+/// and every per-request ledger still tiles the measured latency.
+#[test]
+fn fleet_failover_settles_exactly_once_for_any_kill_time() {
+    use afa::core::experiment::fleet_failover_probe;
+    run_cases(
+        "fleet_failover_settles_exactly_once_for_any_kill_time",
+        8,
+        |g| {
+            let seed = g.u64_in(0, 10_000);
+            let kill_frac = g.u64_in(50, 950) as f64 / 1_000.0;
+            let out = fleet_failover_probe(seed, kill_frac);
+            assert!(out.admitted > 0, "probe admitted nothing");
+            assert_eq!(
+                out.admitted,
+                out.settled + out.shed,
+                "seed {seed}, kill at {kill_frac}: settled {} + shed {} \
+                 != admitted {}",
+                out.settled,
+                out.shed,
+                out.admitted
+            );
+            assert_eq!(
+                out.in_flight_at_end, 0,
+                "seed {seed}: requests still open after the drain horizon"
+            );
+            assert_eq!(
+                out.ledger_mismatches, 0,
+                "seed {seed}: a request's causes stopped tiling its latency"
+            );
+        },
+    );
+}
+
 /// Tuning never makes the worst case worse than default for the same
 /// seed (statistically certain at this scale).
 #[test]
