@@ -2,8 +2,13 @@
 //!
 //! A tiny replacement for the slice of Criterion the workspace used:
 //! each benchmark's batch size is calibrated so one batch takes a
-//! measurable slice of wall time, then a fixed number of batches is
-//! timed and per-operation mean/median/std are reported.
+//! measurable slice of wall time, the op is warmed for a pinned
+//! wall-time budget (cache/branch-predictor/frequency settle), then a
+//! fixed number of batches is timed and per-operation mean/median/std
+//! are reported. The median is the headline number: on a shared host
+//! the batch-time distribution is one-sided (occasional scheduler
+//! preemptions make some batches much slower, never faster), so the
+//! median is stable where the mean swings with the worst batch.
 //!
 //! # Example
 //!
@@ -45,6 +50,7 @@ pub struct Harness {
     filter: Option<String>,
     samples: usize,
     target_batch_nanos: u64,
+    warmup_nanos: u64,
     results: Vec<BenchResult>,
 }
 
@@ -54,6 +60,15 @@ impl Default for Harness {
             filter: None,
             samples: 25,
             target_batch_nanos: 2_000_000,
+            // Pinned warmup budget per bench: long enough for the
+            // first-touch page faults, cache fills and CPU frequency
+            // ramp to finish before the first timed batch, short
+            // enough that a full micro suite stays under a second of
+            // overhead. Without it the early batches of the
+            // queue-churn benches ran up to 2x slower than steady
+            // state and dragged the reported numbers around run to
+            // run.
+            warmup_nanos: 100_000_000,
             results: Vec::new(),
         }
     }
@@ -95,6 +110,15 @@ impl Harness {
             }
             batch *= 2;
         }
+        // Pinned warmup: run untimed batches until the wall-time
+        // budget is spent, so the timed samples below all observe the
+        // op in steady state.
+        let warm0 = Instant::now();
+        while (warm0.elapsed().as_nanos() as u64) < self.warmup_nanos {
+            for _ in 0..batch {
+                op();
+            }
+        }
         // Measure.
         let mut per_op: Vec<f64> = (0..self.samples)
             .map(|_| {
@@ -125,10 +149,10 @@ impl Harness {
             max_ns: per_op[n - 1],
         };
         println!(
-            "{:<28} {:>10.1} ns/op  (median {:.1}, std {:.1}, {} x {} ops)",
+            "{:<28} {:>10.1} ns/op median  (mean {:.1}, std {:.1}, {} x {} ops)",
             result.name,
-            result.mean_ns,
             result.median_ns,
+            result.mean_ns,
             result.std_ns,
             result.samples,
             result.batch
@@ -247,6 +271,7 @@ mod tests {
             filter: None,
             samples: 3,
             target_batch_nanos: 1_000,
+            warmup_nanos: 10_000,
             results: Vec::new(),
         }
     }

@@ -23,7 +23,7 @@
 use std::time::Duration;
 use std::time::Instant;
 
-use afa_sim::metrics::{CompletionCounters, FleetCounters, FrontendCounters};
+use afa_sim::metrics::{CompletionCounters, FleetCounters, FrontendCounters, FusionCounters};
 use afa_sim::trace::{Cause, CauseBudget};
 use afa_sim::SimDuration;
 use afa_stats::Json;
@@ -405,6 +405,13 @@ pub struct RunManifest {
     /// from the JSON artifact, so pre-fleet goldens stay
     /// byte-identical.
     pub fleet: FleetCounters,
+    /// Event-chain fusion counters flushed while the experiment ran
+    /// (delta of the process-wide [`afa_sim::metrics`] totals). Like
+    /// `events_per_sec` these are table-only: fusion is a scheduling
+    /// optimization whose whole contract is that artifacts are
+    /// byte-identical with it on or off, so serializing its counters
+    /// would violate the very invariant it promises.
+    pub fusion: FusionCounters,
     /// Per-cause latency budget from the attribution probe.
     pub budget: CauseBudget,
     /// Scale the attribution probe ran at (reduced from `scale` to
@@ -467,6 +474,12 @@ impl RunManifest {
             out.push_str(&format!(
                 "reaps   : {} interrupt, {} polled ({} hybrid oversleeps)\n",
                 self.completion.interrupts, self.completion.polls, self.completion.hybrid_sleeps
+            ));
+        }
+        if self.fusion.any() {
+            out.push_str(&format!(
+                "fusion  : {} chains fused, {} defused, {} events elided\n",
+                self.fusion.fused_chains, self.fusion.defused_chains, self.fusion.elided_events
             ));
         }
         out.push_str(&format!(
@@ -543,6 +556,9 @@ impl RunManifest {
                 ]),
             );
         }
+        // `fusion` is deliberately absent: its counters depend on
+        // whether the fast path engaged, and the artifact must be
+        // byte-identical with fusion on or off.
         doc
     }
 
@@ -633,6 +649,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
     let frontend_before = afa_sim::metrics::frontend_totals();
     let completion_before = afa_sim::metrics::completion_totals();
     let fleet_before = afa_sim::metrics::fleet_totals();
+    let fusion_before = afa_sim::metrics::fusion_totals();
     let t0 = Instant::now();
     // Experiments that drive their own single-world event loops must
     // not observe AFA_THREADS; the guard pins every AfaSystem::run in
@@ -675,6 +692,9 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
     let clamped_past_schedules = afa_sim::metrics::clamped_past_total() - clamped_before;
     let frontend = afa_sim::metrics::frontend_totals().since(&frontend_before);
     let fleet = afa_sim::metrics::fleet_totals().since(&fleet_before);
+    // Measured after the probe on purpose: the probe fuses too, and
+    // the table row should reflect everything this run scheduled.
+    let fusion = afa_sim::metrics::fusion_totals().since(&fusion_before);
 
     let samples = result.samples();
     ExperimentRun {
@@ -690,6 +710,7 @@ pub fn run_experiment(def: &ExperimentDef, scale: ExperimentScale) -> Experiment
             frontend,
             completion,
             fleet,
+            fusion,
             budget,
             probe_scale,
             probe_stage,
@@ -838,6 +859,34 @@ mod tests {
         assert!(
             !rendered.contains("events_per_sec") && !rendered.contains("events_processed"),
             "throughput leaked into the byte-stable artifact: {rendered}"
+        );
+    }
+
+    #[test]
+    fn fusion_counters_are_table_only() {
+        // fig06 at quick scale runs the single-shard plan with one job
+        // per LP, so the fusion fast path must engage — and its
+        // counters must stay out of the byte-stable JSON, because the
+        // fusion contract is that artifacts are identical with fusion
+        // on or off (a `fusion` key would differ between the two).
+        let def = find("fig06").expect("fig06 registered");
+        let run = run_experiment(def, ExperimentScale::quick());
+        assert!(
+            run.manifest.fusion.fused_chains > 0,
+            "fusion never engaged on a QD1 single-plan run"
+        );
+        assert!(
+            run.manifest.fusion.elided_events > 0,
+            "fused chains must elide per-stage events"
+        );
+        let table = run.manifest.to_table();
+        assert!(table.contains("fusion  :"), "{table}");
+        let rendered = run.manifest.to_json().to_string();
+        assert!(
+            !rendered.contains("fused_chains")
+                && !rendered.contains("defused_chains")
+                && !rendered.contains("elided_events"),
+            "fusion counters leaked into the byte-stable artifact: {rendered}"
         );
     }
 }

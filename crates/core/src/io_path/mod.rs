@@ -66,7 +66,7 @@ use complete::COMPLETE_COST;
 use model::CompletionModel;
 
 use afa_host::{BgPlacement, CpuId, HostModel, IrqDelivery, IrqOutcome};
-use afa_pcie::PcieFabric;
+use afa_pcie::{PcieFabric, SharedLegReservation};
 use afa_sim::metrics::CompletionCounters;
 use afa_sim::trace::Cause;
 use afa_sim::{ShardCtx, ShardWorld, SimDuration, SimTime};
@@ -98,6 +98,15 @@ const CORES_PER_SOCKET_PAIR: usize = 20;
 /// at least the hub lookahead; 1 µs keeps bursts effectively at their
 /// arrival instant while leaving the conservative horizon sound.
 const BG_PLACE_LATENCY: SimDuration = SimDuration::micros(1);
+
+/// Safety margin the fusion fast path keeps between a predicted
+/// settlement and the balancer's next reshuffle: any interrupt routed
+/// before the settlement carries a timestamp at most a shared-leg
+/// transit past its event time, so requiring
+/// `wake_ready + REBALANCE_GUARD < next_rebalance` guarantees no route
+/// processed while the chain is pending can fire the balancer's RNG
+/// (which a frozen preview could not have seen).
+const REBALANCE_GUARD: SimDuration = SimDuration::millis(1);
 
 /// The worker shard owning logical CPU `cpu` (never [`HUB_LP`]).
 /// Hyper-siblings map to the same shard, so whole physical cores —
@@ -131,6 +140,10 @@ pub(crate) enum Local {
     Msi { device: usize },
     /// Background workload arrival (hub).
     BgArrival,
+    /// Settle a fused macro-event: replay the job's precomputed
+    /// completion — commit, deliver, wake, reap, next issue — in one
+    /// shot (worker; see [`IoPathWorld::fuse_submit`]).
+    Settle { job: usize },
 }
 
 /// One completion riding an interrupt batch. The ledger stays in the
@@ -246,6 +259,71 @@ pub(crate) enum Cross {
     CpuBusy { cpu: CpuId, until: SimTime },
 }
 
+/// The frozen interrupt leg of a fused chain: the routing and handler
+/// outcome previewed at fuse time, re-validated (debug builds) when
+/// the settlement replays them for real.
+#[derive(Clone, Debug)]
+struct FusedIrq {
+    delivery: IrqDelivery,
+    designated: CpuId,
+    /// Predicted handler outcome; `outcome.wake_ready` is the chain's
+    /// settlement instant.
+    outcome: IrqOutcome,
+    /// The handler's state mutations already ran: hook A executes the
+    /// deferred delivery just before installing a background burst on
+    /// the vector core, preserving the real deliver-then-install
+    /// order. The settlement then uses `outcome` verbatim.
+    delivered: bool,
+}
+
+/// One speculative macro-event: an I/O whose entire
+/// submit→fabric→device→(irq|poll)→wake→complete timeline was
+/// precomputed at submit time because every resource it touches is
+/// provably uncontended over its horizon. The private device-side
+/// legs already ran eagerly; the shared-leg reservation and the
+/// interrupt preview are frozen here until the single `Local::Settle`
+/// event replays the completion side — or contention de-fuses the
+/// chain back into per-stage events at the point of divergence.
+#[derive(Clone, Debug)]
+struct FusedChain {
+    /// When the completion settles (predicted `wake_ready`, or the
+    /// poll event instant). Re-previews move it; the stale `Settle`
+    /// event is skipped by an instant-match guard.
+    settle_at: SimTime,
+    device: usize,
+    issued_at: SimTime,
+    ledger: LedgerId,
+    /// When the completion payload reaches the leaf switch — the
+    /// instant the chain's real `FabricUp` would fire, and the replay
+    /// point for every de-fuse.
+    t_leaf: SimTime,
+    /// When the CQE (and MSI, for interrupt chains) lands host-side.
+    at_host: SimTime,
+    fabric_shared: SimDuration,
+    model: CompletionModel,
+    cross_socket: bool,
+    /// The previewed shared-leg busy windows; committed lazily — by
+    /// hook B the moment a later arrival must queue behind them, or at
+    /// settlement, whichever comes first.
+    reservation: SharedLegReservation,
+    committed: bool,
+    /// `Some` for interrupt chains, `None` for polled ones.
+    irq: Option<FusedIrq>,
+}
+
+/// Per-replica fusion counters, harvested into
+/// [`afa_sim::metrics::FusionCounters`] by the run driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FusionTally {
+    /// Chains fully fused into one settlement macro-event.
+    pub(crate) fused: u64,
+    /// Fused chains torn back into per-stage events by contention.
+    pub(crate) defused: u64,
+    /// Per-stage events the settled macro-events replaced (4 per
+    /// interrupt chain, 3 per polled chain).
+    pub(crate) elided: u64,
+}
+
 /// One shard's replica of the whole-array world: jobs × host × fabric
 /// × devices, driven by [`Local`]/[`Cross`] events through the staged
 /// I/O path. Only the slices owned by the LPs in `owned` are ever
@@ -301,6 +379,23 @@ pub(crate) struct IoPathWorld {
     /// ledger.
     ledger_slab: Vec<IoLedger>,
     ledger_free: Vec<LedgerId>,
+    /// Speculative stage-fusion fast path (see
+    /// [`fuse_submit`](Self::fuse_submit)); resolved per run from
+    /// `AFA_NO_FUSION` / `FusionOverride`. Results are byte-identical
+    /// either way — fusion only changes how many events the engine
+    /// pops per I/O.
+    fusion_enabled: bool,
+    /// In-flight fused chains, one slot per job (QD1 is a fuse gate).
+    fused: Vec<Option<FusedChain>>,
+    /// Live chain count — the hooks' short-circuit.
+    fused_live: usize,
+    fused_tally: FusionTally,
+    /// Jobs targeting each device (fusion requires a private device).
+    device_job_count: Vec<u32>,
+    /// Jobs owned by each worker LP (fusion requires a private LP:
+    /// no foreign job's CPU state can interleave with the frozen
+    /// completion preview).
+    lp_job_count: [u32; WORKER_LPS],
 }
 
 /// The scheduling context every handler receives.
@@ -337,6 +432,14 @@ impl IoPathWorld {
             job_of_device[job.spec().device()] = j;
         }
         let jobs_len = jobs.len();
+        let mut device_job_count = vec![0u32; n];
+        for job in &jobs {
+            device_job_count[job.spec().device()] += 1;
+        }
+        let mut lp_job_count = [0u32; WORKER_LPS];
+        for &lp in &job_lp {
+            lp_job_count[lp] += 1;
+        }
         IoPathWorld {
             host,
             fabric,
@@ -359,7 +462,24 @@ impl IoPathWorld {
             pending_cq: vec![Vec::new(); n],
             ledger_slab: Vec::with_capacity(2 * n),
             ledger_free: Vec::with_capacity(2 * n),
+            fusion_enabled: false,
+            fused: (0..jobs_len).map(|_| None).collect(),
+            fused_live: 0,
+            fused_tally: FusionTally::default(),
+            device_job_count,
+            lp_job_count,
         }
+    }
+
+    /// Enables the fusion fast path for this replica (the run driver
+    /// resolves the knob once per run).
+    pub(crate) fn set_fusion(&mut self, enabled: bool) {
+        self.fusion_enabled = enabled;
+    }
+
+    /// This replica's fusion tally, for the run harvest.
+    pub(crate) fn fusion_tally(&self) -> FusionTally {
+        self.fused_tally
     }
 
     /// Brands this replica with the set of logical processes it owns
@@ -523,8 +643,10 @@ impl IoPathWorld {
     /// legs in arrival order (they are FIFO resources — this is why
     /// the hub owns them), then route the interrupt — immediately, or
     /// held by the MSI coalescer.
+    #[allow(clippy::too_many_arguments)]
     fn on_fabric_up(
         &mut self,
+        src: usize,
         job: usize,
         issued_at: SimTime,
         id: LedgerId,
@@ -533,12 +655,23 @@ impl IoPathWorld {
         ctx: &mut Ctx<'_>,
     ) {
         let t_leaf = ctx.now();
+        // Hook B, pre-claim: settle the ordering between this arrival
+        // and every pending fused reservation before touching the
+        // legs.
+        if self.fused_live > 0 {
+            self.sync_fused_before_claim(src, t_leaf, ctx);
+        }
         let device = self.jobs[job].spec().device();
 
         let bytes = self.jobs[job].spec().block_size() as u64;
         let at_host =
             fabric::shared_legs(&mut self.fabric, device, t_leaf, bytes, cross_socket, model);
         let fabric_shared = at_host.saturating_since(t_leaf);
+        // Hook B, post-claim: de-fuse any pending reservation this
+        // claim just stomped.
+        if self.fused_live > 0 {
+            self.defuse_stomped_after_claim(t_leaf, ctx);
+        }
         if model.parks_thread() {
             // Without the MSI's trailing latency a tiny payload can
             // clear the shared legs inside the hub lookahead; the
@@ -722,6 +855,502 @@ impl IoPathWorld {
         self.finish_io(job, issued_at, done, id);
         self.issue_burst(job, done, ctx);
     }
+
+    // ------------------------------------------------------------------
+    // Macro-event fusion (see DESIGN.md §6)
+    // ------------------------------------------------------------------
+
+    /// The cheap, declinable half of the fusion gate: conditions under
+    /// which `job`'s new I/O *might* fuse, checkable before any state
+    /// beyond the (already claimed) shared down-legs is touched.
+    /// Failing any of these takes the plain per-stage path.
+    fn fusion_candidate(&self, job: usize, device: usize) -> bool {
+        self.fusion_enabled
+            // A fused replica owning every LP (the single plan): the
+            // eager legs and the settlement mutate worker- and
+            // hub-owned state from one handler.
+            && self.owned == (1 << LP_COUNT) - 1
+            // Coalescing batches completions across I/Os on the hub.
+            && self.coalescing.is_none()
+            // Capture windows admit by per-LP arrival order, which a
+            // macro-event would skew.
+            && self.tracers.is_none()
+            && self.ledger_logs.is_none()
+            // QD1: no sibling I/O of the same job can interleave with
+            // the frozen timeline.
+            && self.jobs[job].spec().iodepth() == 1
+            // Private device: its FIFO order and RNG stream are this
+            // chain's alone.
+            && self.device_job_count[device] == 1
+            // Private worker LP: no foreign job's submit/wake/reap can
+            // interleave with the completion-side state the preview
+            // froze.
+            && self.lp_job_count[self.job_lp[job]] == 1
+            && self.fused[job].is_none()
+    }
+
+    /// The speculative fast path (hub, at `SubmitDown` time, after the
+    /// real shared down-leg claim): run the private device-side legs
+    /// eagerly, then — if the completion side is provably uncontended —
+    /// freeze the rest of the timeline into a [`FusedChain`] and book
+    /// one [`Local::Settle`] macro-event in place of the 4 (interrupt)
+    /// or 3 (poll) per-stage events.
+    ///
+    /// The private legs are exact regardless of what the completion
+    /// side decides: the device, its links and the parked ledger are
+    /// this I/O's alone (QD1 + private device), and the full event
+    /// drain guarantees the chain completes in every run. A
+    /// completion-side decline therefore cannot back out — it falls
+    /// back *partially*, replaying the real [`Cross::FabricUp`] at the
+    /// leaf-arrival instant with the job's own channel sequence (the
+    /// same relative order the un-fused send would have had), eliding
+    /// just the two device-side events.
+    fn fuse_submit(
+        &mut self,
+        job: usize,
+        op: Op,
+        id: LedgerId,
+        start: SimTime,
+        at_entry: SimTime,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let device = self.jobs[job].spec().device();
+        let job_lp = self.job_lp[job];
+        let cpu = self.geometry.cpu_of_ssd(device);
+        let bytes = self.jobs[job].spec().block_size();
+        let model = self.model_of(job);
+        // Eager private legs — verbatim the CommandAtDevice and
+        // DeviceDone handler bodies, minus the two events.
+        let led = &mut self.ledger_slab[id as usize];
+        let at_device =
+            fabric::downstream_device_leg(&mut self.fabric, device, start, at_entry, led);
+        let completes_at = device::serve(&mut self.devices[device], at_device, op, bytes, led);
+        led.stamp(IoStage::DeviceComplete, completes_at);
+        let t_leaf = fabric::device_leg(
+            &mut self.fabric,
+            device,
+            completes_at,
+            bytes as u64,
+            model,
+            led,
+        );
+        let cross_socket = self.host.topology().socket_of(cpu) != self.afa_socket;
+        let polled = model.parks_thread();
+        // Completion-side gate: every check is against state frozen
+        // until the settlement by construction (the gates themselves
+        // plus hooks A and B), so a pass makes the precomputed
+        // timeline exact.
+        let fused = 'gate: {
+            let Some(r) =
+                self.fabric
+                    .preview_completion_shared_legs(device, t_leaf, bytes as u64, polled)
+            else {
+                break 'gate None;
+            };
+            // The shared up-legs must also clear every *pending*
+            // reservation (their windows reach `free_at` only when
+            // they commit). Busy windows may touch at a boundary but
+            // not intersect.
+            for other in self.fused.iter().flatten() {
+                let o = &other.reservation;
+                if (o.leaf == r.leaf
+                    && o.leaf_start < r.leaf_busy_end
+                    && r.leaf_start < o.leaf_busy_end)
+                    || (o.spine == r.spine
+                        && o.up_start < r.up_busy_end
+                        && r.up_start < o.up_busy_end)
+                {
+                    break 'gate None;
+                }
+            }
+            let mut at_host = r.at_host;
+            if cross_socket {
+                at_host += fabric::NUMA_CROSS_SOCKET;
+            }
+            let fabric_shared = at_host.saturating_since(t_leaf);
+            let Some(vt) = self.host.vectors() else {
+                break 'gate None;
+            };
+            let sib_c = self.host.topology().sibling_of(cpu);
+            let irq = if model.uses_irq_path() {
+                // The routing must be deterministic from current state
+                // (no pending reshuffle) …
+                let Some(delivery) = vt.preview_route(device, at_host) else {
+                    break 'gate None;
+                };
+                // … and stay deterministic until the settlement: any
+                // route processed before it carries a timestamp well
+                // inside the guard margin, so none can trip the
+                // balancer RNG the preview could not see.
+                let designated = vt.designated(device);
+                let v = delivery.vector_cpu;
+                let sib_v = self.host.topology().sibling_of(v);
+                let outcome = self
+                    .host
+                    .preview_irq_delivery(delivery, designated, at_host);
+                if vt.is_balanced() && outcome.wake_ready + REBALANCE_GUARD >= vt.next_rebalance() {
+                    break 'gate None;
+                }
+                // The vector core must host no foreign job: a foreign
+                // wake on it could consume the RNG draws and busy
+                // windows the preview froze.
+                for (j2, other) in self.jobs.iter().enumerate() {
+                    if j2 == job {
+                        continue;
+                    }
+                    let c2 = self.geometry.cpu_of_ssd(other.spec().device());
+                    if c2 == v || c2 == sib_v {
+                        break 'gate None;
+                    }
+                }
+                // No other interrupt-driven device may point its
+                // effective vector at the chain's vector or reap core
+                // pairs: a same-instant foreign delivery is keyed and
+                // would sort *before* the plain settlement event,
+                // diverging from the real (keyed) completion order.
+                for d2 in 0..self.devices.len() {
+                    if d2 == device {
+                        continue;
+                    }
+                    let j2 = self.job_of_device[d2];
+                    if j2 == usize::MAX || !self.model_of(j2).uses_irq_path() {
+                        continue;
+                    }
+                    let eff = vt.effective(d2);
+                    if eff == v || eff == sib_v || eff == cpu || eff == sib_c {
+                        break 'gate None;
+                    }
+                }
+                Some(FusedIrq {
+                    delivery,
+                    designated,
+                    outcome,
+                    delivered: false,
+                })
+            } else {
+                // Polled chains still need the reap core pair clear of
+                // foreign effective vectors (same keyed-vs-plain
+                // ordering argument for the reaping CPU's state).
+                for d2 in 0..self.devices.len() {
+                    if d2 == device {
+                        continue;
+                    }
+                    let j2 = self.job_of_device[d2];
+                    if j2 == usize::MAX || !self.model_of(j2).uses_irq_path() {
+                        continue;
+                    }
+                    let eff = vt.effective(d2);
+                    if eff == cpu || eff == sib_c {
+                        break 'gate None;
+                    }
+                }
+                None
+            };
+            let settle_at = match &irq {
+                Some(f) => f.outcome.wake_ready,
+                // The instant the real `PollComplete` event would
+                // fire (its handler works off the carried `at_host`).
+                None => at_host.max(t_leaf + self.hub_lookahead()),
+            };
+            Some(FusedChain {
+                settle_at,
+                device,
+                issued_at: start,
+                ledger: id,
+                t_leaf,
+                at_host,
+                fabric_shared,
+                model,
+                cross_socket,
+                reservation: r,
+                committed: false,
+                irq,
+            })
+        };
+        match fused {
+            Some(chain) => {
+                let settle_at = chain.settle_at;
+                self.fused[job] = Some(chain);
+                self.fused_live += 1;
+                self.fused_tally.fused += 1;
+                ctx.at_lp(job_lp, settle_at, Local::Settle { job });
+            }
+            None => {
+                // Partial fallback: re-enter the plain path at the
+                // leaf switch, exactly where the real `FabricUp`
+                // would fire.
+                ctx.send_from(
+                    job_lp,
+                    HUB_LP,
+                    t_leaf,
+                    Cross::FabricUp {
+                        job,
+                        issued_at: start,
+                        ledger: id,
+                        cross_socket,
+                        model,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Worker: a settlement macro-event fired. The instant guard
+    /// drops stale pops — a re-preview moved the settlement, a
+    /// background install flushed it early, or contention de-fused the
+    /// chain entirely.
+    fn on_settle(&mut self, job: usize, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        if self.fused[job].as_ref().is_none_or(|c| c.settle_at != now) {
+            return;
+        }
+        self.settle_fused(job, ctx);
+    }
+
+    /// Replays a fused chain's completion side in one shot: commit the
+    /// shared legs (if hook B hasn't already), run the real interrupt
+    /// route + delivery (validated against the frozen preview), then
+    /// the verbatim wake/reap — or poll-reap — handler.
+    fn settle_fused(&mut self, job: usize, ctx: &mut Ctx<'_>) {
+        let chain = self.fused[job].take().expect("settling job has a chain");
+        self.fused_live -= 1;
+        if !chain.committed {
+            self.fabric
+                .commit_completion_shared_legs(&chain.reservation);
+        }
+        self.fused_tally.elided += if chain.irq.is_some() { 4 } else { 3 };
+        match chain.irq {
+            Some(f) => {
+                let irq = if f.delivered {
+                    f.outcome
+                } else {
+                    let (delivery, designated) = self.host.route_irq(chain.device, chain.at_host);
+                    debug_assert_eq!(delivery, f.delivery, "fused route diverged");
+                    debug_assert_eq!(designated, f.designated, "fused designated CPU diverged");
+                    let irq = self
+                        .host
+                        .deliver_irq_routed(delivery, designated, chain.at_host);
+                    debug_assert_eq!(irq, f.outcome, "fused handler outcome diverged");
+                    irq
+                };
+                let entry = CqEntry {
+                    issued_at: chain.issued_at,
+                    ledger: chain.ledger,
+                    fabric_shared: chain.fabric_shared,
+                };
+                self.on_wake_reap(job, irq, chain.at_host, CqBatch::One(entry), ctx);
+            }
+            None => {
+                self.on_poll_complete(
+                    job,
+                    chain.issued_at,
+                    chain.ledger,
+                    chain.fabric_shared,
+                    chain.at_host,
+                    chain.model,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// Tears a pending chain back into per-stage events at the point
+    /// of divergence: drop its (uncommitted) reservation and replay
+    /// the real `FabricUp` at the leaf-arrival instant, on the job's
+    /// own channel. The stale `Settle` pop is skipped by the instant
+    /// guard.
+    fn defuse(&mut self, job: usize, ctx: &mut Ctx<'_>) {
+        let c = self.fused[job].take().expect("de-fusing a live chain");
+        debug_assert!(!c.committed, "cannot de-fuse a committed chain");
+        self.fused_live -= 1;
+        self.fused_tally.defused += 1;
+        ctx.send_from(
+            self.job_lp[job],
+            HUB_LP,
+            c.t_leaf,
+            Cross::FabricUp {
+                job,
+                issued_at: c.issued_at,
+                ledger: c.ledger,
+                cross_socket: c.cross_socket,
+                model: c.model,
+            },
+        );
+    }
+
+    /// Hook B, pre-claim: every pending reservation whose window opens
+    /// before this arrival was — in real time order — claimed first,
+    /// so commit it and let the incoming claim queue behind it. A tie
+    /// at the same leaf instant resolves by the merge key's source LP;
+    /// a tie the chain loses de-fuses it (the replay, sent here with a
+    /// later per-channel sequence, sorts exactly where the real event
+    /// would).
+    fn sync_fused_before_claim(&mut self, src: usize, now: SimTime, ctx: &mut Ctx<'_>) {
+        let mut defuse: Vec<usize> = Vec::new();
+        for (job, chain) in self.fused.iter_mut().enumerate() {
+            let Some(c) = chain else { continue };
+            if c.committed {
+                continue;
+            }
+            if c.t_leaf < now || (c.t_leaf == now && self.job_lp[job] < src) {
+                self.fabric.commit_completion_shared_legs(&c.reservation);
+                c.committed = true;
+            } else if c.t_leaf == now {
+                defuse.push(job);
+            }
+        }
+        for job in defuse {
+            self.defuse(job, ctx);
+        }
+    }
+
+    /// Hook B, post-claim: the claim just made may have pushed a
+    /// shared leg's free instant into a pending reservation's window,
+    /// invalidating the preview. De-fuse those chains — their replayed
+    /// `FabricUp` re-queues through the real path. Because every claim
+    /// runs this probe, surviving reservations are always valid.
+    fn defuse_stomped_after_claim(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        let mut stomped: Vec<usize> = Vec::new();
+        for (job, chain) in self.fused.iter().enumerate() {
+            let Some(c) = chain else { continue };
+            if c.committed {
+                continue;
+            }
+            debug_assert!(c.t_leaf > now, "pre-claim sync left a stale window");
+            let r = &c.reservation;
+            let (leaf_free, up_free) = self.fabric.shared_leg_free_at(r.leaf, r.spine);
+            if leaf_free > r.leaf_start || up_free > r.up_start {
+                stomped.push(job);
+            }
+        }
+        for job in stomped {
+            self.defuse(job, ctx);
+        }
+    }
+
+    /// Hook A, pre-install: a background burst is about to land on
+    /// `p_cpu`. Two real orderings must be replayed before it:
+    ///
+    /// 1. Chains whose interrupt handler already (logically) ran on
+    ///    this core pair — `at_host` at or before this instant — get
+    ///    their deferred delivery executed now, so its state
+    ///    mutations land before the install exactly as the real
+    ///    `IrqDeliver` did.
+    /// 2. Chains settling at exactly this instant whose real
+    ///    completion event precedes the keyed `BgPlace` in the merge
+    ///    order are settled now, acting as their owning LP (interrupt
+    ///    completions always precede it — their source LP is a
+    ///    worker's; polled ones by the hub channel's dst/seq rule).
+    fn flush_fused_before_install(&mut self, p_cpu: CpuId, now: SimTime, ctx: &mut Ctx<'_>) {
+        let sib = self.host.topology().sibling_of(p_cpu);
+        let mut deliver: Vec<usize> = Vec::new();
+        for (job, chain) in self.fused.iter().enumerate() {
+            let Some(c) = chain else { continue };
+            let Some(f) = &c.irq else { continue };
+            if f.delivered {
+                continue;
+            }
+            let v = f.delivery.vector_cpu;
+            if v != p_cpu && v != sib {
+                continue;
+            }
+            if c.at_host < now || (c.at_host == now && c.t_leaf + BG_PLACE_LATENCY <= now) {
+                deliver.push(job);
+            }
+        }
+        for job in deliver {
+            let (device, at_host) = {
+                let c = self.fused[job].as_ref().expect("deferred delivery");
+                (c.device, c.at_host)
+            };
+            let (delivery, designated) = self.host.route_irq(device, at_host);
+            let irq = self.host.deliver_irq_routed(delivery, designated, at_host);
+            let c = self.fused[job].as_mut().expect("deferred delivery");
+            let f = c.irq.as_mut().expect("interrupt chain");
+            debug_assert_eq!(delivery, f.delivery, "fused route diverged");
+            debug_assert_eq!(designated, f.designated, "fused designated CPU diverged");
+            debug_assert_eq!(irq, f.outcome, "fused handler outcome diverged");
+            f.outcome = irq;
+            f.delivered = true;
+            if c.settle_at != irq.wake_ready {
+                // Unreachable when the asserts hold; keep release
+                // builds self-consistent anyway.
+                c.settle_at = irq.wake_ready;
+                ctx.at_lp(self.job_lp[job], c.settle_at, Local::Settle { job });
+            }
+        }
+        let p_lp = lp_of_cpu(p_cpu);
+        let mut flush: Vec<(usize, usize, u64, usize)> = Vec::new();
+        for (job, chain) in self.fused.iter().enumerate() {
+            let Some(c) = chain else { continue };
+            if c.settle_at != now {
+                continue;
+            }
+            let dst = self.job_lp[job];
+            match &c.irq {
+                // Real `WakeReap`: keyed, worker source — always
+                // before the hub-sourced `BgPlace`.
+                Some(f) => flush.push((
+                    lp_of_cpu(f.delivery.vector_cpu),
+                    dst,
+                    c.t_leaf.as_nanos(),
+                    job,
+                )),
+                // Real `PollComplete` shares the hub source: it
+                // precedes the install iff its destination LP is
+                // lower, or — same channel — iff it was sent (at
+                // `t_leaf`) no later than the `BgPlace`.
+                None => {
+                    if dst < p_lp || (dst == p_lp && c.t_leaf + BG_PLACE_LATENCY <= now) {
+                        flush.push((HUB_LP, dst, c.t_leaf.as_nanos(), job));
+                    }
+                }
+            }
+        }
+        flush.sort_unstable();
+        for (_, dst, _, job) in flush {
+            let prev = ctx.set_acting_lp(dst);
+            self.settle_fused(job, ctx);
+            ctx.set_acting_lp(prev);
+        }
+    }
+
+    /// Hook A, post-install: the burst on `p_cpu` changes the
+    /// predicted handler outcome of any chain whose interrupt has not
+    /// yet (logically) been delivered on this core pair — recompute
+    /// the preview against post-install state and move the settlement
+    /// (the stale event is skipped by the instant guard). Never
+    /// de-fuses and never replays the delivery.
+    fn repreview_fused_after_install(&mut self, p_cpu: CpuId, now: SimTime, ctx: &mut Ctx<'_>) {
+        let sib = self.host.topology().sibling_of(p_cpu);
+        let mut updates: Vec<(usize, IrqOutcome)> = Vec::new();
+        for (job, chain) in self.fused.iter().enumerate() {
+            let Some(c) = chain else { continue };
+            let Some(f) = &c.irq else { continue };
+            if f.delivered {
+                continue;
+            }
+            let v = f.delivery.vector_cpu;
+            if v != p_cpu && v != sib {
+                continue;
+            }
+            debug_assert!(c.at_host >= now, "undelivered chain behind the clock");
+            updates.push((
+                job,
+                self.host
+                    .preview_irq_delivery(f.delivery, f.designated, c.at_host),
+            ));
+        }
+        for (job, outcome) in updates {
+            let c = self.fused[job].as_mut().expect("re-previewed chain");
+            let f = c.irq.as_mut().expect("interrupt chain");
+            f.outcome = outcome;
+            if c.settle_at != outcome.wake_ready {
+                c.settle_at = outcome.wake_ready;
+                ctx.at_lp(self.job_lp[job], c.settle_at, Local::Settle { job });
+            }
+        }
+    }
 }
 
 impl ShardWorld for IoPathWorld {
@@ -743,6 +1372,9 @@ impl ShardWorld for IoPathWorld {
             }
             Local::Msi { device } => {
                 self.on_msi(device, ctx);
+            }
+            Local::Settle { job } => {
+                self.on_settle(job, ctx);
             }
             Local::BgArrival => {
                 let now = ctx.now();
@@ -767,7 +1399,7 @@ impl ShardWorld for IoPathWorld {
         }
     }
 
-    fn handle_cross(&mut self, _src: usize, event: Cross, ctx: &mut Ctx<'_>) {
+    fn handle_cross(&mut self, src: usize, event: Cross, ctx: &mut Ctx<'_>) {
         match event {
             Cross::SubmitDown {
                 job,
@@ -777,6 +1409,10 @@ impl ShardWorld for IoPathWorld {
             } => {
                 let device = self.jobs[job].spec().device();
                 let at_entry = fabric::downstream_shared(&mut self.fabric, device, start);
+                if self.fusion_candidate(job, device) {
+                    self.fuse_submit(job, op, ledger, start, at_entry, ctx);
+                    return;
+                }
                 let at = at_entry.max(ctx.now() + self.hub_lookahead());
                 ctx.send(
                     self.job_lp[job],
@@ -826,7 +1462,7 @@ impl ShardWorld for IoPathWorld {
                 cross_socket,
                 model,
             } => {
-                self.on_fabric_up(job, issued_at, ledger, cross_socket, model, ctx);
+                self.on_fabric_up(src, job, issued_at, ledger, cross_socket, model, ctx);
             }
             Cross::IrqDeliver {
                 job,
@@ -856,7 +1492,17 @@ impl ShardWorld for IoPathWorld {
             }
             Cross::BgPlace { placement } => {
                 let now = ctx.now();
+                let p_cpu = placement.cpu;
+                // Hook A around the install: flush and deliver what
+                // the real order puts before it, then re-preview what
+                // the burst invalidates.
+                if self.fused_live > 0 {
+                    self.flush_fused_before_install(p_cpu, now, ctx);
+                }
                 self.host.install_background(placement, now);
+                if self.fused_live > 0 {
+                    self.repreview_fused_after_install(p_cpu, now, ctx);
+                }
             }
             Cross::CpuBusy { cpu, until } => {
                 self.host.note_io_busy(cpu, until);

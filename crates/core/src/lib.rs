@@ -49,6 +49,6 @@ mod tuning;
 
 pub use config::{AfaConfig, IrqCoalescing};
 pub use geometry::{CpuSsdGeometry, Table2Row};
-pub use partition::{PlanOverride, PlanSpec};
+pub use partition::{FusionOverride, PlanOverride, PlanSpec};
 pub use system::{AfaSystem, RunResult, ThreadsOverride};
 pub use tuning::{Tuning, TuningStage};

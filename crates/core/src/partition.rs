@@ -129,6 +129,49 @@ impl Drop for PlanOverride {
     }
 }
 
+/// Encoded fusion override: 0 = none (`AFA_NO_FUSION` decides),
+/// 1 = force on, 2 = force off.
+static FUSION_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII scope pinning the macro-event fusion fast path on or off,
+/// taking precedence over `AFA_NO_FUSION`. Because results are
+/// byte-identical with fusion on or off, overlapping overrides from
+/// concurrent tests cannot change any outcome — only how many events
+/// the engine pops (same contract as [`PlanOverride`]).
+pub struct FusionOverride {
+    prev: usize,
+}
+
+impl FusionOverride {
+    /// Pins fusion on (`true`) or off (`false`) until the guard drops.
+    pub fn set(enabled: bool) -> Self {
+        let prev = FUSION_OVERRIDE.swap(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+        FusionOverride { prev }
+    }
+}
+
+impl Drop for FusionOverride {
+    fn drop(&mut self) {
+        FUSION_OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Resolves whether a run fuses stage chains: a [`FusionOverride`]
+/// wins, then `AFA_NO_FUSION` (any non-empty value other than `0`
+/// disables), then the default (on).
+pub(crate) fn fusion_enabled() -> bool {
+    match FUSION_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !std::env::var("AFA_NO_FUSION")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+            .unwrap_or(false),
+    }
+}
+
 /// A resolved partition decision: the plan plus a stable label for
 /// logs and benches.
 #[derive(Clone, Debug)]

@@ -271,7 +271,7 @@ impl AfaSystem {
             .iter()
             .map(|j| lp_of_cpu(geometry.cpu_of_ssd(j.spec().device())))
             .collect();
-        let proto = IoPathWorld::new(
+        let mut proto = IoPathWorld::new(
             host,
             fabric,
             devices,
@@ -288,6 +288,12 @@ impl AfaSystem {
             config.hybrid_sleep(),
             config.device_profile.per_cpu_queue_pairs(),
         );
+        // Macro-event fusion: on unless `AFA_NO_FUSION` / a
+        // `FusionOverride` says otherwise. The fast path additionally
+        // gates itself per submit (single plan, QD1, uncontended
+        // resources — see `IoPathWorld::fusion_candidate`), and is
+        // byte-exact, so the knob only exists for A/B verification.
+        proto.set_fusion(crate::partition::fusion_enabled());
 
         // Resolve the partition plan and replicate the world across
         // it: one replica per shard, branded with the LPs it owns,
@@ -373,6 +379,17 @@ impl AfaSystem {
         afa_sim::metrics::add_completion(completions);
         let mut worlds: Vec<Option<IoPathWorld>> = worlds.into_iter().map(Some).collect();
         let hub = worlds[hub_shard].take().expect("hub world");
+        // Fusion happens only on a replica owning every LP (the
+        // single plan), which is necessarily the hub's world; flush
+        // its tally to the process-wide counters. The elided events
+        // keep the *logical* event total comparable across fusion
+        // settings: popped events + elided = the un-fused count.
+        let fusion = hub.fusion_tally();
+        afa_sim::metrics::add_fusion(afa_sim::metrics::FusionCounters {
+            fused_chains: fusion.fused,
+            defused_chains: fusion.defused,
+            elided_events: fusion.elided,
+        });
         let mut host = hub.host;
         let all_cpus: Vec<CpuId> = host.topology().all_cpus().iter().collect();
         for (shard, world) in worlds.iter().enumerate() {

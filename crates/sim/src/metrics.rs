@@ -35,6 +35,9 @@ static FLEET_ARRAYS_FAILED: AtomicU64 = AtomicU64::new(0);
 static FLEET_FAILOVERS: AtomicU64 = AtomicU64::new(0);
 static FLEET_RETRIES: AtomicU64 = AtomicU64::new(0);
 static FLEET_REREPLICATION_IOS: AtomicU64 = AtomicU64::new(0);
+static FUSED_CHAINS: AtomicU64 = AtomicU64::new(0);
+static DEFUSED_CHAINS: AtomicU64 = AtomicU64::new(0);
+static ELIDED_EVENTS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` processed events to the process-wide total.
 pub fn add_events(n: u64) {
@@ -279,6 +282,67 @@ pub fn fleet_totals() -> FleetCounters {
     }
 }
 
+/// Process-wide macro-event fusion counters: how many I/O stage
+/// chains the fusion fast path collapsed into a single settlement
+/// event, and how many had to be de-fused back into per-stage events
+/// after a shared resource was claimed under them. Wall-clock
+/// dependent only in the sense that they depend on the host's plan
+/// resolution (a multi-shard plan never fuses); for a pinned plan they
+/// are simulation-deterministic. Flushed once per run like
+/// [`FrontendCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusionCounters {
+    /// Stage chains fused into one settlement macro-event at submit.
+    pub fused_chains: u64,
+    /// Fused chains torn back into per-stage events after another I/O
+    /// claimed a shared fabric leg inside their precomputed window.
+    pub defused_chains: u64,
+    /// Per-stage events the settled macro-events replaced (4 per
+    /// interrupt chain, 3 per polled chain) — the gap between logical
+    /// and popped event counts a harness must add back.
+    pub elided_events: u64,
+}
+
+impl FusionCounters {
+    /// Component-wise difference (`self - earlier`), for deltas around
+    /// a run.
+    pub fn since(&self, earlier: &FusionCounters) -> FusionCounters {
+        FusionCounters {
+            fused_chains: self.fused_chains - earlier.fused_chains,
+            defused_chains: self.defused_chains - earlier.defused_chains,
+            elided_events: self.elided_events - earlier.elided_events,
+        }
+    }
+
+    /// Whether any counter moved.
+    pub fn any(&self) -> bool {
+        self.fused_chains | self.defused_chains | self.elided_events != 0
+    }
+}
+
+/// Adds a run's fusion counters to the process-wide totals (batched
+/// flush, like [`add_frontend`]).
+pub fn add_fusion(delta: FusionCounters) {
+    if delta.fused_chains > 0 {
+        FUSED_CHAINS.fetch_add(delta.fused_chains, Ordering::Relaxed);
+    }
+    if delta.defused_chains > 0 {
+        DEFUSED_CHAINS.fetch_add(delta.defused_chains, Ordering::Relaxed);
+    }
+    if delta.elided_events > 0 {
+        ELIDED_EVENTS.fetch_add(delta.elided_events, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of the cumulative fusion counters.
+pub fn fusion_totals() -> FusionCounters {
+    FusionCounters {
+        fused_chains: FUSED_CHAINS.load(Ordering::Relaxed),
+        defused_chains: DEFUSED_CHAINS.load(Ordering::Relaxed),
+        elided_events: ELIDED_EVENTS.load(Ordering::Relaxed),
+    }
+}
+
 /// Snapshot of the cumulative frontend counters.
 pub fn frontend_totals() -> FrontendCounters {
     FrontendCounters {
@@ -371,6 +435,23 @@ mod tests {
         let mut sum = FleetCounters::default();
         sum.absorb(&delta);
         assert_eq!(sum, delta);
+    }
+
+    #[test]
+    fn fusion_counters_accumulate_and_delta() {
+        let before = fusion_totals();
+        add_fusion(FusionCounters::default()); // all-zero: no-op
+        add_fusion(FusionCounters {
+            fused_chains: 8,
+            defused_chains: 2,
+            elided_events: 32,
+        });
+        let delta = fusion_totals().since(&before);
+        assert!(delta.any());
+        assert!(delta.fused_chains >= 8);
+        assert!(delta.defused_chains >= 2);
+        assert!(delta.elided_events >= 32);
+        assert!(!FusionCounters::default().any());
     }
 
     #[test]

@@ -264,6 +264,55 @@ impl<L, C> ShardCtx<'_, L, C> {
         );
     }
 
+    /// Schedules a local event for an **explicit** LP at an absolute
+    /// time. Only sound for LPs owned by the *current shard* — the
+    /// event lands in this shard's wheel, so scheduling for a foreign
+    /// LP would break the merge contract. Used by the fusion fast path,
+    /// where the hub schedules the settlement event directly on the
+    /// job's worker LP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lp` is not owned by the current shard.
+    pub fn at_lp(&mut self, lp: usize, time: SimTime, event: L) {
+        assert_eq!(
+            self.plan.shard_of(lp),
+            self.shard,
+            "at_lp target must live on the current shard"
+        );
+        if time < self.now {
+            crate::driver::note_past_schedule(self.clamped, self.now, time);
+        }
+        self.queue.push(
+            time.max(self.now),
+            Item::Local {
+                lp: lp as u16,
+                event,
+            },
+        );
+    }
+
+    /// Re-brands the context as acting for `lp` — subsequent
+    /// [`at`](Self::at)/[`send`](Self::send) calls schedule and draw
+    /// per-channel sequence numbers as that LP — and returns the
+    /// previous LP so the caller can restore it. Used by the fusion
+    /// fast path when it settles a macro-event synchronously from
+    /// inside another LP's handler: the settlement must emit exactly
+    /// the events (and sequence draws) the real completion handler on
+    /// the owning LP would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lp` is not owned by the current shard.
+    pub fn set_acting_lp(&mut self, lp: usize) -> usize {
+        assert_eq!(
+            self.plan.shard_of(lp),
+            self.shard,
+            "acting LP must live on the current shard"
+        );
+        std::mem::replace(&mut self.lp, lp)
+    }
+
     /// Schedules a local event `delay` after the current instant.
     pub fn after(&mut self, delay: SimDuration, event: L) {
         self.queue.push(
@@ -319,6 +368,48 @@ impl<L, C> ShardCtx<'_, L, C> {
                 payload: event,
             });
         }
+    }
+
+    /// Re-emits a cross event **as if** LP `src` had sent it — the
+    /// de-fuse escape hatch of the fusion fast path. The send draws
+    /// `src`'s per-channel sequence number, so a replayed event lands
+    /// in exactly the merge-key position the elided original would
+    /// have occupied. Unlike [`ShardCtx::send`] there is no lookahead
+    /// floor: the replayed event may be scheduled at the current
+    /// instant (it pops after the running handler, in key order among
+    /// same-time entries), which is only sound intra-shard — hence the
+    /// same-shard restriction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not owned by the current shard, or
+    /// if `time` is in the past.
+    pub fn send_from(&mut self, src: usize, dst: usize, time: SimTime, event: C) {
+        assert_eq!(
+            self.plan.shard_of(src),
+            self.shard,
+            "send_from source must live on the current shard"
+        );
+        assert_eq!(
+            self.plan.shard_of(dst),
+            self.shard,
+            "send_from destination must live on the current shard"
+        );
+        assert!(time >= self.now, "send_from must not target the past");
+        let n = self.plan.lp_count();
+        let channel = &mut self.send_seq[src * n + dst];
+        let seq = *channel;
+        *channel += 1;
+        let slot = park(self.slab, self.slab_free, event);
+        self.queue.push_keyed(
+            time,
+            Item::Cross {
+                src: src as u16,
+                dst: dst as u16,
+                seq,
+                slot,
+            },
+        );
     }
 }
 

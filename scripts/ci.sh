@@ -75,9 +75,27 @@ for exp in fig06 fleet-arrival fleet-failover ull-crossover; do
     done
 done
 
-echo "==> desperf regression check (pinned-scale fig06 events/sec)"
+echo "==> fusion on/off byte-compare (fig06 + ull-crossover)"
+# The macro-event fusion fast path must be invisible in the artifacts:
+# AFA_NO_FUSION=1 forces every chain down the per-stage path, and the
+# JSON must not move by a byte. fig06 covers the interrupt chain,
+# ull-crossover covers the polled and hybrid reap chains.
+for exp in fig06 ull-crossover; do
+    AFA_NO_FUSION=1 ./target/release/afactl exp "$exp" --seconds 0.25 --ssds 8 --seed 42 \
+        --json > "$golden_tmp/$exp-nofusion.json"
+    if ! cmp -s "tests/golden/$exp.json" "$golden_tmp/$exp-nofusion.json"; then
+        echo "fusion mismatch: $exp under AFA_NO_FUSION=1 differs from the golden" >&2
+        exit 1
+    fi
+    echo "fusion OK: $exp (AFA_NO_FUSION=1 == golden)"
+done
+
+echo "==> desperf regression check (pinned-scale fig06 events/sec + event-count budget)"
 # Fails if DES throughput fell more than 10% below the most recent
-# committed BENCH_desperf.json entry.
+# committed BENCH_desperf.json entry, and (via the event-fusion gate)
+# if the pinned fusion probe schedules more than 4 events per latency
+# sample — the event-count budget that keeps the macro-event fast
+# path honest next to the events/sec floor.
 ./target/release/desperf --check
 
 echo "CI OK"

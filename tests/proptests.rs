@@ -12,7 +12,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use afa::core::partition::plan_for;
-use afa::core::{AfaConfig, AfaSystem, PlanOverride, PlanSpec, ThreadsOverride, TuningStage};
+use afa::core::{
+    AfaConfig, AfaSystem, FusionOverride, PlanOverride, PlanSpec, ThreadsOverride, TuningStage,
+};
 use afa::sim::check::run_cases;
 use afa::sim::{EventQueue, ShardCtx, ShardWorld, ShardedSim, SimDuration, SimTime};
 use afa::stats::NinesPoint;
@@ -134,6 +136,71 @@ fn timing_wheel_matches_reference_heap() {
                 break;
             }
         }
+    });
+}
+
+/// The wheel's overflow heap — where pushes behind the popped
+/// frontier land — preserves the exact global `(time, insertion seq)`
+/// pop order, for any interleaving of past, near-future and far-future
+/// pushes with pops. [`timing_wheel_matches_reference_heap`] compares
+/// two queue implementations; this pins the order itself against a
+/// from-scratch model (the `(time, seq)`-minimum of the queued set),
+/// so a matching bug in both implementations can't hide. Past pushes
+/// are over-weighted relative to real workloads precisely to keep the
+/// overflow heap populated while the wheel cascades around it.
+#[test]
+fn overflow_heap_drains_in_time_seq_order() {
+    run_cases("overflow_heap_drains_in_time_seq_order", 32, |g| {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        // Reference: the queued set as (time, global push seq); the
+        // payload IS the seq, so a pop identifies its push uniquely.
+        let mut queued: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut frontier = 0u64;
+        let pop_reference = |queued: &mut Vec<(u64, u64)>| {
+            let at = (0..queued.len())
+                .min_by_key(|&i| queued[i])
+                .expect("reference non-empty");
+            // swap_remove is fine: the reference orders by (time, seq),
+            // not by position.
+            queued.swap_remove(at)
+        };
+        for _ in 0..g.usize_in(20, 500) {
+            if g.bool() || queued.is_empty() {
+                let time = match g.usize_in(0, 3) {
+                    // Behind the popped frontier: overflow-heap traffic.
+                    0 => frontier.saturating_sub(g.u64_in(0, 1 << 20)),
+                    // Level-0 neighborhood of the frontier.
+                    1 => frontier + g.u64_in(0, 64),
+                    // Mid levels: cascades on the way down.
+                    2 => frontier + g.u64_in(0, 1 << 20),
+                    // Top levels: far-future housekeeping horizons.
+                    _ => frontier + g.u64_in(0, 1 << 40),
+                };
+                wheel.push(SimTime::from_nanos(time), seq);
+                queued.push((time, seq));
+                seq += 1;
+            } else {
+                let (time, id) = pop_reference(&mut queued);
+                let got = wheel.pop().expect("reference says non-empty");
+                assert_eq!(
+                    (got.0.as_nanos(), got.1),
+                    (time, id),
+                    "pop left (time, seq) order"
+                );
+                frontier = frontier.max(time);
+            }
+        }
+        while !queued.is_empty() {
+            let (time, id) = pop_reference(&mut queued);
+            let got = wheel.pop().expect("drain shorter than reference");
+            assert_eq!(
+                (got.0.as_nanos(), got.1),
+                (time, id),
+                "drain left (time, seq) order"
+            );
+        }
+        assert!(wheel.pop().is_none(), "wheel drained more than was pushed");
     });
 }
 
@@ -373,6 +440,121 @@ fn every_fusion_level_matches_single_plan_bytes() {
             baseline, fused,
             "{} artifact diverged under {spec:?} at {threads} thread(s)",
             def.name,
+        );
+    });
+}
+
+/// Macro-event fusion is invisible in the artifacts: for any
+/// experiment, scale, seed and partition plan, a run with the fusion
+/// fast path forced on serializes to exactly the bytes of a run with
+/// every chain forced down the per-stage path — including the
+/// manifest's per-cause latency budget. On the single-shard plan the
+/// fast path must actually engage (a gate that silently declines
+/// everything would pass the byte-compare vacuously), and with fusion
+/// forced off it must fuse nothing.
+#[test]
+fn fusion_on_and_off_produce_identical_artifacts() {
+    // All QD1 interrupt- or poll-chain experiments at ≤ 6 SSDs: one
+    // job per worker LP, so the single-plan runs satisfy the fusion
+    // gates. (ablate-coalescing would decline by design — QD4 with
+    // coalescing on — and is covered by the golden matrix instead.)
+    let names = ["fig06", "fig07", "fig08", "fig09", "fig11", "ablate-poll"];
+    run_cases("fusion_on_and_off_produce_identical_artifacts", 6, |g| {
+        let def = afa::core::experiment::find(names[g.usize_in(0, names.len() - 1)])
+            .expect("experiment registered");
+        let scale = afa::core::experiment::ExperimentScale::new(
+            SimDuration::millis(g.u64_in(10, 30)),
+            g.usize_in(1, 6),
+            g.u64_in(0, 10_000),
+        );
+        // Bias toward the single plan — the only one whose runs can
+        // fuse — but keep the multi-shard plans in the sample space:
+        // there the property degenerates to "forcing fusion on a plan
+        // that can't fuse changes nothing".
+        let spec = match g.usize_in(0, 5) {
+            0 => PlanSpec::Full,
+            1 => PlanSpec::Fused(g.usize_in(2, 8)),
+            _ => PlanSpec::Single,
+        };
+        let run = |fuse: bool| {
+            let _fusion = FusionOverride::set(fuse);
+            let _plan = PlanOverride::set(spec);
+            let _pin = ThreadsOverride::set(1);
+            let before = afa::sim::metrics::fusion_totals();
+            let json = afa::core::experiment::run_experiment(def, scale)
+                .to_json()
+                .to_string();
+            (json, afa::sim::metrics::fusion_totals().since(&before))
+        };
+        let (fused_json, fused_tally) = run(true);
+        let (unfused_json, unfused_tally) = run(false);
+        assert_eq!(
+            fused_json, unfused_json,
+            "{} artifact diverged between fusion on and off under {spec:?}",
+            def.name,
+        );
+        if spec == PlanSpec::Single {
+            assert!(
+                fused_tally.fused_chains > 0,
+                "{}: single-plan run fused no chains — the fast path is dead",
+                def.name,
+            );
+        }
+        assert_eq!(
+            unfused_tally.fused_chains, 0,
+            "{}: FusionOverride(false) still fused chains",
+            def.name,
+        );
+    });
+}
+
+/// Per-I/O ledgers are fusion-invariant, entry by entry: with the
+/// ledger log enabled, runs with fusion forced on and off produce the
+/// identical sequence of completed I/Os — same device, same issue
+/// instant, same latency, and the same per-cause sums to the
+/// nanosecond. Today the ledger-log gate routes both runs down the
+/// per-stage path, so equality is structural; if that gate is ever
+/// relaxed to let logged runs fuse, this becomes the test that the
+/// eagerly-stamped fused ledger matches the per-stage one exactly.
+#[test]
+fn fusion_preserves_per_cause_ledger_sums() {
+    run_cases("fusion_preserves_per_cause_ledger_sums", 8, |g| {
+        let stage = [
+            TuningStage::Default,
+            TuningStage::Chrt,
+            TuningStage::IrqAffinity,
+            TuningStage::ExperimentalFirmware,
+        ][g.usize_in(0, 3)];
+        let seed = g.u64_in(0, 10_000);
+        let ssds = g.usize_in(1, 6);
+        let ledgers = |fuse: bool| {
+            let _fusion = FusionOverride::set(fuse);
+            let result = AfaSystem::run(
+                &AfaConfig::paper(stage)
+                    .with_ssds(ssds)
+                    .with_runtime(SimDuration::millis(40))
+                    .with_seed(seed)
+                    .with_ledger_log(512),
+            );
+            let log = result.ledgers.expect("ledger log enabled");
+            log.entries()
+                .iter()
+                .map(|io| {
+                    (
+                        io.device,
+                        io.issued_at,
+                        io.latency(),
+                        io.ledger.rows().collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let fused = ledgers(true);
+        let unfused = ledgers(false);
+        assert!(!fused.is_empty(), "no completed I/Os logged");
+        assert_eq!(
+            fused, unfused,
+            "per-cause ledger sums diverged between fusion on and off"
         );
     });
 }
